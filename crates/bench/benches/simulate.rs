@@ -1,0 +1,109 @@
+//! Simulator throughput: executing translated graphs on the ETS machine.
+//! Regenerates the dynamic side of experiments F6–F8, F14, C4, C5.
+
+use cf2df_bench::workloads;
+use cf2df_cfg::MemLayout;
+use cf2df_core::pipeline::{translate, TranslateOptions};
+use cf2df_lang::parse_to_cfg;
+use cf2df_machine::{run, MachineConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn prepared(src: &str, opts: &TranslateOptions) -> (cf2df_dfg::Dfg, MemLayout) {
+    let parsed = parse_to_cfg(src).unwrap();
+    let t = translate(&parsed.cfg, &parsed.alias, opts).unwrap();
+    let layout = MemLayout::distinct(&t.cfg.vars);
+    (t.dfg, layout)
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate");
+    for (name, src) in [
+        ("fib", cf2df_lang::corpus::FIB),
+        ("nested", cf2df_lang::corpus::NESTED),
+        ("collatz", cf2df_lang::corpus::COLLATZ),
+        ("stencil", cf2df_lang::corpus::STENCIL),
+    ] {
+        for (label, opts) in [
+            ("schema1", TranslateOptions::schema1()),
+            ("schema2", TranslateOptions::schema2()),
+            ("full", TranslateOptions::full_parallel()),
+        ] {
+            let (dfg, layout) = prepared(src, &opts);
+            g.bench_with_input(
+                BenchmarkId::new(label, name),
+                &(dfg, layout),
+                |b, (dfg, layout)| {
+                    b.iter(|| {
+                        let out = run(dfg, layout, MachineConfig::unbounded()).unwrap();
+                        black_box(out.stats.fired)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_processor_sweep(c: &mut Criterion) {
+    let (dfg, layout) = prepared(cf2df_lang::corpus::NESTED, &TranslateOptions::schema2());
+    let mut g = c.benchmark_group("simulate_finite_processors");
+    for p in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| run(&dfg, &layout, MachineConfig::with_processors(p)).unwrap().stats.makespan)
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let src = workloads::array_store_loop(32);
+    let base = TranslateOptions::schema2().with_memory_elimination(true);
+    let para = base.clone().with_array_parallelization(true);
+    let (g_base, layout) = prepared(&src, &base);
+    let (g_para, _) = prepared(&src, &para);
+    let mc = MachineConfig::unbounded().mem_latency(50);
+    let mut g = c.benchmark_group("fig14_array_stores");
+    g.bench_function("sequentialized", |b| {
+        b.iter(|| run(&g_base, &layout, mc.clone()).unwrap().stats.makespan)
+    });
+    g.bench_function("parallelized", |b| {
+        b.iter(|| run(&g_para, &layout, mc.clone()).unwrap().stats.makespan)
+    });
+    g.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let parsed = parse_to_cfg(cf2df_lang::corpus::NESTED).unwrap();
+    let layout = MemLayout::distinct(&parsed.cfg.vars);
+    c.bench_function("von_neumann_interpreter", |b| {
+        b.iter(|| {
+            cf2df_machine::vonneumann::interpret(
+                &parsed.cfg,
+                &layout,
+                &MachineConfig::default(),
+            )
+            .unwrap()
+            .statements
+        })
+    });
+}
+
+
+/// Short measurement windows: these benches run in CI-like settings.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_corpus,
+    bench_processor_sweep,
+    bench_fig14,
+    bench_baseline
+}
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! Workload generators and the experiment harness that regenerates every
+//! figure and claim of *From Control Flow to Dataflow*.
+//!
+//! * [`workloads`] — parameterized program generators (random structured
+//!   programs, scaling families) used by benches and property tests;
+//! * [`harness`] — run a program through a translation configuration and
+//!   the machine, collecting comparable metrics;
+//! * [`figures`] — one reproduction function per paper figure/claim,
+//!   printed by the `figures` binary and recorded in `EXPERIMENTS.md`.
+
+pub mod figures;
+pub mod harness;
+pub mod workloads;
+
+pub use harness::{measure, measure_source, Measurement};

@@ -1,0 +1,375 @@
+//! Program generators.
+//!
+//! Two kinds: *scaling families* with a size knob (for the O(E·V) size
+//! sweep and the parallelism experiments) and a *seeded random program
+//! generator* producing terminating, reducible Imp programs (for
+//! differential and property tests).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// `n` independent variable updates followed by a reduction — the workload
+/// where per-variable tokens (Schema 2) shine over the single token
+/// (Schema 1).
+pub fn independent_updates(n: usize) -> String {
+    let mut s = String::new();
+    for i in 0..n {
+        let _ = writeln!(s, "v{i} := {};", i + 1);
+    }
+    for i in 0..n {
+        let _ = writeln!(s, "v{i} := v{i} * 3 + {i};");
+    }
+    let mut sum = String::from("0");
+    for i in 0..n {
+        sum = format!("{sum} + v{i}");
+    }
+    let _ = writeln!(s, "total := {sum};");
+    s
+}
+
+/// A single dependence chain of length `n` — no parallelism anywhere; all
+/// schemas should perform alike (the paper's worst case).
+pub fn dependence_chain(n: usize) -> String {
+    let mut s = String::from("x := 1;\n");
+    for _ in 0..n {
+        s.push_str("x := x * 3 + 1;\n");
+    }
+    s
+}
+
+/// A ladder of `n` if-then-else diamonds over disjoint variables; under
+/// Schema 2 every diamond still switches every variable, under the
+/// optimized construction each variable passes only its own diamond.
+pub fn diamond_ladder(n: usize) -> String {
+    let mut s = String::new();
+    for i in 0..n {
+        let _ = writeln!(s, "c{i} := {i} % 2;");
+    }
+    for i in 0..n {
+        let _ = writeln!(
+            s,
+            "if c{i} == 0 then {{ d{i} := {i}; }} else {{ d{i} := {i} + 100; }}"
+        );
+    }
+    let mut sum = String::from("0");
+    for i in 0..n {
+        sum = format!("{sum} + d{i}");
+    }
+    let _ = writeln!(s, "total := {sum};");
+    s
+}
+
+/// `vars` variables updated inside a loop of `iters` iterations, only
+/// `live` of them actually referenced in the body — the rest bypass the
+/// loop entirely in the optimized construction.
+pub fn loop_with_bystanders(vars: usize, live: usize, iters: usize) -> String {
+    let mut s = String::new();
+    for i in 0..vars {
+        let _ = writeln!(s, "v{i} := {i};");
+    }
+    let _ = writeln!(s, "i := 0;");
+    let _ = writeln!(s, "while i < {iters} do {{");
+    let _ = writeln!(s, "  i := i + 1;");
+    for j in 0..live.min(vars) {
+        let _ = writeln!(s, "  v{j} := v{j} + i;");
+    }
+    let _ = writeln!(s, "}}");
+    let mut sum = String::from("0");
+    for i in 0..vars {
+        sum = format!("{sum} + v{i}");
+    }
+    let _ = writeln!(s, "total := {sum};");
+    s
+}
+
+/// The Fig 14 array-store loop, scaled: store `iters` elements.
+pub fn array_store_loop(iters: usize) -> String {
+    format!(
+        "array x[{}];\n\
+         i := 0;\n\
+         l:\n\
+           i := i + 1;\n\
+           x[i] := 1;\n\
+           if i < {iters} then {{ goto l; }} else {{ goto end; }}\n",
+        iters + 1
+    )
+}
+
+/// `n` consecutive statements all reading `x` — a maximal load sequence
+/// for the §6.2 read-parallelization rewrite.
+pub fn read_fanout(n: usize) -> String {
+    let mut s = String::from("x := 7;\n");
+    for i in 0..n {
+        let _ = writeln!(s, "r{i} := x + {i};");
+    }
+    s
+}
+
+/// Nested counted loops, `depth` deep, `width` iterations each.
+pub fn loop_nest(depth: usize, width: usize) -> String {
+    let mut s = String::from("acc := 0;\n");
+    for d in 0..depth {
+        let _ = writeln!(s, "{}for i{d} := 1 to {width} do {{", "  ".repeat(d));
+    }
+    let body_vars = (0..depth)
+        .map(|d| format!("i{d}"))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    let _ = writeln!(s, "{}acc := acc + {body_vars};", "  ".repeat(depth));
+    for d in (0..depth).rev() {
+        let _ = writeln!(s, "{}}}", "  ".repeat(d));
+    }
+    s
+}
+
+/// Configuration for the random program generator.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Number of scalar variables to draw from.
+    pub n_vars: usize,
+    /// Number of arrays (each of length 8).
+    pub n_arrays: usize,
+    /// Statements per block.
+    pub block_len: usize,
+    /// Maximum nesting depth of ifs/loops.
+    pub max_depth: usize,
+    /// Probability (percent) of declaring alias pairs.
+    pub alias_percent: u32,
+    /// Maximum `for` trip count.
+    pub max_trip: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            n_vars: 5,
+            n_arrays: 1,
+            block_len: 4,
+            max_depth: 3,
+            alias_percent: 20,
+            max_trip: 4,
+        }
+    }
+}
+
+/// Generate a random, terminating, reducible Imp program. The same seed
+/// always yields the same program.
+pub fn random_program(seed: u64, cfgen: &GenConfig) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut s = String::new();
+    for a in 0..cfgen.n_arrays {
+        let _ = writeln!(s, "array a{a}[8];");
+    }
+    // Alias declarations between scalar pairs, and between array pairs
+    // (arrays share a length, so consistent bindings exist for them too).
+    for i in 0..cfgen.n_vars {
+        for j in (i + 1)..cfgen.n_vars {
+            if rng.gen_ratio(cfgen.alias_percent.min(100), 100) {
+                let _ = writeln!(s, "alias v{i} ~ v{j};");
+            }
+        }
+    }
+    for i in 0..cfgen.n_arrays {
+        for j in (i + 1)..cfgen.n_arrays {
+            if rng.gen_ratio(cfgen.alias_percent.min(100), 100) {
+                let _ = writeln!(s, "alias a{i} ~ a{j};");
+            }
+        }
+    }
+    // Initialize everything deterministically.
+    for i in 0..cfgen.n_vars {
+        let _ = writeln!(s, "v{i} := {};", rng.gen_range(-5..20));
+    }
+    let mut counter = 0usize;
+    gen_block(&mut rng, cfgen, &mut s, cfgen.max_depth, 0, &mut counter);
+    s
+}
+
+fn gen_expr(rng: &mut SmallRng, cfgen: &GenConfig, depth: usize) -> String {
+    if depth == 0 || rng.gen_ratio(2, 5) {
+        return match rng.gen_range(0..3) {
+            0 => format!("{}", rng.gen_range(-4..10)),
+            1 => format!("v{}", rng.gen_range(0..cfgen.n_vars)),
+            _ => {
+                if cfgen.n_arrays > 0 && rng.gen_bool(0.3) {
+                    // Clamp the subscript into range with min/max.
+                    let a = rng.gen_range(0..cfgen.n_arrays);
+                    let v = rng.gen_range(0..cfgen.n_vars);
+                    format!("a{a}[min(max(v{v}, 0), 7)]")
+                } else {
+                    format!("v{}", rng.gen_range(0..cfgen.n_vars))
+                }
+            }
+        };
+    }
+    let l = gen_expr(rng, cfgen, depth - 1);
+    let r = gen_expr(rng, cfgen, depth - 1);
+    let op = ["+", "-", "*", "/", "%", "<", "<=", "==", "!="]
+        [rng.gen_range(0..9)];
+    format!("({l} {op} {r})")
+}
+
+fn gen_block(
+    rng: &mut SmallRng,
+    cfgen: &GenConfig,
+    s: &mut String,
+    depth: usize,
+    indent: usize,
+    counter: &mut usize,
+) {
+    let pad = "  ".repeat(indent);
+    let n = rng.gen_range(1..=cfgen.block_len);
+    for _ in 0..n {
+        match rng.gen_range(0..10) {
+            0..=4 => {
+                // Assignment (occasionally to an array element).
+                if cfgen.n_arrays > 0 && rng.gen_bool(0.2) {
+                    let a = rng.gen_range(0..cfgen.n_arrays);
+                    let v = rng.gen_range(0..cfgen.n_vars);
+                    let e = gen_expr(rng, cfgen, 2);
+                    let _ = writeln!(s, "{pad}a{a}[min(max(v{v}, 0), 7)] := {e};");
+                } else {
+                    let v = rng.gen_range(0..cfgen.n_vars);
+                    let e = gen_expr(rng, cfgen, 2);
+                    let _ = writeln!(s, "{pad}v{v} := {e};");
+                }
+            }
+            5..=6 if depth > 0 => {
+                if rng.gen_bool(0.25) {
+                    // Multi-way branch (footnote 3).
+                    let sel = gen_expr(rng, cfgen, 1);
+                    let n_arms = rng.gen_range(2..=3);
+                    let _ = writeln!(s, "{pad}case {sel} of {{");
+                    for arm in 0..n_arms {
+                        let _ = writeln!(s, "{pad}  {arm} => {{");
+                        gen_block(rng, cfgen, s, depth - 1, indent + 2, counter);
+                        let _ = writeln!(s, "{pad}  }}");
+                    }
+                    let _ = writeln!(s, "{pad}  else => {{");
+                    gen_block(rng, cfgen, s, depth - 1, indent + 2, counter);
+                    let _ = writeln!(s, "{pad}  }}");
+                    let _ = writeln!(s, "{pad}}}");
+                } else {
+                    let c = gen_expr(rng, cfgen, 1);
+                    let _ = writeln!(s, "{pad}if {c} then {{");
+                    gen_block(rng, cfgen, s, depth - 1, indent + 1, counter);
+                    if rng.gen_bool(0.6) {
+                        let _ = writeln!(s, "{pad}}} else {{");
+                        gen_block(rng, cfgen, s, depth - 1, indent + 1, counter);
+                    }
+                    let _ = writeln!(s, "{pad}}}");
+                }
+            }
+            7..=8 if depth > 0 => {
+                // Counted loop with a fresh induction variable: always
+                // terminates.
+                let id = *counter;
+                *counter += 1;
+                let trip = rng.gen_range(1..=cfgen.max_trip);
+                let _ = writeln!(s, "{pad}for t{id} := 1 to {trip} do {{");
+                gen_block(rng, cfgen, s, depth - 1, indent + 1, counter);
+                let _ = writeln!(s, "{pad}}}");
+            }
+            _ => {
+                let _ = writeln!(s, "{pad}skip;");
+            }
+        }
+    }
+}
+
+/// Random unstructured "goto soup": `blocks` labelled blocks ending in
+/// conditional gotos to arbitrary labels. Termination is forced by a step
+/// counter (`c`) checked in every block, so every program halts within
+/// `3 * blocks * 8` statements; the resulting CFGs are frequently
+/// *irreducible* (multi-entry cycles), exercising node splitting.
+pub fn goto_soup(seed: u64, blocks: usize) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let blocks = blocks.max(2);
+    let mut s = String::from("c := 0;\nx := 1;\ny := 2;\n");
+    let budget = 8 * blocks;
+    for b in 0..blocks {
+        let _ = writeln!(s, "b{b}:");
+        // Fuel guard: every block path increments c and bails out.
+        let _ = writeln!(s, "  c := c + 1;");
+        let _ = writeln!(s, "  if c > {budget} then {{ goto end; }} else {{ skip; }}");
+        // A little work.
+        match rng.gen_range(0..3) {
+            0 => {
+                let _ = writeln!(s, "  x := x + y;");
+            }
+            1 => {
+                let _ = writeln!(s, "  y := y * 2 - x;");
+            }
+            _ => {
+                let _ = writeln!(s, "  x := x - 1; y := y + c;");
+            }
+        }
+        // Conditional jump to a random block (backward or forward: cycles
+        // with multiple entries arise freely).
+        let t1 = rng.gen_range(0..blocks);
+        let _ = writeln!(
+            s,
+            "  if (x + y + c) % {} == 0 then {{ goto b{t1}; }} else {{ skip; }}",
+            rng.gen_range(2..5)
+        );
+        // Fall through to the next block (keeping every block reachable);
+        // the final block ends the program.
+        if b + 1 == blocks {
+            let _ = writeln!(s, "  goto end;");
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf2df_lang::parse_to_cfg;
+
+    #[test]
+    fn scaling_families_parse() {
+        for src in [
+            independent_updates(6),
+            dependence_chain(5),
+            diamond_ladder(4),
+            loop_with_bystanders(6, 2, 5),
+            array_store_loop(10),
+            read_fanout(5),
+            loop_nest(3, 3),
+        ] {
+            parse_to_cfg(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn random_programs_parse_and_validate() {
+        let cfgen = GenConfig::default();
+        for seed in 0..80 {
+            let src = random_program(seed, &cfgen);
+            let parsed = parse_to_cfg(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            parsed.cfg.validate().unwrap();
+            cf2df_cfg::LoopForest::compute(&parsed.cfg).unwrap();
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let c = GenConfig::default();
+        assert_eq!(random_program(42, &c), random_program(42, &c));
+        assert_ne!(random_program(42, &c), random_program(43, &c));
+    }
+
+    #[test]
+    fn random_programs_terminate_sequentially() {
+        let c = GenConfig::default();
+        for seed in 0..40 {
+            let src = random_program(seed, &c);
+            let parsed = parse_to_cfg(&src).unwrap();
+            let layout = cf2df_cfg::MemLayout::distinct(&parsed.cfg.vars);
+            let cfgm = cf2df_machine::MachineConfig::default();
+            cf2df_machine::vonneumann::interpret(&parsed.cfg, &layout, &cfgm)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Graphviz DOT export of CFGs, for inspecting the figures the paper draws.
+
+use crate::graph::{Cfg, NodeId};
+use crate::stmt::Stmt;
+use std::fmt::Write as _;
+
+/// Render a CFG in DOT format. Fork out-edges are labelled `T`/`F`
+/// (the paper's out-directions); the conventional `start → end` edge is
+/// drawn dashed.
+pub fn cfg_to_dot(cfg: &Cfg, title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{title}\" {{");
+    let _ = writeln!(s, "  node [shape=box, fontname=\"monospace\"];");
+    for n in cfg.node_ids() {
+        let label = format!("{}", cfg.stmt(n).display(&cfg.vars))
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"");
+        let shape = match cfg.stmt(n) {
+            Stmt::Branch { .. } | Stmt::Start => ", shape=diamond",
+            Stmt::Join => ", shape=ellipse",
+            Stmt::LoopEntry { .. } | Stmt::LoopExit { .. } => ", shape=hexagon",
+            _ => "",
+        };
+        let _ = writeln!(s, "  n{} [label=\"{}\"{}];", n.0, label, shape);
+    }
+    for (from, idx, to) in cfg.edges() {
+        let mut attrs = Vec::new();
+        if cfg.stmt(from).is_fork() {
+            let label = match cfg.stmt(from) {
+                Stmt::Case { .. } => {
+                    if idx + 1 == cfg.succs(from).len() {
+                        "else".to_owned()
+                    } else {
+                        idx.to_string()
+                    }
+                }
+                _ => (if idx == 0 { "T" } else { "F" }).to_owned(),
+            };
+            attrs.push(format!("label=\"{label}\""));
+        }
+        if from == cfg.start() && to == cfg.end() && idx == 1 {
+            attrs.push("style=dashed".to_owned());
+        }
+        let attr_s = if attrs.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", attrs.join(", "))
+        };
+        let _ = writeln!(s, "  n{} -> n{}{};", from.0, to.0, attr_s);
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Render only the subgraph induced by `nodes` (plus edges among them).
+pub fn cfg_subgraph_to_dot(cfg: &Cfg, nodes: &[NodeId], title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{title}\" {{");
+    for &n in nodes {
+        let label = format!("{}", cfg.stmt(n).display(&cfg.vars)).replace('"', "\\\"");
+        let _ = writeln!(s, "  n{} [label=\"{}\"];", n.0, label);
+    }
+    for (from, _, to) in cfg.edges() {
+        if nodes.contains(&from) && nodes.contains(&to) {
+            let _ = writeln!(s, "  n{} -> n{};", from.0, to.0);
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+    use crate::stmt::LValue;
+    use crate::var::VarTable;
+
+    fn small() -> Cfg {
+        let mut vars = VarTable::new();
+        let x = vars.scalar("x");
+        let mut cfg = Cfg::new(vars);
+        let br = cfg.add_node(Stmt::Branch {
+            pred: Expr::bin(BinOp::Lt, Expr::Var(x), Expr::Const(5)),
+        });
+        let a = cfg.add_node(Stmt::Assign {
+            lhs: LValue::Var(x),
+            rhs: Expr::Const(1),
+        });
+        let j = cfg.add_node(Stmt::Join);
+        cfg.set_entry(br);
+        cfg.add_edge(br, a);
+        cfg.add_edge(br, j);
+        cfg.add_edge(a, j);
+        cfg.add_edge(j, cfg.end());
+        cfg
+    }
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let cfg = small();
+        let dot = cfg_to_dot(&cfg, "test");
+        for n in cfg.node_ids() {
+            assert!(dot.contains(&format!("n{} [", n.0)));
+        }
+        assert_eq!(
+            dot.matches(" -> ").count(),
+            cfg.edge_count(),
+            "every edge rendered exactly once"
+        );
+        assert!(dot.contains("style=dashed"), "conventional edge dashed");
+        assert!(dot.contains("label=\"T\""));
+        assert!(dot.contains("label=\"F\""));
+    }
+
+    #[test]
+    fn subgraph_restricts_nodes() {
+        let cfg = small();
+        let br = cfg.entry();
+        let nodes = vec![br, cfg.succs(br)[0]];
+        let dot = cfg_subgraph_to_dot(&cfg, &nodes, "sub");
+        assert!(dot.contains(&format!("n{} [", br.0)));
+        assert!(!dot.contains(&format!("n{} [", cfg.end().0)));
+    }
+}

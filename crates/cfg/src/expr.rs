@@ -1,0 +1,344 @@
+//! Expressions appearing on the right-hand side of assignments and as fork
+//! predicates.
+//!
+//! Expressions are pure: they read variables (scalars or array elements) but
+//! never write memory, so an expression subgraph in the dataflow translation
+//! only *loads*.
+
+use crate::var::{VarId, VarTable};
+use std::fmt;
+
+/// Binary operators. Comparison and logical operators produce `0`/`1`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division; division by zero evaluates to 0 (the language is total so
+    /// that random programs cannot trap).
+    Div,
+    /// Remainder; remainder by zero evaluates to 0.
+    Rem,
+    /// Equality (0/1).
+    Eq,
+    /// Inequality (0/1).
+    Ne,
+    /// Less-than (0/1).
+    Lt,
+    /// Less-or-equal (0/1).
+    Le,
+    /// Greater-than (0/1).
+    Gt,
+    /// Greater-or-equal (0/1).
+    Ge,
+    /// Logical and on 0/1 values (non-short-circuiting).
+    And,
+    /// Logical or on 0/1 values (non-short-circuiting).
+    Or,
+    /// Minimum of the two operands.
+    Min,
+    /// Maximum of the two operands.
+    Max,
+}
+
+impl BinOp {
+    /// Evaluate the operator on concrete values.
+    pub fn eval(self, l: i64, r: i64) -> i64 {
+        match self {
+            BinOp::Add => l.wrapping_add(r),
+            BinOp::Sub => l.wrapping_sub(r),
+            BinOp::Mul => l.wrapping_mul(r),
+            BinOp::Div => {
+                if r == 0 {
+                    0
+                } else {
+                    l.wrapping_div(r)
+                }
+            }
+            BinOp::Rem => {
+                if r == 0 {
+                    0
+                } else {
+                    l.wrapping_rem(r)
+                }
+            }
+            BinOp::Eq => (l == r) as i64,
+            BinOp::Ne => (l != r) as i64,
+            BinOp::Lt => (l < r) as i64,
+            BinOp::Le => (l <= r) as i64,
+            BinOp::Gt => (l > r) as i64,
+            BinOp::Ge => (l >= r) as i64,
+            BinOp::And => ((l != 0) && (r != 0)) as i64,
+            BinOp::Or => ((l != 0) || (r != 0)) as i64,
+            BinOp::Min => l.min(r),
+            BinOp::Max => l.max(r),
+        }
+    }
+
+    /// Source-syntax spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not on 0/1 values.
+    Not,
+}
+
+impl UnOp {
+    /// Evaluate the operator on a concrete value.
+    pub fn eval(self, v: i64) -> i64 {
+        match self {
+            UnOp::Neg => v.wrapping_neg(),
+            UnOp::Not => (v == 0) as i64,
+        }
+    }
+
+    /// Source-syntax spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+        }
+    }
+}
+
+/// A pure expression tree.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub enum Expr {
+    /// An integer literal.
+    Const(i64),
+    /// A scalar variable read.
+    Var(VarId),
+    /// An array element read `a[idx]`.
+    Index(VarId, Box<Expr>),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary(op, Box::new(l), Box::new(r))
+    }
+
+    /// Convenience constructor for unary nodes.
+    pub fn un(op: UnOp, e: Expr) -> Expr {
+        Expr::Unary(op, Box::new(e))
+    }
+
+    /// Convenience constructor for array reads.
+    pub fn index(v: VarId, idx: Expr) -> Expr {
+        Expr::Index(v, Box::new(idx))
+    }
+
+    /// Collect every variable referenced by the expression into `out`
+    /// (deduplicated, in first-reference order).
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Expr::Index(v, idx) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+                idx.collect_vars(out);
+            }
+            Expr::Unary(_, e) => e.collect_vars(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+        }
+    }
+
+    /// The set of variables referenced, as a fresh vector.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// True if the expression references `v`.
+    pub fn references(&self, v: VarId) -> bool {
+        match self {
+            Expr::Const(_) => false,
+            Expr::Var(w) => *w == v,
+            Expr::Index(w, idx) => *w == v || idx.references(v),
+            Expr::Unary(_, e) => e.references(v),
+            Expr::Binary(_, l, r) => l.references(v) || r.references(v),
+        }
+    }
+
+    /// Number of operator nodes (unary + binary) in the tree; a proxy for
+    /// expression-level parallelism available within a statement.
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 0,
+            Expr::Index(_, idx) => idx.op_count(),
+            Expr::Unary(_, e) => 1 + e.op_count(),
+            Expr::Binary(_, l, r) => 1 + l.op_count() + r.op_count(),
+        }
+    }
+
+    /// Render with variable names from `vars`.
+    pub fn display<'a>(&'a self, vars: &'a VarTable) -> ExprDisplay<'a> {
+        ExprDisplay { expr: self, vars }
+    }
+}
+
+/// Pretty-printer adapter tying an expression to a [`VarTable`].
+pub struct ExprDisplay<'a> {
+    expr: &'a Expr,
+    vars: &'a VarTable,
+}
+
+impl fmt::Display for ExprDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(e: &Expr, vars: &VarTable, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match e {
+                Expr::Const(c) => write!(f, "{c}"),
+                Expr::Var(v) => write!(f, "{}", vars.name(*v)),
+                Expr::Index(v, idx) => {
+                    write!(f, "{}[", vars.name(*v))?;
+                    go(idx, vars, f)?;
+                    write!(f, "]")
+                }
+                Expr::Unary(op, e) => {
+                    write!(f, "{}(", op.symbol())?;
+                    go(e, vars, f)?;
+                    write!(f, ")")
+                }
+                Expr::Binary(op, l, r) => {
+                    write!(f, "(")?;
+                    go(l, vars, f)?;
+                    write!(f, " {} ", op.symbol())?;
+                    go(r, vars, f)?;
+                    write!(f, ")")
+                }
+            }
+        }
+        go(self.expr, self.vars, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_arithmetic() {
+        assert_eq!(BinOp::Add.eval(2, 3), 5);
+        assert_eq!(BinOp::Sub.eval(2, 3), -1);
+        assert_eq!(BinOp::Mul.eval(4, 3), 12);
+        assert_eq!(BinOp::Div.eval(7, 2), 3);
+        assert_eq!(BinOp::Rem.eval(7, 2), 1);
+        assert_eq!(BinOp::Min.eval(7, 2), 2);
+        assert_eq!(BinOp::Max.eval(7, 2), 7);
+    }
+
+    #[test]
+    fn binop_eval_division_by_zero_is_total() {
+        assert_eq!(BinOp::Div.eval(7, 0), 0);
+        assert_eq!(BinOp::Rem.eval(7, 0), 0);
+        // i64::MIN / -1 must not overflow-panic.
+        assert_eq!(BinOp::Div.eval(i64::MIN, -1), i64::MIN);
+        assert_eq!(BinOp::Rem.eval(i64::MIN, -1), 0);
+    }
+
+    #[test]
+    fn binop_eval_comparisons_and_logic() {
+        assert_eq!(BinOp::Lt.eval(1, 2), 1);
+        assert_eq!(BinOp::Ge.eval(1, 2), 0);
+        assert_eq!(BinOp::Eq.eval(5, 5), 1);
+        assert_eq!(BinOp::Ne.eval(5, 5), 0);
+        assert_eq!(BinOp::And.eval(2, 0), 0);
+        assert_eq!(BinOp::And.eval(2, 7), 1);
+        assert_eq!(BinOp::Or.eval(0, 0), 0);
+        assert_eq!(BinOp::Or.eval(0, -1), 1);
+    }
+
+    #[test]
+    fn unop_eval() {
+        assert_eq!(UnOp::Neg.eval(5), -5);
+        assert_eq!(UnOp::Neg.eval(i64::MIN), i64::MIN); // wrapping
+        assert_eq!(UnOp::Not.eval(0), 1);
+        assert_eq!(UnOp::Not.eval(3), 0);
+    }
+
+    #[test]
+    fn collect_vars_dedups_in_order() {
+        let mut t = VarTable::new();
+        let x = t.scalar("x");
+        let y = t.scalar("y");
+        // x + (y * x)
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Var(x),
+            Expr::bin(BinOp::Mul, Expr::Var(y), Expr::Var(x)),
+        );
+        assert_eq!(e.vars(), vec![x, y]);
+        assert!(e.references(x));
+        assert!(e.references(y));
+    }
+
+    #[test]
+    fn index_collects_base_and_subscript_vars() {
+        let mut t = VarTable::new();
+        let a = t.array("a", 8);
+        let i = t.scalar("i");
+        let e = Expr::index(a, Expr::Var(i));
+        assert_eq!(e.vars(), vec![a, i]);
+        assert!(e.references(a));
+        assert!(e.references(i));
+        assert_eq!(e.op_count(), 0);
+    }
+
+    #[test]
+    fn op_count_counts_operators() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::un(UnOp::Neg, Expr::Const(1)),
+            Expr::Const(2),
+        );
+        assert_eq!(e.op_count(), 2);
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let mut t = VarTable::new();
+        let x = t.scalar("x");
+        let e = Expr::bin(BinOp::Lt, Expr::Var(x), Expr::Const(5));
+        assert_eq!(format!("{}", e.display(&t)), "(x < 5)");
+    }
+}

@@ -1,0 +1,161 @@
+//! Memory layouts: binding variable names to machine locations.
+//!
+//! The translation schemas are *binding-agnostic* — dataflow memory
+//! operations name variables, and the machine resolves names to locations
+//! through a [`MemLayout`]. This separation lets Schema 3 be tested against
+//! every consistent concretization of an alias structure: the same dataflow
+//! graph must compute the right answer whatever the actual sharing is.
+
+use crate::var::{VarId, VarTable};
+
+/// An assignment of memory locations to variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemLayout {
+    base: Vec<u32>,
+    len: Vec<u32>,
+    total: u32,
+}
+
+impl MemLayout {
+    /// The default layout: every variable gets its own storage.
+    pub fn distinct(vars: &VarTable) -> MemLayout {
+        let mut base = Vec::with_capacity(vars.len());
+        let mut len = Vec::with_capacity(vars.len());
+        let mut total = 0u32;
+        for v in vars.ids() {
+            base.push(total);
+            let cells = vars.kind(v).cells();
+            len.push(cells);
+            total += cells;
+        }
+        MemLayout { base, len, total }
+    }
+
+    /// A layout realizing a concrete aliasing: variables in the same block
+    /// of `binding` share storage. Blocks must contain variables of equal
+    /// cell counts (a scalar cannot share storage with a 10-element array).
+    /// Variables absent from every block get their own storage.
+    pub fn with_binding(vars: &VarTable, binding: &[Vec<VarId>]) -> MemLayout {
+        let mut base = vec![u32::MAX; vars.len()];
+        let mut len = vec![0u32; vars.len()];
+        let mut total = 0u32;
+        for block in binding {
+            assert!(!block.is_empty(), "empty binding block");
+            let cells = vars.kind(block[0]).cells();
+            for &v in block {
+                assert_eq!(
+                    vars.kind(v).cells(),
+                    cells,
+                    "binding block mixes variables of different sizes"
+                );
+                assert_eq!(base[v.index()], u32::MAX, "variable bound twice");
+                base[v.index()] = total;
+                len[v.index()] = cells;
+            }
+            total += cells;
+        }
+        for v in vars.ids() {
+            if base[v.index()] == u32::MAX {
+                base[v.index()] = total;
+                let cells = vars.kind(v).cells();
+                len[v.index()] = cells;
+                total += cells;
+            }
+        }
+        MemLayout { base, len, total }
+    }
+
+    /// The base location of a variable.
+    #[inline]
+    pub fn base(&self, v: VarId) -> u32 {
+        self.base[v.index()]
+    }
+
+    /// The number of cells a variable occupies.
+    #[inline]
+    pub fn cells(&self, v: VarId) -> u32 {
+        self.len[v.index()]
+    }
+
+    /// The location of element `idx` of variable `v`, if in bounds.
+    pub fn element(&self, v: VarId, idx: i64) -> Option<u32> {
+        if idx < 0 || idx as u64 >= self.len[v.index()] as u64 {
+            None
+        } else {
+            Some(self.base[v.index()] + idx as u32)
+        }
+    }
+
+    /// Total number of memory cells.
+    #[inline]
+    pub fn total_cells(&self) -> u32 {
+        self.total
+    }
+
+    /// Do two variables overlap in this layout?
+    pub fn overlaps(&self, a: VarId, b: VarId) -> bool {
+        let (ab, al) = (self.base[a.index()], self.len[a.index()]);
+        let (bb, bl) = (self.base[b.index()], self.len[b.index()]);
+        ab < bb + bl && bb < ab + al
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (VarTable, VarId, VarId, VarId) {
+        let mut t = VarTable::new();
+        let x = t.scalar("x");
+        let y = t.scalar("y");
+        let a = t.array("a", 4);
+        (t, x, y, a)
+    }
+
+    #[test]
+    fn distinct_layout_is_disjoint() {
+        let (t, x, y, a) = table();
+        let m = MemLayout::distinct(&t);
+        assert_eq!(m.total_cells(), 6);
+        assert!(!m.overlaps(x, y));
+        assert!(!m.overlaps(x, a));
+        assert_eq!(m.cells(a), 4);
+        assert_eq!(m.element(a, 0), Some(m.base(a)));
+        assert_eq!(m.element(a, 3), Some(m.base(a) + 3));
+        assert_eq!(m.element(a, 4), None);
+        assert_eq!(m.element(a, -1), None);
+        assert_eq!(m.element(x, 0), Some(m.base(x)));
+    }
+
+    #[test]
+    fn binding_shares_storage() {
+        let (t, x, y, a) = table();
+        let m = MemLayout::with_binding(&t, &[vec![x, y]]);
+        assert_eq!(m.base(x), m.base(y));
+        assert!(m.overlaps(x, y));
+        assert!(!m.overlaps(x, a));
+        assert_eq!(m.total_cells(), 5); // shared scalar + unbound array
+    }
+
+    #[test]
+    #[should_panic(expected = "different sizes")]
+    fn mixed_size_block_panics() {
+        let (t, x, _, a) = table();
+        MemLayout::with_binding(&t, &[vec![x, a]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_binding_panics() {
+        let (t, x, y, _) = table();
+        MemLayout::with_binding(&t, &[vec![x, y], vec![x]]);
+    }
+
+    #[test]
+    fn binding_with_all_singletons_equals_distinct_totals() {
+        let (t, x, y, a) = table();
+        let m = MemLayout::with_binding(&t, &[vec![x], vec![y], vec![a]]);
+        let d = MemLayout::distinct(&t);
+        assert_eq!(m.total_cells(), d.total_cells());
+    }
+}

@@ -1,0 +1,401 @@
+//! Dominator and postdominator trees.
+//!
+//! The paper's switch-placement machinery (§4.1) is built on the
+//! postdominator tree: "Every node has a unique immediate postdominator
+//! which is its closest strict postdominator on any path to `end`. The
+//! immediate postdominator relation is tree structured."
+//!
+//! We compute dominance with the Cooper–Harvey–Kennedy iterative algorithm
+//! (near-linear in practice), running it on the reverse graph for
+//! postdominators. A quadratic reference implementation is provided for
+//! differential testing.
+
+use crate::graph::{Cfg, NodeId};
+
+/// A dominator tree over the nodes of a [`Cfg`] — either the (forward)
+/// dominator tree rooted at `start`, or the postdominator tree rooted at
+/// `end`.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    root: NodeId,
+    /// Immediate dominator of each node; `None` for the root (and for nodes
+    /// not reachable in the traversal direction, which a valid CFG has none
+    /// of).
+    idom: Vec<Option<NodeId>>,
+    /// Depth of each node in the tree (root = 0).
+    depth: Vec<u32>,
+    /// Children lists, for top-down walks.
+    children: Vec<Vec<NodeId>>,
+}
+
+impl DomTree {
+    /// Compute the *postdominator* tree of `cfg`, rooted at `end`.
+    ///
+    /// Requires every node to reach `end` (guaranteed by
+    /// [`Cfg::validate`]).
+    pub fn postdominators(cfg: &Cfg) -> DomTree {
+        let n = cfg.len();
+        // Reverse graph: preds of the reverse graph are the succs of the CFG.
+        let mut succs = vec![Vec::new(); n]; // reverse-graph successors
+        let mut preds = vec![Vec::new(); n]; // reverse-graph predecessors
+        for (from, _, to) in cfg.edges() {
+            succs[to.index()].push(from.index());
+            preds[from.index()].push(to.index());
+        }
+        Self::compute(n, cfg.end().index(), &succs, &preds)
+    }
+
+    /// Compute the (forward) dominator tree of `cfg`, rooted at `start`.
+    pub fn dominators(cfg: &Cfg) -> DomTree {
+        let n = cfg.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (from, _, to) in cfg.edges() {
+            succs[from.index()].push(to.index());
+            preds[to.index()].push(from.index());
+        }
+        Self::compute(n, cfg.start().index(), &succs, &preds)
+    }
+
+    /// Cooper–Harvey–Kennedy on an explicit adjacency representation.
+    fn compute(n: usize, root: usize, succs: &[Vec<usize>], preds: &[Vec<usize>]) -> DomTree {
+        // Reverse postorder from root.
+        let mut postorder = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        state[root] = 1;
+        while let Some(&mut (node, ref mut i)) = stack.last_mut() {
+            if *i < succs[node].len() {
+                let next = succs[node][*i];
+                *i += 1;
+                if state[next] == 0 {
+                    state[next] = 1;
+                    stack.push((next, 0));
+                }
+            } else {
+                state[node] = 2;
+                postorder.push(node);
+                stack.pop();
+            }
+        }
+        let mut po_num = vec![usize::MAX; n];
+        for (i, &node) in postorder.iter().enumerate() {
+            po_num[node] = i;
+        }
+        let rpo: Vec<usize> = postorder.iter().rev().copied().collect();
+
+        // idoms stored as postorder numbers during iteration.
+        let undef = usize::MAX;
+        let mut idom = vec![undef; n];
+        idom[root] = root;
+
+        let intersect = |idom: &[usize], po_num: &[usize], mut a: usize, mut b: usize| {
+            while a != b {
+                while po_num[a] < po_num[b] {
+                    a = idom[a];
+                }
+                while po_num[b] < po_num[a] {
+                    b = idom[b];
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                if b == root {
+                    continue;
+                }
+                // First processed predecessor.
+                let mut new_idom = undef;
+                for &p in &preds[b] {
+                    if po_num[p] == usize::MAX {
+                        continue; // unreachable in this direction
+                    }
+                    if idom[p] != undef {
+                        new_idom = if new_idom == undef {
+                            p
+                        } else {
+                            intersect(&idom, &po_num, p, new_idom)
+                        };
+                    }
+                }
+                if new_idom != undef && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        let mut idom_out = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        for v in 0..n {
+            if v != root && idom[v] != undef {
+                idom_out[v] = Some(NodeId(idom[v] as u32));
+                children[idom[v]].push(NodeId(v as u32));
+            }
+        }
+        // Depths via BFS down the tree.
+        let mut depth = vec![0u32; n];
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(v) = queue.pop_front() {
+            for &c in &children[v] {
+                depth[c.index()] = depth[v] + 1;
+                queue.push_back(c.index());
+            }
+        }
+
+        DomTree {
+            root: NodeId(root as u32),
+            idom: idom_out,
+            depth,
+            children,
+        }
+    }
+
+    /// The tree root (`end` for postdominators, `start` for dominators).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The immediate (post)dominator of `n`; `None` for the root.
+    #[inline]
+    pub fn idom(&self, n: NodeId) -> Option<NodeId> {
+        self.idom[n.index()]
+    }
+
+    /// Children of `n` in the tree.
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.children[n.index()]
+    }
+
+    /// Depth of `n` (root = 0).
+    pub fn depth(&self, n: NodeId) -> u32 {
+        self.depth[n.index()]
+    }
+
+    /// Reflexive dominance: does `a` (post)dominate `b`?
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Strict dominance: `a` (post)dominates `b` and `a != b`.
+    pub fn strictly_dominates(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Nodes in a bottom-up order (every node before its idom). This is the
+    /// "bottom-up walk of the postdominator tree" used to compute control
+    /// dependences.
+    pub fn bottom_up(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.idom.len());
+        let mut stack = vec![self.root];
+        // Top-down DFS collects parents before children; reverse it.
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for &c in self.children(v) {
+                stack.push(c);
+            }
+        }
+        order.reverse();
+        order
+    }
+}
+
+/// Quadratic reference: the set-based iterative dominance computation, for
+/// differential testing. Returns, for each node, the full set of its
+/// post-dominators as a bitvector (`result[n][m] == true` iff `m`
+/// postdominates `n`).
+pub fn naive_postdominator_sets(cfg: &Cfg) -> Vec<Vec<bool>> {
+    let n = cfg.len();
+    let end = cfg.end().index();
+    let mut dom: Vec<Vec<bool>> = vec![vec![true; n]; n];
+    dom[end] = vec![false; n];
+    dom[end][end] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in cfg.node_ids() {
+            let vi = v.index();
+            if vi == end {
+                continue;
+            }
+            // postdom(v) = {v} ∪ ∩_{s ∈ succ(v)} postdom(s)
+            let mut new = vec![!cfg.succs(v).is_empty(); n];
+            for &s in cfg.succs(v) {
+                for m in 0..n {
+                    new[m] = new[m] && dom[s.index()][m];
+                }
+            }
+            new[vi] = true;
+            if new != dom[vi] {
+                dom[vi] = new;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+    use crate::stmt::{LValue, Stmt};
+    use crate::var::VarTable;
+
+    fn running_example() -> Cfg {
+        let mut vars = VarTable::new();
+        let x = vars.scalar("x");
+        let y = vars.scalar("y");
+        let mut cfg = Cfg::new(vars);
+        let join = cfg.add_node(Stmt::Join);
+        let s1 = cfg.add_node(Stmt::Assign {
+            lhs: LValue::Var(y),
+            rhs: Expr::bin(BinOp::Add, Expr::Var(x), Expr::Const(1)),
+        });
+        let s2 = cfg.add_node(Stmt::Assign {
+            lhs: LValue::Var(x),
+            rhs: Expr::bin(BinOp::Add, Expr::Var(x), Expr::Const(1)),
+        });
+        let br = cfg.add_node(Stmt::Branch {
+            pred: Expr::bin(BinOp::Lt, Expr::Var(x), Expr::Const(5)),
+        });
+        cfg.set_entry(join);
+        cfg.add_edge(join, s1);
+        cfg.add_edge(s1, s2);
+        cfg.add_edge(s2, br);
+        cfg.add_edge(br, join);
+        cfg.add_edge(br, cfg.end());
+        cfg
+    }
+
+    /// A diamond: start → br → (a | b) → join → end.
+    fn diamond() -> (Cfg, NodeId, NodeId, NodeId, NodeId) {
+        let mut vars = VarTable::new();
+        let x = vars.scalar("x");
+        let mut cfg = Cfg::new(vars);
+        let br = cfg.add_node(Stmt::Branch {
+            pred: Expr::Var(x),
+        });
+        let a = cfg.add_node(Stmt::Assign {
+            lhs: LValue::Var(x),
+            rhs: Expr::Const(1),
+        });
+        let b = cfg.add_node(Stmt::Assign {
+            lhs: LValue::Var(x),
+            rhs: Expr::Const(2),
+        });
+        let join = cfg.add_node(Stmt::Join);
+        cfg.set_entry(br);
+        cfg.add_edge(br, a);
+        cfg.add_edge(br, b);
+        cfg.add_edge(a, join);
+        cfg.add_edge(b, join);
+        cfg.add_edge(join, cfg.end());
+        (cfg, br, a, b, join)
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let (cfg, br, a, b, join) = diamond();
+        cfg.validate().unwrap();
+        let pd = DomTree::postdominators(&cfg);
+        assert_eq!(pd.root(), cfg.end());
+        assert_eq!(pd.idom(br), Some(join));
+        assert_eq!(pd.idom(a), Some(join));
+        assert_eq!(pd.idom(b), Some(join));
+        assert_eq!(pd.idom(join), Some(cfg.end()));
+        assert_eq!(pd.idom(cfg.start()), Some(cfg.end()));
+        assert_eq!(pd.idom(cfg.end()), None);
+        assert!(pd.dominates(join, br));
+        assert!(!pd.dominates(a, br));
+        assert!(pd.dominates(br, br), "postdomination is reflexive");
+        assert!(pd.strictly_dominates(cfg.end(), br));
+        assert!(!pd.strictly_dominates(br, br));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let (cfg, br, a, b, join) = diamond();
+        let d = DomTree::dominators(&cfg);
+        assert_eq!(d.root(), cfg.start());
+        assert_eq!(d.idom(br), Some(cfg.start()));
+        assert_eq!(d.idom(a), Some(br));
+        assert_eq!(d.idom(b), Some(br));
+        assert_eq!(d.idom(join), Some(br));
+        // end's idom is start: the conventional start→end edge bypasses the
+        // whole program.
+        assert_eq!(d.idom(cfg.end()), Some(cfg.start()));
+    }
+
+    #[test]
+    fn running_example_postdominators() {
+        let cfg = running_example();
+        let pd = DomTree::postdominators(&cfg);
+        // Inside the loop body, each node's ipostdom is its successor; the
+        // branch's ipostdom is end (the loop may repeat).
+        let join = cfg.entry();
+        let s1 = cfg.succs(join)[0];
+        let s2 = cfg.succs(s1)[0];
+        let br = cfg.succs(s2)[0];
+        assert_eq!(pd.idom(join), Some(s1));
+        assert_eq!(pd.idom(s1), Some(s2));
+        assert_eq!(pd.idom(s2), Some(br));
+        assert_eq!(pd.idom(br), Some(cfg.end()));
+    }
+
+    #[test]
+    fn matches_naive_sets_on_examples() {
+        for cfg in [running_example(), diamond().0] {
+            let pd = DomTree::postdominators(&cfg);
+            let sets = naive_postdominator_sets(&cfg);
+            for a in cfg.node_ids() {
+                for b in cfg.node_ids() {
+                    assert_eq!(
+                        pd.dominates(a, b),
+                        sets[b.index()][a.index()],
+                        "postdom({a:?}, {b:?}) mismatch"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_up_order_puts_children_first() {
+        let cfg = running_example();
+        let pd = DomTree::postdominators(&cfg);
+        let order = pd.bottom_up();
+        assert_eq!(order.len(), cfg.len());
+        let pos = |n: NodeId| order.iter().position(|&m| m == n).unwrap();
+        for n in cfg.node_ids() {
+            if let Some(p) = pd.idom(n) {
+                assert!(pos(n) < pos(p), "{n:?} must precede its idom {p:?}");
+            }
+        }
+        assert_eq!(*order.last().unwrap(), cfg.end());
+    }
+
+    #[test]
+    fn depths_increase_from_root() {
+        let (cfg, br, a, _, join) = diamond();
+        let pd = DomTree::postdominators(&cfg);
+        assert_eq!(pd.depth(cfg.end()), 0);
+        assert_eq!(pd.depth(join), 1);
+        assert_eq!(pd.depth(a), 2);
+        assert_eq!(pd.depth(br), 2);
+    }
+}

@@ -1,0 +1,254 @@
+//! Statements labelling CFG nodes.
+//!
+//! §2.1 of the paper uses three statement types — assignments, forks, and
+//! labelled joins — plus the distinguished `start` and `end` nodes. §3 adds
+//! the *loop entry* and *loop exit* control statements inserted by interval
+//! decomposition.
+
+use crate::expr::Expr;
+use crate::intervals::LoopId;
+use crate::var::{VarId, VarTable};
+use std::fmt;
+
+/// The target of an assignment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(VarId),
+    /// An array element `a[idx]`; the index is a pure expression.
+    Index(VarId, Expr),
+}
+
+impl LValue {
+    /// The variable written (for an array element, the whole array — §6.3
+    /// treats an assignment to any array location as an assignment to the
+    /// entire array).
+    pub fn var(&self) -> VarId {
+        match self {
+            LValue::Var(v) | LValue::Index(v, _) => *v,
+        }
+    }
+
+    /// Variables referenced in *reading* position within the l-value (the
+    /// subscript expression of an array target).
+    pub fn read_vars(&self) -> Vec<VarId> {
+        match self {
+            LValue::Var(_) => Vec::new(),
+            LValue::Index(_, idx) => idx.vars(),
+        }
+    }
+}
+
+/// A CFG node's statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// The unique initial node. By the paper's convention `start` is a fork
+    /// (it has an edge to `end`), but it computes nothing.
+    Start,
+    /// The unique final node.
+    End,
+    /// A labelled join: the only legal target of gotos; computes nothing.
+    Join,
+    /// An assignment `lhs := rhs`.
+    Assign {
+        /// Target location.
+        lhs: LValue,
+        /// Pure right-hand side.
+        rhs: Expr,
+    },
+    /// A fork `if p then goto l_t else goto l_f`; out-edge 0 is the *true*
+    /// direction, out-edge 1 the *false* direction.
+    Branch {
+        /// The predicate; nonzero means true.
+        pred: Expr,
+    },
+    /// A multi-way fork (footnote 3's generalization): out-edge `i` is
+    /// taken when the selector equals `i` for `i < k-1`; the last out-edge
+    /// is the default for every other value.
+    Case {
+        /// The selector expression.
+        selector: Expr,
+    },
+    /// Loop-control statement inserted at the single entry of a cyclic
+    /// interval (§3). Takes the full set of circulating access tokens in and
+    /// out; in the dataflow machine it manages per-iteration tag contexts.
+    LoopEntry {
+        /// The interval this statement controls.
+        loop_id: LoopId,
+    },
+    /// Loop-control statement inserted on each edge exiting the cyclic part
+    /// of an interval (§3).
+    LoopExit {
+        /// The interval this statement controls.
+        loop_id: LoopId,
+    },
+}
+
+impl Stmt {
+    /// Variables *referenced* (read) by this statement. For an assignment
+    /// this includes the right-hand side and any subscript on the left; for
+    /// a fork, the predicate's variables.
+    pub fn read_vars(&self) -> Vec<VarId> {
+        match self {
+            Stmt::Assign { lhs, rhs } => {
+                let mut vs = rhs.vars();
+                for v in lhs.read_vars() {
+                    if !vs.contains(&v) {
+                        vs.push(v);
+                    }
+                }
+                vs
+            }
+            Stmt::Branch { pred } => pred.vars(),
+            Stmt::Case { selector } => selector.vars(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// The variable written by this statement, if any.
+    pub fn written_var(&self) -> Option<VarId> {
+        match self {
+            Stmt::Assign { lhs, .. } => Some(lhs.var()),
+            _ => None,
+        }
+    }
+
+    /// All variables referenced in the paper's sense — read *or* written.
+    /// Switch placement (Definition 3) is driven by this set.
+    pub fn referenced_vars(&self) -> Vec<VarId> {
+        let mut vs = self.read_vars();
+        if let Some(w) = self.written_var() {
+            if !vs.contains(&w) {
+                vs.push(w);
+            }
+        }
+        vs
+    }
+
+    /// True for fork nodes (including `start`, which is a fork by
+    /// convention, though it carries no predicate).
+    pub fn is_fork(&self) -> bool {
+        matches!(self, Stmt::Branch { .. } | Stmt::Case { .. } | Stmt::Start)
+    }
+
+    /// True for the loop-control statements of §3.
+    pub fn is_loop_control(&self) -> bool {
+        matches!(self, Stmt::LoopEntry { .. } | Stmt::LoopExit { .. })
+    }
+
+    /// Render with variable names from `vars`.
+    pub fn display<'a>(&'a self, vars: &'a VarTable) -> StmtDisplay<'a> {
+        StmtDisplay { stmt: self, vars }
+    }
+}
+
+/// Pretty-printer adapter tying a statement to a [`VarTable`].
+pub struct StmtDisplay<'a> {
+    stmt: &'a Stmt,
+    vars: &'a VarTable,
+}
+
+impl fmt::Display for StmtDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.stmt {
+            Stmt::Start => write!(f, "start"),
+            Stmt::End => write!(f, "end"),
+            Stmt::Join => write!(f, "join"),
+            Stmt::Assign { lhs, rhs } => {
+                match lhs {
+                    LValue::Var(v) => write!(f, "{}", self.vars.name(*v))?,
+                    LValue::Index(v, idx) => {
+                        write!(f, "{}[{}]", self.vars.name(*v), idx.display(self.vars))?
+                    }
+                }
+                write!(f, " := {}", rhs.display(self.vars))
+            }
+            Stmt::Branch { pred } => write!(f, "if {} then … else …", pred.display(self.vars)),
+            Stmt::Case { selector } => {
+                write!(f, "case {} of …", selector.display(self.vars))
+            }
+            Stmt::LoopEntry { loop_id } => write!(f, "loop-entry L{}", loop_id.0),
+            Stmt::LoopExit { loop_id } => write!(f, "loop-exit L{}", loop_id.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    fn setup() -> (VarTable, VarId, VarId, VarId) {
+        let mut t = VarTable::new();
+        let x = t.scalar("x");
+        let y = t.scalar("y");
+        let a = t.array("a", 4);
+        (t, x, y, a)
+    }
+
+    #[test]
+    fn assign_reads_and_writes() {
+        let (_, x, y, _) = setup();
+        // y := x + 1
+        let s = Stmt::Assign {
+            lhs: LValue::Var(y),
+            rhs: Expr::bin(BinOp::Add, Expr::Var(x), Expr::Const(1)),
+        };
+        assert_eq!(s.read_vars(), vec![x]);
+        assert_eq!(s.written_var(), Some(y));
+        assert_eq!(s.referenced_vars(), vec![x, y]);
+    }
+
+    #[test]
+    fn self_assign_referenced_once() {
+        let (_, x, _, _) = setup();
+        // x := x + 1
+        let s = Stmt::Assign {
+            lhs: LValue::Var(x),
+            rhs: Expr::bin(BinOp::Add, Expr::Var(x), Expr::Const(1)),
+        };
+        assert_eq!(s.referenced_vars(), vec![x]);
+    }
+
+    #[test]
+    fn array_store_reads_subscript_and_writes_array() {
+        let (_, x, _, a) = setup();
+        // a[x] := 1
+        let s = Stmt::Assign {
+            lhs: LValue::Index(a, Expr::Var(x)),
+            rhs: Expr::Const(1),
+        };
+        assert_eq!(s.read_vars(), vec![x]);
+        assert_eq!(s.written_var(), Some(a));
+        let refs = s.referenced_vars();
+        assert!(refs.contains(&a) && refs.contains(&x));
+    }
+
+    #[test]
+    fn branch_reads_predicate() {
+        let (_, x, _, _) = setup();
+        let s = Stmt::Branch {
+            pred: Expr::bin(BinOp::Lt, Expr::Var(x), Expr::Const(5)),
+        };
+        assert_eq!(s.read_vars(), vec![x]);
+        assert_eq!(s.written_var(), None);
+        assert!(s.is_fork());
+    }
+
+    #[test]
+    fn start_is_fork_by_convention() {
+        assert!(Stmt::Start.is_fork());
+        assert!(!Stmt::Join.is_fork());
+        assert!(Stmt::LoopEntry { loop_id: LoopId(0) }.is_loop_control());
+    }
+
+    #[test]
+    fn display_assign() {
+        let (t, x, y, _) = setup();
+        let s = Stmt::Assign {
+            lhs: LValue::Var(y),
+            rhs: Expr::bin(BinOp::Add, Expr::Var(x), Expr::Const(1)),
+        };
+        assert_eq!(format!("{}", s.display(&t)), "y := (x + 1)");
+    }
+}

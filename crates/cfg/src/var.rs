@@ -1,0 +1,185 @@
+//! Program variables.
+//!
+//! Variables are interned into a [`VarTable`]; the rest of the system refers
+//! to them by dense [`VarId`] indices, which also index access-token lines in
+//! the dataflow translation.
+
+use std::fmt;
+
+/// A dense index identifying a program variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The index as a `usize`, for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Whether a variable is a scalar or an array (§6.3 treats an assignment to
+/// any array location as an assignment to the whole array, so both kinds
+/// share a single access-token line).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VarKind {
+    /// A single memory cell.
+    Scalar,
+    /// A contiguous block of `len` cells.
+    Array {
+        /// Number of elements.
+        len: u32,
+    },
+}
+
+impl VarKind {
+    /// Number of memory cells occupied by a variable of this kind.
+    #[inline]
+    pub fn cells(self) -> u32 {
+        match self {
+            VarKind::Scalar => 1,
+            VarKind::Array { len } => len,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct VarInfo {
+    name: String,
+    kind: VarKind,
+}
+
+/// Interning table mapping variable names to [`VarId`]s.
+#[derive(Clone, Debug, Default)]
+pub struct VarTable {
+    vars: Vec<VarInfo>,
+}
+
+impl VarTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of variables interned so far.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True if no variables have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Intern a scalar variable, returning its id. Re-interning an existing
+    /// name returns the existing id (the kind must match).
+    pub fn scalar(&mut self, name: &str) -> VarId {
+        self.intern(name, VarKind::Scalar)
+    }
+
+    /// Intern an array variable of `len` elements.
+    pub fn array(&mut self, name: &str, len: u32) -> VarId {
+        self.intern(name, VarKind::Array { len })
+    }
+
+    /// Intern a variable with an explicit kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already interned with a different kind.
+    pub fn intern(&mut self, name: &str, kind: VarKind) -> VarId {
+        if let Some(id) = self.lookup(name) {
+            assert_eq!(
+                self.vars[id.index()].kind,
+                kind,
+                "variable {name:?} re-interned with a different kind"
+            );
+            return id;
+        }
+        let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
+        self.vars.push(VarInfo {
+            name: name.to_owned(),
+            kind,
+        });
+        id
+    }
+
+    /// Find an already-interned variable by name.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// The name of a variable.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.vars[id.index()].name
+    }
+
+    /// The kind of a variable.
+    pub fn kind(&self, id: VarId) -> VarKind {
+        self.vars[id.index()].kind
+    }
+
+    /// Iterate over all variable ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len() as u32).map(VarId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = VarTable::new();
+        let x = t.scalar("x");
+        let y = t.scalar("y");
+        assert_ne!(x, y);
+        assert_eq!(t.scalar("x"), x);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(x), "x");
+        assert_eq!(t.name(y), "y");
+    }
+
+    #[test]
+    fn lookup_missing_is_none() {
+        let t = VarTable::new();
+        assert!(t.lookup("nope").is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn array_kinds_and_cells() {
+        let mut t = VarTable::new();
+        let a = t.array("a", 10);
+        assert_eq!(t.kind(a), VarKind::Array { len: 10 });
+        assert_eq!(t.kind(a).cells(), 10);
+        assert_eq!(VarKind::Scalar.cells(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn conflicting_kind_panics() {
+        let mut t = VarTable::new();
+        t.scalar("x");
+        t.array("x", 4);
+    }
+
+    #[test]
+    fn ids_iterates_in_order() {
+        let mut t = VarTable::new();
+        let x = t.scalar("x");
+        let y = t.scalar("y");
+        let got: Vec<_> = t.ids().collect();
+        assert_eq!(got, vec![x, y]);
+    }
+}

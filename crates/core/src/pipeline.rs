@@ -1,0 +1,476 @@
+//! One-call translation pipeline: CFG → (node splitting) → loop control →
+//! schema translation → §6 transforms.
+
+use crate::lines::Lines;
+use crate::translator::{translate_full, Built};
+use cf2df_cfg::intervals::Irreducible;
+use cf2df_cfg::loop_control::{insert_loop_control, split_irreducible, LoopControlled};
+use cf2df_cfg::{AliasStructure, Cfg, CfgError, Cover, CoverStrategy, LoopForest};
+use cf2df_dfg::{Dfg, DfgStats};
+use std::fmt;
+
+/// Which translation schema to apply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Schema {
+    /// §2.3: a single access token (sequential semantics).
+    One,
+    /// §3: one access token per variable. Requires an alias-free program.
+    Two,
+    /// §5: one access token per cover element of the alias structure.
+    Three(CoverStrategy),
+}
+
+/// Translation options. Start from one of the constructors and adjust
+/// fields as needed.
+#[derive(Clone, Debug)]
+pub struct TranslateOptions {
+    /// The schema.
+    pub schema: Schema,
+    /// Apply the §4 optimized direct construction (no redundant switches).
+    pub optimized: bool,
+    /// Apply §6.1 memory elimination for unaliased scalars.
+    pub eliminate_memory: bool,
+    /// Apply the §6.2 read-parallelization rewrite.
+    pub parallelize_reads: bool,
+    /// Apply the §6.3 / Fig 14 array-store parallelization rewrite.
+    pub parallelize_array_stores: bool,
+    /// Apply §6.2 store-to-load forwarding.
+    pub forward_stores: bool,
+    /// Gather multi-token access sets with one flat n-ary synch instead of
+    /// a binary synch tree (ablation of the Fig 2 synch-tree realization:
+    /// trees pipeline in O(log n) depth, flat synchs are single operators).
+    pub flat_synch: bool,
+    /// Run the dataflow-IR cleanup passes (common-subexpression and dead
+    /// code elimination) after everything else — the "conventional
+    /// optimizations" the paper's abstract promises the IR supports.
+    pub cleanup: bool,
+    /// Arrays (by name) to place in write-once I-structure memory
+    /// (§6.3's enhancement). **Opt-in and unchecked**: the caller asserts
+    /// each listed array is written at most once per cell and that every
+    /// read cell is eventually written; violations fault or deadlock at
+    /// run time rather than corrupt results. Unknown names are ignored.
+    pub istructure_arrays: Vec<String>,
+    /// Insert loop control (§3). Disabling this on a cyclic program
+    /// reproduces the paper's broken Fig 8 graph, whose token collisions
+    /// the machine detects.
+    pub loop_control: bool,
+    /// Make irreducible CFGs reducible by node splitting first.
+    pub split_irreducible: bool,
+}
+
+impl TranslateOptions {
+    /// Schema 1: the sequential baseline.
+    pub fn schema1() -> Self {
+        TranslateOptions {
+            schema: Schema::One,
+            optimized: false,
+            eliminate_memory: false,
+            parallelize_reads: false,
+            parallelize_array_stores: false,
+            forward_stores: false,
+            flat_synch: false,
+            cleanup: false,
+            istructure_arrays: Vec::new(),
+            loop_control: true,
+            split_irreducible: true,
+        }
+    }
+
+    /// Schema 2: per-variable tokens.
+    pub fn schema2() -> Self {
+        TranslateOptions {
+            schema: Schema::Two,
+            ..Self::schema1()
+        }
+    }
+
+    /// Schema 3 with the given cover strategy.
+    pub fn schema3(cover: CoverStrategy) -> Self {
+        TranslateOptions {
+            schema: Schema::Three(cover),
+            ..Self::schema1()
+        }
+    }
+
+    /// The §4 optimized construction over per-variable tokens.
+    pub fn optimized() -> Self {
+        TranslateOptions {
+            optimized: true,
+            ..Self::schema2()
+        }
+    }
+
+    /// Everything on: optimized construction plus all §6 transforms.
+    pub fn full_parallel() -> Self {
+        TranslateOptions {
+            optimized: true,
+            eliminate_memory: true,
+            parallelize_reads: true,
+            parallelize_array_stores: true,
+            forward_stores: true,
+            cleanup: true,
+            ..Self::schema2()
+        }
+    }
+
+    /// Builder-style field toggles.
+    pub fn with_optimized(mut self, on: bool) -> Self {
+        self.optimized = on;
+        self
+    }
+
+    /// Toggle §6.1 memory elimination.
+    pub fn with_memory_elimination(mut self, on: bool) -> Self {
+        self.eliminate_memory = on;
+        self
+    }
+
+    /// Toggle the §6.2 read-parallelization rewrite.
+    pub fn with_read_parallelization(mut self, on: bool) -> Self {
+        self.parallelize_reads = on;
+        self
+    }
+
+    /// Toggle the §6.3 array-store rewrite.
+    pub fn with_array_parallelization(mut self, on: bool) -> Self {
+        self.parallelize_array_stores = on;
+        self
+    }
+
+    /// Toggle loop control (disable only to reproduce Fig 8's failure).
+    pub fn with_loop_control(mut self, on: bool) -> Self {
+        self.loop_control = on;
+        self
+    }
+
+    /// Toggle §6.2 store-to-load forwarding.
+    pub fn with_store_forwarding(mut self, on: bool) -> Self {
+        self.forward_stores = on;
+        self
+    }
+
+    /// Toggle flat n-ary token gathering (ablation).
+    pub fn with_flat_synch(mut self, on: bool) -> Self {
+        self.flat_synch = on;
+        self
+    }
+
+    /// Toggle the CSE/DCE cleanup passes.
+    pub fn with_cleanup(mut self, on: bool) -> Self {
+        self.cleanup = on;
+        self
+    }
+
+    /// Declare arrays as write-once I-structures (§6.3; see the field docs
+    /// for the caller's obligations).
+    pub fn with_istructure_arrays<S: Into<String>>(
+        mut self,
+        names: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.istructure_arrays = names.into_iter().map(Into::into).collect();
+        self
+    }
+}
+
+/// Why a translation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The CFG violates the §2.1 invariants.
+    Cfg(Vec<CfgError>),
+    /// The CFG is irreducible and node splitting was disabled (or blew up).
+    Irreducible(Irreducible),
+    /// Schema 2 was requested for a program with aliasing (§3 assumes none;
+    /// use Schema 3).
+    AliasingRequiresSchema3,
+    /// The optimized construction requires loop control.
+    OptimizedNeedsLoopControl,
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::Cfg(errs) => {
+                write!(f, "invalid CFG: ")?;
+                for e in errs {
+                    write!(f, "{e}; ")?;
+                }
+                Ok(())
+            }
+            TranslateError::Irreducible(e) => write!(f, "{e}"),
+            TranslateError::AliasingRequiresSchema3 => {
+                write!(f, "Schema 2 assumes no aliasing; use Schema 3 with a cover")
+            }
+            TranslateError::OptimizedNeedsLoopControl => {
+                write!(f, "the optimized construction requires loop control")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// A completed translation.
+#[derive(Clone, Debug)]
+pub struct Translated {
+    /// The dataflow graph.
+    pub dfg: Dfg,
+    /// The CFG actually translated (after node splitting and loop-control
+    /// insertion).
+    pub cfg: Cfg,
+    /// Loop-control metadata, when loop control was inserted.
+    pub loop_controlled: Option<LoopControlled>,
+    /// The token-line structure used.
+    pub lines: Lines,
+    /// Operator bookkeeping from the construction.
+    pub ops: crate::translator::LineOps,
+    /// Graph statistics.
+    pub stats: DfgStats,
+    /// Number of §6.2 load chains parallelized.
+    pub read_chains_parallelized: usize,
+    /// §6.3 sites rewritten.
+    pub array_sites_parallelized: usize,
+    /// §6.2 loads eliminated by store-to-load forwarding.
+    pub stores_forwarded: usize,
+    /// Element operations converted to I-structure operations (§6.3).
+    pub istructure_ops: usize,
+    /// Operators removed by the CSE/DCE cleanup passes.
+    pub ops_cleaned: usize,
+}
+
+/// Translate a control-flow graph into a dataflow graph.
+pub fn translate(
+    cfg: &Cfg,
+    alias: &AliasStructure,
+    opts: &TranslateOptions,
+) -> Result<Translated, TranslateError> {
+    cfg.validate().map_err(TranslateError::Cfg)?;
+    let cover_strategy = match &opts.schema {
+        Schema::One => CoverStrategy::SingleToken,
+        Schema::Two => {
+            if !alias.is_identity() {
+                return Err(TranslateError::AliasingRequiresSchema3);
+            }
+            CoverStrategy::Singletons
+        }
+        Schema::Three(c) => c.clone(),
+    };
+    if opts.optimized && !opts.loop_control {
+        return Err(TranslateError::OptimizedNeedsLoopControl);
+    }
+
+    // Reducibility (with optional node splitting).
+    let working: Cfg = if LoopForest::compute(cfg).is_ok() {
+        cfg.clone()
+    } else if opts.split_irreducible {
+        split_irreducible(cfg).map_err(TranslateError::Irreducible)?
+    } else {
+        return Err(TranslateError::Irreducible(
+            LoopForest::compute(cfg).unwrap_err(),
+        ));
+    };
+
+    let cover = Cover::build(&cover_strategy, alias);
+    let lines = Lines::new(&working.vars, alias, &cover, opts.eliminate_memory)
+        .with_flat_synch(opts.flat_synch);
+
+    let (built, final_cfg, lc): (Built, Cfg, Option<LoopControlled>) = if opts.loop_control {
+        let lc = insert_loop_control(&working).map_err(TranslateError::Irreducible)?;
+        let built = if opts.optimized {
+            crate::optimized::construct(&lc, &lines)
+        } else {
+            translate_full(&lc.cfg, &lines)
+        };
+        (built, lc.cfg.clone(), Some(lc))
+    } else {
+        (translate_full(&working, &lines), working, None)
+    };
+
+    let mut built = built;
+    let mut array_sites = 0;
+    if opts.parallelize_array_stores {
+        if let Some(lc) = &lc {
+            array_sites = crate::transform::parallelize_array_stores(&mut built, lc, &lines).len();
+        }
+    }
+    let mut read_chains = 0;
+    if opts.parallelize_reads {
+        read_chains = crate::transform::parallelize_reads(&mut built.dfg);
+    }
+    let mut stores_forwarded = 0;
+    if opts.forward_stores {
+        let (n, map) = crate::transform::forward_stores(&mut built.dfg);
+        stores_forwarded = n;
+        built.ops.remap(&map);
+    }
+    let mut ops_cleaned = 0;
+    if opts.cleanup {
+        let (c, map) = crate::transform::eliminate_common_subexpressions(&mut built.dfg);
+        built.ops.remap(&map);
+        let (d, map) = crate::transform::eliminate_dead_code(&mut built.dfg);
+        built.ops.remap(&map);
+        ops_cleaned = c + d;
+    }
+    let mut istructure_ops = 0;
+    if !opts.istructure_arrays.is_empty() {
+        let ids: Vec<cf2df_cfg::VarId> = opts
+            .istructure_arrays
+            .iter()
+            .filter_map(|name| final_cfg.vars.lookup(name))
+            .collect();
+        let (n, map) = crate::transform::convert_arrays(&mut built.dfg, &ids);
+        istructure_ops = n;
+        built.ops.remap(&map);
+    }
+
+    let stats = DfgStats::of(&built.dfg);
+    debug_assert!(
+        cf2df_dfg::validate(&built.dfg).is_ok(),
+        "translator produced an invalid graph:\n{}",
+        built.dfg.pretty()
+    );
+    Ok(Translated {
+        dfg: built.dfg,
+        cfg: final_cfg,
+        loop_controlled: lc,
+        lines,
+        ops: built.ops,
+        stats,
+        read_chains_parallelized: read_chains,
+        array_sites_parallelized: array_sites,
+        stores_forwarded,
+        istructure_ops,
+        ops_cleaned,
+    })
+}
+
+impl TranslateOptions {
+    /// `full_parallel` but over Schema 3 singleton covers (works with
+    /// aliasing).
+    pub fn full_parallel_schema3() -> Self {
+        TranslateOptions {
+            schema: Schema::Three(CoverStrategy::Singletons),
+            ..Self::full_parallel()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf2df_lang::parse_to_cfg;
+
+    #[test]
+    fn all_schemas_translate_corpus() {
+        for (name, src) in cf2df_lang::corpus::all() {
+            let parsed = parse_to_cfg(src).unwrap();
+            let schemas: Vec<TranslateOptions> = vec![
+                TranslateOptions::schema1(),
+                TranslateOptions::schema3(CoverStrategy::Singletons),
+                TranslateOptions::schema3(CoverStrategy::AliasClasses),
+                TranslateOptions::schema3(CoverStrategy::Singletons).with_optimized(true),
+                TranslateOptions::full_parallel_schema3(),
+            ];
+            for (i, o) in schemas.iter().enumerate() {
+                let t = translate(&parsed.cfg, &parsed.alias, o)
+                    .unwrap_or_else(|e| panic!("{name} opts#{i}: {e}"));
+                cf2df_dfg::validate(&t.dfg).unwrap_or_else(|e| panic!("{name} opts#{i}: {e:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn schema2_rejects_aliasing() {
+        let parsed = parse_to_cfg(cf2df_lang::corpus::FORTRAN_ALIAS).unwrap();
+        let err = translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2()).unwrap_err();
+        assert_eq!(err, TranslateError::AliasingRequiresSchema3);
+        // Schema 3 handles it.
+        translate(
+            &parsed.cfg,
+            &parsed.alias,
+            &TranslateOptions::schema3(CoverStrategy::Singletons),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn optimized_requires_loop_control() {
+        let parsed = parse_to_cfg("x := 1;").unwrap();
+        let opts = TranslateOptions::optimized().with_loop_control(false);
+        assert_eq!(
+            translate(&parsed.cfg, &parsed.alias, &opts).unwrap_err(),
+            TranslateError::OptimizedNeedsLoopControl
+        );
+    }
+
+    #[test]
+    fn array_loop_gets_fig14_rewrite() {
+        let parsed = parse_to_cfg(cf2df_lang::corpus::ARRAY_LOOP).unwrap();
+        let t = translate(
+            &parsed.cfg,
+            &parsed.alias,
+            &TranslateOptions::schema2().with_array_parallelization(true),
+        )
+        .unwrap();
+        assert_eq!(t.array_sites_parallelized, 1);
+    }
+
+    #[test]
+    fn read_parallelization_reports_chains() {
+        // Consecutive statements reading x force a load chain on x's line.
+        let src = "x := 3; a := x + 1; b := x * 2; c := x - 1;";
+        let parsed = parse_to_cfg(src).unwrap();
+        let t = translate(
+            &parsed.cfg,
+            &parsed.alias,
+            &TranslateOptions::schema2().with_read_parallelization(true),
+        )
+        .unwrap();
+        assert!(t.read_chains_parallelized >= 1);
+    }
+
+    #[test]
+    fn invalid_cfg_is_rejected() {
+        // Hand-build a CFG with an unreachable node.
+        let mut vars = cf2df_cfg::VarTable::new();
+        let x = vars.scalar("x");
+        let mut cfg = cf2df_cfg::Cfg::new(vars);
+        let a = cfg.add_node(cf2df_cfg::Stmt::Assign {
+            lhs: cf2df_cfg::LValue::Var(x),
+            rhs: cf2df_cfg::Expr::Const(1),
+        });
+        cfg.set_entry(a);
+        cfg.add_edge(a, cfg.end());
+        let orphan = cfg.add_node(cf2df_cfg::Stmt::Join);
+        cfg.add_edge(orphan, cfg.end());
+        let alias = cf2df_cfg::AliasStructure::for_table(&cfg.vars);
+        let err = translate(&cfg, &alias, &TranslateOptions::schema2()).unwrap_err();
+        assert!(matches!(err, TranslateError::Cfg(_)));
+        assert!(err.to_string().contains("unreachable"));
+    }
+
+    #[test]
+    fn irreducible_without_splitting_is_rejected() {
+        let parsed = parse_to_cfg(
+            "x:=0; if x==0 then { goto a; } else { goto b; }
+             a: x:=x+1; if x>9 then { goto end; } else { skip; } goto b;
+             b: x:=x+2; if x>9 then { goto end; } else { skip; } goto a;",
+        )
+        .unwrap();
+        let mut opts = TranslateOptions::schema2();
+        opts.split_irreducible = false;
+        let err = translate(&parsed.cfg, &parsed.alias, &opts).unwrap_err();
+        assert!(matches!(err, TranslateError::Irreducible(_)));
+        // With splitting (the default) it works and is correct.
+        let t = translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2()).unwrap();
+        cf2df_dfg::validate(&t.dfg).unwrap();
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let parsed = parse_to_cfg(cf2df_lang::corpus::RUNNING_EXAMPLE).unwrap();
+        let t = translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2()).unwrap();
+        assert!(t.stats.ops > 0);
+        assert!(t.stats.switches >= 2);
+        assert!(t.loop_controlled.is_some());
+    }
+}

@@ -1,0 +1,349 @@
+//! Source vectors (§4.2, Fig 11).
+//!
+//! For each node `N` and token line `ℓ`, `SV_N(ℓ)` is the set of
+//! `⟨source node, out-direction⟩` pairs from which `ℓ`'s token can arrive
+//! at `N`. The computation is a single forward pass in topological order
+//! (ignoring backedges) with the paper's non-local step: at a fork that
+//! does **not** need a switch for `ℓ`, the sources propagate directly to
+//! the fork's immediate postdominator — the token bypasses the region.
+//!
+//! Two amendments make Fig 11 fully concrete:
+//!
+//! * a fork that *reads* `ℓ` in its predicate (but needs no switch)
+//!   threads `ℓ` through its read block and then bypasses: the source
+//!   becomes `⟨F, true⟩` at `ipostdom(F)`;
+//! * joins with a single incoming source pass it through unchanged ("a
+//!   join with a single source is equivalent to no operator"), and
+//!   loop-entry/exit operators exist only for circulating lines.
+
+use crate::lines::{LineId, Lines};
+use crate::switch_place::SwitchPlacement;
+use cf2df_cfg::loop_control::LoopControlled;
+use cf2df_cfg::reach::topo_order_ignoring_backedges;
+use cf2df_cfg::{DomTree, NodeId, OutDir, Stmt};
+use std::collections::HashMap;
+
+/// One source of a token: a node and the out-direction it leaves along.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct SvSrc {
+    /// The producing node.
+    pub node: NodeId,
+    /// Out-direction (always [`OutDir::TRUE`] for non-forks).
+    pub dir: OutDir,
+}
+
+/// The computed source vectors.
+#[derive(Clone, Debug, Default)]
+pub struct SourceVectors {
+    sv: HashMap<(NodeId, LineId), Vec<SvSrc>>,
+    /// Backedge sources arriving at loop-entry nodes (wired to the
+    /// loop-entry operator's port 1).
+    sv_back: HashMap<(NodeId, LineId), Vec<SvSrc>>,
+}
+
+impl SourceVectors {
+    /// The forward sources of line `l` at node `n`.
+    pub fn at(&self, n: NodeId, l: LineId) -> &[SvSrc] {
+        self.sv.get(&(n, l)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The backedge sources of line `l` at loop-entry node `n`.
+    pub fn back_at(&self, n: NodeId, l: LineId) -> &[SvSrc] {
+        self.sv_back.get(&(n, l)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn add(&mut self, n: NodeId, l: LineId, src: SvSrc) {
+        let v = self.sv.entry((n, l)).or_default();
+        if !v.contains(&src) {
+            v.push(src);
+        }
+    }
+
+    fn add_all(&mut self, n: NodeId, l: LineId, srcs: &[SvSrc]) {
+        for &s in srcs {
+            self.add(n, l, s);
+        }
+    }
+
+    fn add_back(&mut self, n: NodeId, l: LineId, src: SvSrc) {
+        let v = self.sv_back.entry((n, l)).or_default();
+        if !v.contains(&src) {
+            v.push(src);
+        }
+    }
+
+    /// Compute source vectors for a loop-controlled CFG under a switch
+    /// placement.
+    pub fn compute(lc: &LoopControlled, lines: &Lines, sp: &SwitchPlacement) -> SourceVectors {
+        let cfg = &lc.cfg;
+        let pd = DomTree::postdominators(cfg);
+        let forest_backedges = {
+            let forest = cf2df_cfg::LoopForest::compute(cfg).expect("reducible");
+            forest.backedge_indices(cfg)
+        };
+        let order = topo_order_ignoring_backedges(cfg, &forest_backedges);
+        let mut out = SourceVectors::default();
+
+        // Route a source to a successor along a concrete out-edge,
+        // honouring backedges (whose targets are loop entries and which are
+        // wired to the entry operator's backedge port).
+        let is_back =
+            |n: NodeId, idx: usize, be: &[Vec<usize>]| be[n.index()].contains(&idx);
+
+        for &n in &order {
+            match cfg.stmt(n) {
+                Stmt::Start => {
+                    let s = cfg.succs(n)[0];
+                    for l in lines.ids() {
+                        out.add(
+                            s,
+                            l,
+                            SvSrc {
+                                node: n,
+                                dir: OutDir::TRUE,
+                            },
+                        );
+                    }
+                }
+                Stmt::End => {}
+                Stmt::Assign { .. }
+                | Stmt::LoopExit { .. }
+                | Stmt::LoopEntry { .. }
+                | Stmt::Join => {
+                    let s = cfg.succs(n)[0];
+                    let back = is_back(n, 0, &forest_backedges);
+                    let refs = sp.refs(n);
+                    for l in lines.ids() {
+                        let produced: Vec<SvSrc> = if refs.contains(&l) {
+                            vec![SvSrc {
+                                node: n,
+                                dir: OutDir::TRUE,
+                            }]
+                        } else if matches!(cfg.stmt(n), Stmt::Join) {
+                            // A join is a producer only when it merges.
+                            let srcs = out.at(n, l).to_vec();
+                            match srcs.len() {
+                                0 => Vec::new(),
+                                1 => srcs,
+                                _ => vec![SvSrc {
+                                    node: n,
+                                    dir: OutDir::TRUE,
+                                }],
+                            }
+                        } else {
+                            out.at(n, l).to_vec()
+                        };
+                        for src in produced {
+                            if back {
+                                out.add_back(s, l, src);
+                            } else {
+                                out.add(s, l, src);
+                            }
+                        }
+                    }
+                }
+                Stmt::Branch { pred } | Stmt::Case { selector: pred } => {
+                    let p = pd.idom(n).expect("forks have a postdominator");
+                    // A bypass whose target is a loop-entry node needs
+                    // care: when the fork lies *inside* that loop (e.g. a
+                    // fork whose two arms both lead straight back to the
+                    // loop entry, as in a binary-search loop), the
+                    // bypassing token arrives carrying the loop's
+                    // iteration tag and must enter the backedge port.
+                    // (A fork *before* the loop may also have the entry as
+                    // its postdominator — e.g. a diamond converging right
+                    // at the loop; its tokens arrive from outside and take
+                    // the forward port.)
+                    let bypass_is_back = match cfg.stmt(p) {
+                        Stmt::LoopEntry { loop_id } => lc.forest.info(*loop_id).contains(n),
+                        _ => false,
+                    };
+                    let pred_lines: Vec<LineId> = {
+                        let mut v = Vec::new();
+                        for var in pred.vars() {
+                            for &l in lines.access_lines(var) {
+                                if !v.contains(&l) {
+                                    v.push(l);
+                                }
+                            }
+                        }
+                        v
+                    };
+                    for l in lines.ids() {
+                        let switched = sp.needs_switch(n, l);
+                        if switched {
+                            for (i, &s) in cfg.succs(n).iter().enumerate() {
+                                let dir = OutDir::from_edge_index(i);
+                                let src = SvSrc { node: n, dir };
+                                if is_back(n, i, &forest_backedges) {
+                                    out.add_back(s, l, src);
+                                } else {
+                                    out.add(s, l, src);
+                                }
+                            }
+                        } else if pred_lines.contains(&l) {
+                            // Read by the predicate, then bypasses to the
+                            // postdominator.
+                            let src = SvSrc {
+                                node: n,
+                                dir: OutDir::TRUE,
+                            };
+                            if bypass_is_back {
+                                out.add_back(p, l, src);
+                            } else {
+                                out.add(p, l, src);
+                            }
+                        } else {
+                            let srcs = out.at(n, l).to_vec();
+                            if bypass_is_back {
+                                for src in srcs {
+                                    out.add_back(p, l, src);
+                                }
+                            } else {
+                                out.add_all(p, l, &srcs);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf2df_cfg::loop_control::insert_loop_control;
+    use cf2df_cfg::{Cfg, Cover, CoverStrategy};
+    use cf2df_lang::parse_to_cfg;
+
+    fn setup(src: &str) -> (LoopControlled, Lines, SwitchPlacement) {
+        let parsed = parse_to_cfg(src).unwrap();
+        let lc = insert_loop_control(&parsed.cfg).unwrap();
+        let cover = Cover::build(&CoverStrategy::Singletons, &parsed.alias);
+        let lines = Lines::new(&lc.cfg.vars, &parsed.alias, &cover, false);
+        let sp = SwitchPlacement::compute(&lc, &lines);
+        (lc, lines, sp)
+    }
+
+    fn line_of(cfg: &Cfg, lines: &Lines, name: &str) -> LineId {
+        lines.access_lines(cfg.vars.lookup(name).unwrap())[0]
+    }
+
+    #[test]
+    fn fig9_x_token_bypasses_conditional() {
+        let (lc, lines, sp) = setup(cf2df_lang::corpus::FIG9);
+        let sv = SourceVectors::compute(&lc, &lines, &sp);
+        let cfg = &lc.cfg;
+        let x = line_of(cfg, &lines, "x");
+        // Find the second assignment to x (x := 0) and the first
+        // (x := x + 1).
+        let assigns: Vec<NodeId> = cfg
+            .node_ids()
+            .filter(|&n| {
+                matches!(cfg.stmt(n), Stmt::Assign { lhs, .. }
+                    if lhs.var() == cfg.vars.lookup("x").unwrap())
+            })
+            .collect();
+        assert_eq!(assigns.len(), 2);
+        let (first, second) = (assigns[0], assigns[1]);
+        // x := 0 receives access_x DIRECTLY from x := x + 1 — not from the
+        // conditional's join.
+        let srcs = sv.at(second, x);
+        assert_eq!(srcs.len(), 1);
+        assert_eq!(srcs[0].node, first, "token bypasses the if-then-else");
+    }
+
+    #[test]
+    fn switched_lines_source_from_the_fork() {
+        let (lc, lines, sp) = setup(cf2df_lang::corpus::FIG9);
+        let sv = SourceVectors::compute(&lc, &lines, &sp);
+        let cfg = &lc.cfg;
+        let y = line_of(cfg, &lines, "y");
+        let fork = cfg
+            .node_ids()
+            .find(|&n| matches!(cfg.stmt(n), Stmt::Branch { .. }))
+            .unwrap();
+        let then_node = cfg.succs(fork)[0];
+        let srcs = sv.at(then_node, y);
+        assert!(srcs
+            .iter()
+            .any(|s| s.node == fork && s.dir == OutDir::TRUE));
+    }
+
+    #[test]
+    fn loop_backedges_separated_from_entries() {
+        let (lc, lines, sp) = setup(cf2df_lang::corpus::RUNNING_EXAMPLE);
+        let sv = SourceVectors::compute(&lc, &lines, &sp);
+        let cfg = &lc.cfg;
+        let le = lc.entry_node[0];
+        let x = line_of(cfg, &lines, "x");
+        // Forward source: start. Backedge source: the loop branch.
+        let fwd = sv.at(le, x);
+        assert_eq!(fwd.len(), 1);
+        assert_eq!(fwd[0].node, cfg.start());
+        let back = sv.back_at(le, x);
+        assert_eq!(back.len(), 1);
+        assert!(matches!(cfg.stmt(back[0].node), Stmt::Branch { .. }));
+        assert_eq!(back[0].dir, OutDir::TRUE);
+    }
+
+    #[test]
+    fn every_line_reaches_end() {
+        for (name, src) in cf2df_lang::corpus::all() {
+            let (lc, lines, sp) = setup(src);
+            let sv = SourceVectors::compute(&lc, &lines, &sp);
+            for l in lines.ids() {
+                assert!(
+                    !sv.at(lc.cfg.end(), l).is_empty(),
+                    "{name}: line {l:?} never reaches end"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn statement_sources_are_singletons() {
+        // The paper: "If N is a switch which needs access_x or a statement
+        // which refers to x, then each set SV_N(x) will have a single
+        // element."
+        for (name, src) in cf2df_lang::corpus::all() {
+            let (lc, lines, sp) = setup(src);
+            let sv = SourceVectors::compute(&lc, &lines, &sp);
+            let cfg = &lc.cfg;
+            for n in cfg.node_ids() {
+                match cfg.stmt(n) {
+                    Stmt::Assign { .. } => {
+                        for &l in sp.refs(n) {
+                            assert_eq!(
+                                sv.at(n, l).len(),
+                                1,
+                                "{name}: {n:?} line {l:?} should have one source"
+                            );
+                        }
+                    }
+                    Stmt::Branch { .. } => {
+                        for l in lines.ids() {
+                            if sp.needs_switch(n, l) {
+                                assert_eq!(sv.at(n, l).len(), 1, "{name}: switch {n:?} {l:?}");
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreferenced_line_goes_straight_to_end() {
+        let (lc, lines, sp) = setup("alias q ~ q; x := 1; if x < 2 then { y := 1; } else { y := 2; }");
+        let sv = SourceVectors::compute(&lc, &lines, &sp);
+        let cfg = &lc.cfg;
+        let q = line_of(cfg, &lines, "q");
+        let srcs = sv.at(cfg.end(), q);
+        assert_eq!(srcs.len(), 1);
+        assert_eq!(srcs[0].node, cfg.start(), "q's token skips everything");
+    }
+}

@@ -1,0 +1,358 @@
+//! Switch placement (§4.1, Fig 10).
+//!
+//! A fork `F` needs a switch for a token line `ℓ` iff some node referencing
+//! `ℓ` lies *between* `F` and its immediate postdominator — equivalently
+//! (Theorem 1) iff `F ∈ CD⁺(N)` for some `N` referencing `ℓ`. The worklist
+//! algorithm of Fig 10 computes this from the control-dependence relation.
+//!
+//! Loops add a twist the paper leaves to the loop-control black boxes: a
+//! line must *circulate* through a loop's entry/exit operators iff it is
+//! referenced in the loop body **or** needs a switch at a fork inside the
+//! body (its token must carry the loop's iteration tags to rendezvous with
+//! the predicate there). Circulating lines make the loop-entry/exit
+//! statements count as references, which can create new switch needs — a
+//! monotone fixpoint, computed here.
+
+use crate::lines::{LineId, Lines};
+use cf2df_cfg::loop_control::LoopControlled;
+use cf2df_cfg::{between, Cfg, ControlDeps, DomTree, NodeId, Stmt};
+
+/// The per-line switch-placement and circulation solution.
+#[derive(Clone, Debug)]
+pub struct SwitchPlacement {
+    /// `needs[l][f]` — fork `f` needs a switch for line `l`.
+    needs: Vec<Vec<bool>>,
+    /// `circ[loop][l]` — line `l` circulates through the loop's
+    /// entry/exit operators.
+    circ: Vec<Vec<bool>>,
+    /// `refs[node]` — lines referenced by the node, including the derived
+    /// references of loop-entry/exit statements at the fixpoint.
+    refs: Vec<Vec<LineId>>,
+}
+
+impl SwitchPlacement {
+    /// Does fork `f` need a switch for line `l`?
+    pub fn needs_switch(&self, f: NodeId, l: LineId) -> bool {
+        self.needs[l.index()][f.index()]
+    }
+
+    /// Lines needing a switch at fork `f`, in id order.
+    pub fn switch_lines(&self, f: NodeId, lines: &Lines) -> Vec<LineId> {
+        lines
+            .ids()
+            .filter(|l| self.needs_switch(f, *l))
+            .collect()
+    }
+
+    /// Does line `l` circulate through loop `loop_idx`?
+    pub fn circulates(&self, loop_idx: usize, l: LineId) -> bool {
+        self.circ[loop_idx][l.index()]
+    }
+
+    /// Lines circulating through loop `loop_idx`, in id order.
+    pub fn circulating_lines(&self, loop_idx: usize, lines: &Lines) -> Vec<LineId> {
+        lines
+            .ids()
+            .filter(|l| self.circulates(loop_idx, *l))
+            .collect()
+    }
+
+    /// Lines referenced by a node under the fixpoint (loop-control nodes
+    /// reference their circulating lines).
+    pub fn refs(&self, n: NodeId) -> &[LineId] {
+        &self.refs[n.index()]
+    }
+
+    /// Total switches the optimized construction will create.
+    pub fn total_switches(&self) -> usize {
+        self.needs
+            .iter()
+            .map(|per_line| per_line.iter().filter(|&&b| b).count())
+            .sum()
+    }
+
+    /// Compute switch placement and circulation for a loop-controlled CFG.
+    pub fn compute(lc: &LoopControlled, lines: &Lines) -> SwitchPlacement {
+        let cfg = &lc.cfg;
+        let pd = DomTree::postdominators(cfg);
+        let cd = ControlDeps::compute(cfg, &pd);
+        let n_loops = lc.forest.len();
+        let n_lines = lines.n();
+
+        // Base references: statements' access-set lines.
+        let base_refs: Vec<Vec<LineId>> = cfg
+            .node_ids()
+            .map(|n| lines.referenced_lines(cfg.stmt(n)))
+            .collect();
+
+        // circ starts as "referenced in the original loop body".
+        let mut circ = vec![vec![false; n_lines]; n_loops];
+        for (lid, info) in lc.forest.iter() {
+            for &b in &info.body {
+                for &l in &base_refs[b.index()] {
+                    circ[lid.index()][l.index()] = true;
+                }
+            }
+        }
+
+        let mut needs = vec![vec![false; cfg.len()]; n_lines];
+        loop {
+            // Effective reference sets under current circulation.
+            let refs: Vec<Vec<LineId>> = cfg
+                .node_ids()
+                .map(|n| match cfg.stmt(n) {
+                    Stmt::LoopEntry { loop_id } | Stmt::LoopExit { loop_id } => lines
+                        .ids()
+                        .filter(|l| circ[loop_id.index()][l.index()])
+                        .collect(),
+                    _ => base_refs[n.index()].clone(),
+                })
+                .collect();
+
+            // Fig 10: per line, iterate control dependence from the
+            // referencing nodes.
+            for l in lines.ids() {
+                let seeds: Vec<NodeId> = cfg
+                    .node_ids()
+                    .filter(|n| refs[n.index()].contains(&l))
+                    .collect();
+                let marked = cd.iterated(&seeds);
+                for n in cfg.node_ids() {
+                    // `start` is a fork only by the start→end convention;
+                    // its "switch" has a constant predicate, so tokens are
+                    // emitted directly instead (Fig 11's start case).
+                    if marked[n.index()] && cfg.stmt(n).is_fork() && n != cfg.start() {
+                        needs[l.index()][n.index()] = true;
+                    }
+                }
+            }
+
+            // Grow circulation: switched-at-a-fork-inside-the-body, then
+            // upward closure (a line circulating in an inner loop must
+            // circulate in every enclosing loop).
+            let mut changed = false;
+            for (lid, info) in lc.forest.iter() {
+                for &b in &info.body {
+                    if !cfg.stmt(b).is_fork() || b == cfg.start() {
+                        continue;
+                    }
+                    for l in lines.ids() {
+                        if needs[l.index()][b.index()] && !circ[lid.index()][l.index()] {
+                            circ[lid.index()][l.index()] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            for (lid, info) in lc.forest.iter() {
+                if let Some(parent) = info.parent {
+                    let inner = circ[lid.index()].clone();
+                    for (li, inner_has) in inner.iter().enumerate() {
+                        if *inner_has && !circ[parent.index()][li] {
+                            circ[parent.index()][li] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                // Recompute final refs for the solution.
+                let final_refs: Vec<Vec<LineId>> = cfg
+                    .node_ids()
+                    .map(|n| match cfg.stmt(n) {
+                        Stmt::LoopEntry { loop_id } | Stmt::LoopExit { loop_id } => lines
+                            .ids()
+                            .filter(|l| circ[loop_id.index()][l.index()])
+                            .collect(),
+                        _ => base_refs[n.index()].clone(),
+                    })
+                    .collect();
+                return SwitchPlacement {
+                    needs,
+                    circ,
+                    refs: final_refs,
+                };
+            }
+            // Reset `needs` for the next round (monotone, but recompute
+            // cleanly for clarity).
+            for per_line in &mut needs {
+                per_line.iter_mut().for_each(|b| *b = false);
+            }
+        }
+    }
+}
+
+/// Brute-force oracle for Definition 3 via Definition 1: fork `f` needs a
+/// switch for line `l` iff some node referencing `l` (under the given
+/// reference sets) is between `f` and `ipostdom(f)`. Used in tests to
+/// validate the worklist algorithm (Theorem 1).
+pub fn needs_switch_bruteforce(
+    cfg: &Cfg,
+    refs: &dyn Fn(NodeId) -> Vec<LineId>,
+    f: NodeId,
+    l: LineId,
+) -> bool {
+    let pd = DomTree::postdominators(cfg);
+    cfg.node_ids()
+        .any(|n| refs(n).contains(&l) && between(cfg, &pd, f, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf2df_cfg::loop_control::insert_loop_control;
+    use cf2df_cfg::{Cover, CoverStrategy};
+    use cf2df_lang::parse_to_cfg;
+
+    fn setup(src: &str) -> (LoopControlled, Lines) {
+        let parsed = parse_to_cfg(src).unwrap();
+        let lc = insert_loop_control(&parsed.cfg).unwrap();
+        let cover = Cover::build(&CoverStrategy::Singletons, &parsed.alias);
+        let lines = Lines::new(&lc.cfg.vars, &parsed.alias, &cover, false);
+        (lc, lines)
+    }
+
+    #[test]
+    fn fig9_x_bypasses_the_conditional() {
+        let (lc, lines) = setup(cf2df_lang::corpus::FIG9);
+        let sp = SwitchPlacement::compute(&lc, &lines);
+        let cfg = &lc.cfg;
+        let fork = cfg
+            .node_ids()
+            .find(|&n| matches!(cfg.stmt(n), Stmt::Branch { .. }))
+            .unwrap();
+        let var = |name: &str| {
+            let v = cfg.vars.lookup(name).unwrap();
+            lines.access_lines(v)[0]
+        };
+        // x is not referenced inside the conditional: no switch for it.
+        assert!(!sp.needs_switch(fork, var("x")));
+        // y and z are assigned inside the arms: switches needed.
+        assert!(sp.needs_switch(fork, var("y")));
+        assert!(sp.needs_switch(fork, var("z")));
+        // w is only read by the predicate *at* the fork, not between the
+        // fork and its postdominator: no switch for w either.
+        assert!(!sp.needs_switch(fork, var("w")));
+        assert_eq!(sp.total_switches(), 2);
+    }
+
+    #[test]
+    fn loop_lines_circulate() {
+        let (lc, lines) = setup(cf2df_lang::corpus::RUNNING_EXAMPLE);
+        let sp = SwitchPlacement::compute(&lc, &lines);
+        // Both x and y are referenced in the body: both circulate, and the
+        // loop branch needs switches for both.
+        let cfg = &lc.cfg;
+        let br = cfg
+            .node_ids()
+            .find(|&n| matches!(cfg.stmt(n), Stmt::Branch { .. }))
+            .unwrap();
+        for l in lines.ids() {
+            assert!(sp.circulates(0, l));
+            assert!(sp.needs_switch(br, l));
+        }
+        // Loop-entry node references both lines at the fixpoint.
+        let le = lc.entry_node[0];
+        assert_eq!(sp.refs(le).len(), 2);
+    }
+
+    #[test]
+    fn variable_unused_in_loop_does_not_circulate() {
+        let src = "
+            u := 1;
+            x := 0;
+            while x < 4 do { x := x + 1; }
+            u := u + x;
+        ";
+        let (lc, lines) = setup(src);
+        let sp = SwitchPlacement::compute(&lc, &lines);
+        let cfg = &lc.cfg;
+        let u_line = lines.access_lines(cfg.vars.lookup("u").unwrap())[0];
+        let x_line = lines.access_lines(cfg.vars.lookup("x").unwrap())[0];
+        assert!(!sp.circulates(0, u_line), "u bypasses the loop");
+        assert!(sp.circulates(0, x_line));
+        let br = cfg
+            .node_ids()
+            .find(|&n| matches!(cfg.stmt(n), Stmt::Branch { .. }))
+            .unwrap();
+        assert!(!sp.needs_switch(br, u_line));
+        assert!(sp.needs_switch(br, x_line));
+    }
+
+    #[test]
+    fn worklist_matches_bruteforce_on_corpus() {
+        for (name, src) in cf2df_lang::corpus::all() {
+            let (lc, lines) = setup(src);
+            let sp = SwitchPlacement::compute(&lc, &lines);
+            let cfg = lc.cfg.clone();
+            // Oracle uses the *fixpoint* reference sets (so circulation is
+            // taken as given) — this checks the CD⁺ computation itself.
+            let refs = |n: NodeId| sp.refs(n).to_vec();
+            for f in cfg.node_ids() {
+                // Skip `start`: the algorithm exempts it by convention.
+                if !cfg.stmt(f).is_fork() || f == cfg.start() {
+                    continue;
+                }
+                for l in lines.ids() {
+                    assert_eq!(
+                        sp.needs_switch(f, l),
+                        needs_switch_bruteforce(&cfg, &refs, f, l),
+                        "{name}: fork {f:?}, line {l:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nested_loop_circulation_is_upward_closed() {
+        let src = "
+            s := 0;
+            for i := 1 to 3 do {
+                for j := 1 to 3 do {
+                    s := s + j;
+                }
+            }
+        ";
+        let (lc, lines) = setup(src);
+        let sp = SwitchPlacement::compute(&lc, &lines);
+        // j and s circulate in the inner loop; therefore also in the outer.
+        let cfg = &lc.cfg;
+        let j_line = lines.access_lines(cfg.vars.lookup("j").unwrap())[0];
+        let s_line = lines.access_lines(cfg.vars.lookup("s").unwrap())[0];
+        // Inner loops sort first.
+        assert!(sp.circulates(0, j_line));
+        assert!(sp.circulates(0, s_line));
+        assert!(sp.circulates(1, j_line), "upward closure");
+        assert!(sp.circulates(1, s_line));
+    }
+
+    #[test]
+    fn aliasing_extends_switch_needs() {
+        // p ~ q: an assignment to p inside the conditional forces switches
+        // for both p's and q's lines.
+        let src = "
+            alias p ~ q;
+            p := 1; q := 2; c := 0;
+            if c == 0 then { p := 3; } else { skip; }
+            r := q;
+        ";
+        let parsed = parse_to_cfg(src).unwrap();
+        let lc = insert_loop_control(&parsed.cfg).unwrap();
+        let cover = Cover::build(&CoverStrategy::Singletons, &parsed.alias);
+        let lines = Lines::new(&lc.cfg.vars, &parsed.alias, &cover, false);
+        let sp = SwitchPlacement::compute(&lc, &lines);
+        let cfg = &lc.cfg;
+        let fork = cfg
+            .node_ids()
+            .find(|&n| matches!(cfg.stmt(n), Stmt::Branch { .. }))
+            .unwrap();
+        let p_line = lines.access_lines(cfg.vars.lookup("p").unwrap())[0];
+        let q_line = lines.access_lines(cfg.vars.lookup("q").unwrap())[0];
+        assert!(sp.needs_switch(fork, p_line));
+        assert!(
+            sp.needs_switch(fork, q_line),
+            "store to p collects q's token inside the arm"
+        );
+    }
+}

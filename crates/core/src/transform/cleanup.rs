@@ -1,0 +1,286 @@
+//! Conventional compiler optimizations *on the dataflow graph* — common
+//! subexpression elimination and dead code elimination.
+//!
+//! The paper's abstract claims "dataflow graphs can serve as an executable
+//! intermediate representation in parallelizing compilers"; its conclusion
+//! adds that the Typhoon project would show usefulness "for conventional
+//! optimizations and for parallelization". These two passes substantiate
+//! the claim: both are ordinary value-numbering/liveness ideas, and both
+//! are *sound by construction* on the dataflow IR because arcs are exactly
+//! the dependences — no separate alias or control analysis is needed.
+
+use cf2df_dfg::{Dfg, OpId, OpKind, Port};
+use std::collections::HashMap;
+
+/// Value-numbering key: operator mnemonic, immediates, per-port sources.
+type ExprKey = (String, Vec<Option<i64>>, Vec<Vec<Port>>);
+
+/// Is the operator a pure value function of its inputs (same inputs ⇒ same
+/// output, no effects, exactly one output port, not merge-like)?
+fn is_pure_value_op(kind: &OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::Unary { .. } | OpKind::Binary { .. } | OpKind::Identity
+    )
+}
+
+/// Common subexpression elimination: two pure operators with identical
+/// kinds, immediates, and input sources compute identical values under
+/// every tag, so one can serve all consumers. Runs to fixpoint; returns
+/// the number of operators eliminated (the graph is compacted, id map
+/// returned).
+pub fn eliminate_common_subexpressions(g: &mut Dfg) -> (usize, Vec<Option<OpId>>) {
+    let mut eliminated = 0;
+    loop {
+        let ins = g.in_arcs();
+        // Key: (mnemonic-kind, imms, sorted-per-port sources).
+        let mut table: HashMap<ExprKey, OpId> = HashMap::new();
+        let mut victim: Option<(OpId, OpId)> = None;
+        for op in g.op_ids() {
+            let kind = g.kind(op);
+            if !is_pure_value_op(kind) {
+                continue;
+            }
+            // Skip fully-detached operators (left behind by earlier merges
+            // until compaction): "merging" two of them would loop forever.
+            if ins[op.index()].iter().all(|arcs| arcs.is_empty()) {
+                continue;
+            }
+            let n_in = kind.n_inputs();
+            let imms: Vec<Option<i64>> = (0..n_in).map(|p| g.imm(op, p)).collect();
+            let mut srcs: Vec<Vec<Port>> = Vec::with_capacity(n_in);
+            for arcs in ins[op.index()].iter().take(n_in) {
+                let mut v: Vec<Port> = arcs.iter().map(|&ai| g.arcs()[ai].from).collect();
+                v.sort_by_key(|p| (p.op.0, p.port));
+                srcs.push(v);
+            }
+            let key = (kind.mnemonic(), imms, srcs);
+            match table.get(&key) {
+                Some(&keep) => {
+                    victim = Some((keep, op));
+                    break;
+                }
+                None => {
+                    table.insert(key, op);
+                }
+            }
+        }
+        let Some((keep, dup)) = victim else { break };
+        // Rewire the duplicate's consumers to the kept op and detach it.
+        let outs = g.out_arcs();
+        let dests: Vec<(Port, cf2df_dfg::ArcKind)> = outs[dup.index()][0]
+            .iter()
+            .map(|&ai| (g.arcs()[ai].to, g.arcs()[ai].kind))
+            .collect();
+        for (d, kind) in dests {
+            g.disconnect(Port::new(dup, 0), d);
+            g.connect(Port::new(keep, 0), d, kind);
+        }
+        let mut in_srcs: Vec<(Port, Port)> = Vec::new();
+        for (p, arcs) in ins[dup.index()].iter().enumerate() {
+            for &ai in arcs {
+                in_srcs.push((g.arcs()[ai].from, Port::new(dup, p)));
+            }
+        }
+        for (src, to) in in_srcs {
+            g.disconnect(src, to);
+        }
+        eliminated += 1;
+    }
+    if eliminated > 0 {
+        let (compacted, map) = g.compact();
+        *g = compacted;
+        (eliminated, map)
+    } else {
+        (0, g.op_ids().map(Some).collect())
+    }
+}
+
+/// Dead code elimination: pure operators (and switches) none of whose
+/// outputs reach a consumer can never influence memory or termination —
+/// remove them and the arcs feeding them, iterating as removals expose
+/// more dead operators. Returns the count removed and the id map.
+pub fn eliminate_dead_code(g: &mut Dfg) -> (usize, Vec<Option<OpId>>) {
+    let mut removed = 0;
+    loop {
+        let outs = g.out_arcs();
+        let ins = g.in_arcs();
+        let mut victim = None;
+        for op in g.op_ids() {
+            let kind = g.kind(op);
+            let deletable = is_pure_value_op(kind) || matches!(kind, OpKind::Switch);
+            if !deletable {
+                continue;
+            }
+            let unused = outs[op.index()].iter().all(|arcs| arcs.is_empty());
+            // An op with no inputs connected is already detached; skip it
+            // (compaction drops it).
+            let has_inputs = ins[op.index()].iter().any(|arcs| !arcs.is_empty());
+            if unused && has_inputs {
+                victim = Some(op);
+                break;
+            }
+        }
+        let Some(op) = victim else { break };
+        let mut in_srcs: Vec<(Port, Port)> = Vec::new();
+        for (p, arcs) in ins[op.index()].iter().enumerate() {
+            for &ai in arcs {
+                in_srcs.push((g.arcs()[ai].from, Port::new(op, p)));
+            }
+        }
+        for (src, to) in in_srcs {
+            g.disconnect(src, to);
+        }
+        removed += 1;
+    }
+    if removed > 0 {
+        let (compacted, map) = g.compact();
+        *g = compacted;
+        (removed, map)
+    } else {
+        (0, g.op_ids().map(Some).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf2df_cfg::{BinOp, MemLayout, VarId, VarTable};
+    use cf2df_dfg::graph::ArcKind;
+    use cf2df_machine::{run, MachineConfig};
+
+    /// x loaded once, (x+1) computed twice feeding two stores.
+    fn duplicated_graph() -> (Dfg, MemLayout) {
+        let mut t = VarTable::new();
+        t.scalar("x");
+        t.scalar("y");
+        t.scalar("z");
+        let layout = MemLayout::distinct(&t);
+        let mut g = Dfg::new();
+        let s = g.add(OpKind::Start);
+        let ld = g.add(OpKind::Load { var: VarId(0) });
+        let add1 = g.add(OpKind::Binary { op: BinOp::Add });
+        g.set_imm(add1, 1, 1);
+        let add2 = g.add(OpKind::Binary { op: BinOp::Add });
+        g.set_imm(add2, 1, 1);
+        let st_y = g.add(OpKind::Store { var: VarId(1) });
+        let st_z = g.add(OpKind::Store { var: VarId(2) });
+        let e = g.add(OpKind::End { inputs: 2 });
+        g.connect(Port::new(s, 0), Port::new(ld, 0), ArcKind::Access);
+        g.connect(Port::new(ld, 0), Port::new(add1, 0), ArcKind::Value);
+        g.connect(Port::new(ld, 0), Port::new(add2, 0), ArcKind::Value);
+        g.connect(Port::new(add1, 0), Port::new(st_y, 0), ArcKind::Value);
+        g.connect(Port::new(add2, 0), Port::new(st_z, 0), ArcKind::Value);
+        g.connect(Port::new(ld, 1), Port::new(st_y, 1), ArcKind::Access);
+        g.connect(Port::new(st_y, 0), Port::new(st_z, 1), ArcKind::Access);
+        g.connect(Port::new(st_z, 0), Port::new(e, 0), ArcKind::Access);
+        g.connect(Port::new(s, 0), Port::new(e, 1), ArcKind::Access);
+        (g, layout)
+    }
+
+    #[test]
+    fn cse_merges_identical_adds() {
+        let (mut g, layout) = duplicated_graph();
+        let before = run(&g, &layout, MachineConfig::unbounded()).unwrap();
+        let (n, _) = eliminate_common_subexpressions(&mut g);
+        assert_eq!(n, 1);
+        cf2df_dfg::validate(&g).unwrap();
+        let adds = g
+            .op_ids()
+            .filter(|&o| matches!(g.kind(o), OpKind::Binary { .. }))
+            .count();
+        assert_eq!(adds, 1);
+        let after = run(&g, &layout, MachineConfig::unbounded()).unwrap();
+        assert_eq!(after.memory, before.memory);
+        assert_eq!(after.stats.fired, before.stats.fired - 1);
+    }
+
+    #[test]
+    fn cse_respects_different_immediates() {
+        let (mut g, _) = duplicated_graph();
+        // Change one immediate: no longer a common subexpression.
+        let add2 = g
+            .op_ids()
+            .filter(|&o| matches!(g.kind(o), OpKind::Binary { .. }))
+            .nth(1)
+            .unwrap();
+        g.set_imm(add2, 1, 2);
+        let (n, _) = eliminate_common_subexpressions(&mut g);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn dce_removes_unused_chain() {
+        let (mut g, layout) = duplicated_graph();
+        // Orphan one add: its store's value consumer goes away → first make
+        // the add dead by detaching its consumer store's value input and
+        // feeding the store an immediate instead.
+        let add2 = g
+            .op_ids()
+            .filter(|&o| matches!(g.kind(o), OpKind::Binary { .. }))
+            .nth(1)
+            .unwrap();
+        let st_z = g
+            .op_ids()
+            .filter(|&o| matches!(g.kind(o), OpKind::Store { .. }))
+            .nth(1)
+            .unwrap();
+        g.disconnect(Port::new(add2, 0), Port::new(st_z, 0));
+        g.set_imm(st_z, 0, 99);
+        let before = run(&g, &layout, MachineConfig::unbounded()).unwrap();
+        let (n, _) = eliminate_dead_code(&mut g);
+        assert_eq!(n, 1, "the dangling add disappears");
+        cf2df_dfg::validate(&g).unwrap();
+        let after = run(&g, &layout, MachineConfig::unbounded()).unwrap();
+        assert_eq!(after.memory, before.memory);
+    }
+
+    #[test]
+    fn passes_are_idempotent_on_clean_graphs() {
+        for (_, src) in cf2df_lang::corpus::all() {
+            let parsed = cf2df_lang::parse_to_cfg(src).unwrap();
+            let t = crate::pipeline::translate(
+                &parsed.cfg,
+                &parsed.alias,
+                &crate::pipeline::TranslateOptions::schema3(
+                    cf2df_cfg::CoverStrategy::Singletons,
+                )
+                    .with_memory_elimination(true),
+            )
+            .unwrap();
+            let mut g = t.dfg.clone();
+            let (c, _) = eliminate_common_subexpressions(&mut g);
+            let (d, _) = eliminate_dead_code(&mut g);
+            cf2df_dfg::validate(&g).unwrap();
+            let mut g2 = g.clone();
+            let (c2, _) = eliminate_common_subexpressions(&mut g2);
+            let (d2, _) = eliminate_dead_code(&mut g2);
+            assert_eq!((c2, d2), (0, 0), "second run must be a no-op");
+            let _ = (c, d);
+        }
+    }
+
+    #[test]
+    fn cse_preserves_semantics_across_corpus() {
+        let mc = MachineConfig::unbounded();
+        for (name, src) in cf2df_lang::corpus::all() {
+            let parsed = cf2df_lang::parse_to_cfg(src).unwrap();
+            let layout = MemLayout::distinct(&parsed.cfg.vars);
+            let t = crate::pipeline::translate(
+                &parsed.cfg,
+                &parsed.alias,
+                &crate::pipeline::TranslateOptions::schema3(
+                    cf2df_cfg::CoverStrategy::Singletons,
+                )
+                    .with_memory_elimination(true),
+            )
+            .unwrap();
+            let before = run(&t.dfg, &layout, mc.clone()).unwrap();
+            let mut g = t.dfg.clone();
+            eliminate_common_subexpressions(&mut g);
+            eliminate_dead_code(&mut g);
+            let after = run(&g, &layout, mc.clone()).unwrap();
+            assert_eq!(after.memory, before.memory, "{name}");
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Parallelizing transformations on translated dataflow graphs (§6).
+
+pub mod array_par;
+pub mod cleanup;
+pub mod forward;
+pub mod istructure;
+pub mod read_par;
+
+pub use array_par::parallelize_array_stores;
+pub use cleanup::{eliminate_common_subexpressions, eliminate_dead_code};
+pub use forward::forward_stores;
+pub use istructure::convert_arrays;
+pub use read_par::parallelize_reads;

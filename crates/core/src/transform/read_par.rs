@@ -1,0 +1,216 @@
+//! Read parallelization (§6.2).
+//!
+//! "Consider a sequence of load operations, each of which receives the
+//! access from its predecessor and passes it directly to its successor.
+//! The predecessor of the first load can safely replicate access and pass
+//! it to every operation in the sequence. The replicas must be collected
+//! and passed to the successor of the last operation. By parallelizing
+//! maximal sequences of load operations, read parallelism is maximized."
+//!
+//! This is a pure graph rewrite: it finds maximal chains of loads linked
+//! by access arcs and fans the incoming access token out to all of them,
+//! collecting their completions in a synch tree.
+
+use cf2df_dfg::build::synch_tree;
+use cf2df_dfg::{ArcKind, Dfg, OpId, OpKind, Port};
+
+/// The (access-in, access-out) port indices of a load, or `None` if the
+/// operator is not an access-threaded load.
+fn load_access_ports(kind: &OpKind) -> Option<(usize, usize)> {
+    match kind {
+        OpKind::Load { .. } => Some((0, 1)),
+        OpKind::LoadIdx { .. } => Some((1, 1)),
+        _ => None,
+    }
+}
+
+/// Apply the rewrite; returns the number of chains parallelized.
+pub fn parallelize_reads(g: &mut Dfg) -> usize {
+    let outs = g.out_arcs();
+    let ins = g.in_arcs();
+
+    // next[load] = the load that receives our access token, when that
+    // handoff is a simple one-to-one arc.
+    let mut next: Vec<Option<OpId>> = vec![None; g.len()];
+    let mut has_prev: Vec<bool> = vec![false; g.len()];
+    for op in g.op_ids() {
+        let Some((_, out_p)) = load_access_ports(g.kind(op)) else {
+            continue;
+        };
+        let out_arcs = &outs[op.index()][out_p];
+        if out_arcs.len() != 1 {
+            continue; // completion already fans out: leave it alone
+        }
+        let to = g.arcs()[out_arcs[0]].to;
+        let Some((in_p, _)) = load_access_ports(g.kind(to.op)) else {
+            continue;
+        };
+        if to.port as usize != in_p {
+            continue; // feeds the value port of another load, not its access
+        }
+        next[op.index()] = Some(to.op);
+        has_prev[to.op.index()] = true;
+    }
+
+    // Walk maximal chains from heads.
+    let mut chains: Vec<Vec<OpId>> = Vec::new();
+    for op in g.op_ids() {
+        if load_access_ports(g.kind(op)).is_none() {
+            continue;
+        }
+        if has_prev[op.index()] {
+            continue; // not a head
+        }
+        let mut chain = vec![op];
+        let mut cur = op;
+        while let Some(n) = next[cur.index()] {
+            chain.push(n);
+            cur = n;
+        }
+        if chain.len() >= 2 {
+            chains.push(chain);
+        }
+    }
+
+    let mut rewritten = 0;
+    for chain in &chains {
+        let head = chain[0];
+        let tail = *chain.last().expect("non-empty");
+        let (head_in, _) = load_access_ports(g.kind(head)).expect("load");
+        let (_, tail_out) = load_access_ports(g.kind(tail)).expect("load");
+
+        // Source feeding the head's access input.
+        let head_in_arcs = &ins[head.index()][head_in];
+        assert_eq!(head_in_arcs.len(), 1, "access ports are single-fed");
+        let source = g.arcs()[head_in_arcs[0]].from;
+
+        // Where the tail's completion currently goes.
+        let tail_dests: Vec<Port> = outs[tail.index()][tail_out]
+            .iter()
+            .map(|&ai| g.arcs()[ai].to)
+            .collect();
+
+        // Rewire: source fans to every load; completions synch; tree output
+        // feeds the old destinations.
+        for &load in &chain[1..] {
+            let (in_p, out_p) = load_access_ports(g.kind(load)).expect("load");
+            // Remove the chain link into this load.
+            let prev = chain[chain.iter().position(|&x| x == load).unwrap() - 1];
+            let (_, prev_out) = load_access_ports(g.kind(prev)).expect("load");
+            let ok = g.disconnect(Port::new(prev, prev_out), Port::new(load, in_p));
+            debug_assert!(ok, "chain arc must exist");
+            g.connect(source, Port::new(load, in_p), ArcKind::Access);
+            let _ = out_p;
+        }
+        for &d in &tail_dests {
+            let ok = g.disconnect(Port::new(tail, tail_out), d);
+            debug_assert!(ok);
+        }
+        let completions: Vec<Port> = chain
+            .iter()
+            .map(|&ld| {
+                let (_, out_p) = load_access_ports(g.kind(ld)).expect("load");
+                Port::new(ld, out_p)
+            })
+            .collect();
+        let tree = synch_tree(g, &completions, ArcKind::Access).expect("≥2 loads");
+        for &d in &tail_dests {
+            g.connect(tree, d, ArcKind::Access);
+        }
+        rewritten += 1;
+    }
+    rewritten
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf2df_cfg::{MemLayout, VarId, VarTable};
+    use cf2df_machine::{run, MachineConfig};
+
+    /// start → load v0 → load v0 → load v0 → end (access chain), values
+    /// discarded into a sum for determinism.
+    fn chain_graph(n: usize) -> (Dfg, MemLayout) {
+        let mut t = VarTable::new();
+        t.scalar("x");
+        let layout = MemLayout::distinct(&t);
+        let mut g = Dfg::new();
+        let s = g.add(OpKind::Start);
+        let e = g.add(OpKind::End { inputs: 1 });
+        let mut prev = Port::new(s, 0);
+        for _ in 0..n {
+            let ld = g.add(OpKind::Load { var: VarId(0) });
+            g.connect(prev, Port::new(ld, 0), ArcKind::Access);
+            prev = Port::new(ld, 1);
+        }
+        g.connect(prev, Port::new(e, 0), ArcKind::Access);
+        (g, layout)
+    }
+
+    #[test]
+    fn chain_is_flattened() {
+        let (mut g, layout) = chain_graph(4);
+        let before = run(&g, &layout, MachineConfig::unbounded().mem_latency(10)).unwrap();
+        let n = parallelize_reads(&mut g);
+        assert_eq!(n, 1);
+        cf2df_dfg::validate(&g).unwrap();
+        let after = run(&g, &layout, MachineConfig::unbounded().mem_latency(10)).unwrap();
+        // 4 sequential loads at latency 10 ≈ 40+; parallel ≈ 10 + tree.
+        assert!(
+            after.stats.makespan < before.stats.makespan / 2,
+            "sequential {} vs parallel {}",
+            before.stats.makespan,
+            after.stats.makespan
+        );
+        assert_eq!(after.memory, before.memory);
+    }
+
+    #[test]
+    fn single_load_untouched() {
+        let (mut g, _) = chain_graph(1);
+        let ops_before = g.len();
+        assert_eq!(parallelize_reads(&mut g), 0);
+        assert_eq!(g.len(), ops_before);
+    }
+
+    #[test]
+    fn store_breaks_the_chain() {
+        // load → store → load: not parallelizable across the store.
+        let mut t = VarTable::new();
+        t.scalar("x");
+        let layout = MemLayout::distinct(&t);
+        let mut g = Dfg::new();
+        let s = g.add(OpKind::Start);
+        let e = g.add(OpKind::End { inputs: 1 });
+        let l1 = g.add(OpKind::Load { var: VarId(0) });
+        let st = g.add(OpKind::Store { var: VarId(0) });
+        g.set_imm(st, 0, 9);
+        let l2 = g.add(OpKind::Load { var: VarId(0) });
+        g.connect(Port::new(s, 0), Port::new(l1, 0), ArcKind::Access);
+        g.connect(Port::new(l1, 1), Port::new(st, 1), ArcKind::Access);
+        g.connect(Port::new(st, 0), Port::new(l2, 0), ArcKind::Access);
+        g.connect(Port::new(l2, 1), Port::new(e, 0), ArcKind::Access);
+        assert_eq!(parallelize_reads(&mut g), 0);
+        let _ = layout;
+    }
+
+    #[test]
+    fn mixed_load_kinds_chain() {
+        let mut t = VarTable::new();
+        t.scalar("x");
+        let a = t.array("a", 4);
+        let layout = MemLayout::distinct(&t);
+        let mut g = Dfg::new();
+        let s = g.add(OpKind::Start);
+        let e = g.add(OpKind::End { inputs: 1 });
+        let l1 = g.add(OpKind::Load { var: VarId(0) });
+        let l2 = g.add(OpKind::LoadIdx { var: a });
+        g.set_imm(l2, 0, 2);
+        g.connect(Port::new(s, 0), Port::new(l1, 0), ArcKind::Access);
+        g.connect(Port::new(l1, 1), Port::new(l2, 1), ArcKind::Access);
+        g.connect(Port::new(l2, 1), Port::new(e, 0), ArcKind::Access);
+        assert_eq!(parallelize_reads(&mut g), 1);
+        cf2df_dfg::validate(&g).unwrap();
+        run(&g, &layout, MachineConfig::unbounded()).unwrap();
+    }
+}

@@ -1,0 +1,134 @@
+//! Graph-construction helpers.
+
+use crate::graph::{ArcKind, Dfg, OpId, Port};
+use crate::op::OpKind;
+
+/// Build a binary synch tree (Fig 2) over the given source ports, returning
+/// the output port of its root. With zero sources returns `None`; with one
+/// source the source itself is returned (no operator is created) —
+/// mirroring the paper's "a join with a single source is equivalent to no
+/// operator".
+pub fn synch_tree(g: &mut Dfg, sources: &[Port], kind: ArcKind) -> Option<Port> {
+    match sources.len() {
+        0 => None,
+        1 => Some(sources[0]),
+        _ => {
+            let mut level: Vec<Port> = sources.to_vec();
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                for pair in level.chunks(2) {
+                    if pair.len() == 1 {
+                        next.push(pair[0]);
+                    } else {
+                        let s = g.add(OpKind::Synch { inputs: 2 });
+                        g.connect(pair[0], Port::new(s, 0), kind);
+                        g.connect(pair[1], Port::new(s, 1), kind);
+                        next.push(Port::new(s, 0));
+                    }
+                }
+                level = next;
+            }
+            Some(level[0])
+        }
+    }
+}
+
+/// Build a flat n-ary synch operator over the sources (used where tree
+/// shape does not matter); same degenerate cases as [`synch_tree`].
+pub fn synch_flat(g: &mut Dfg, sources: &[Port], kind: ArcKind) -> Option<Port> {
+    match sources.len() {
+        0 => None,
+        1 => Some(sources[0]),
+        n => {
+            let s = g.add(OpKind::Synch { inputs: n as u32 });
+            for (i, &src) in sources.iter().enumerate() {
+                g.connect(src, Port::new(s, i), kind);
+            }
+            Some(Port::new(s, 0))
+        }
+    }
+}
+
+/// Create a merge over the sources, returning its output port. A single
+/// source is returned unchanged (no operator); zero sources returns `None`.
+pub fn merge(g: &mut Dfg, sources: &[Port], kind: ArcKind) -> Option<Port> {
+    match sources.len() {
+        0 => None,
+        1 => Some(sources[0]),
+        _ => {
+            let m = g.add(OpKind::Merge);
+            for &src in sources {
+                g.connect(src, Port::new(m, 0), kind);
+            }
+            Some(Port::new(m, 0))
+        }
+    }
+}
+
+/// Count the operators a synch tree over `n` sources creates.
+pub fn synch_tree_size(n: usize) -> usize {
+    n.saturating_sub(1)
+}
+
+/// Convenience: id of a freshly added operator's `i`-th output port.
+pub fn out(op: OpId, i: usize) -> Port {
+    Port::new(op, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sources(g: &mut Dfg, n: usize) -> Vec<Port> {
+        // Use Identity ops as dummy sources.
+        (0..n)
+            .map(|_| Port::new(g.add(OpKind::Identity), 0))
+            .collect()
+    }
+
+    #[test]
+    fn synch_tree_sizes() {
+        for n in [2usize, 3, 4, 5, 8, 13] {
+            let mut g = Dfg::new();
+            let srcs = sources(&mut g, n);
+            let before = g.len();
+            let root = synch_tree(&mut g, &srcs, ArcKind::Access).unwrap();
+            assert_eq!(g.len() - before, synch_tree_size(n), "n={n}");
+            // Root is a synch op output.
+            assert!(matches!(g.kind(root.op), OpKind::Synch { inputs: 2 }));
+            // Every source feeds exactly one arc.
+            assert_eq!(g.arc_count(), 2 * (g.len() - before));
+        }
+    }
+
+    #[test]
+    fn synch_tree_degenerate_cases() {
+        let mut g = Dfg::new();
+        assert!(synch_tree(&mut g, &[], ArcKind::Access).is_none());
+        let srcs = sources(&mut g, 1);
+        let r = synch_tree(&mut g, &srcs, ArcKind::Access).unwrap();
+        assert_eq!(r, srcs[0]);
+        assert_eq!(g.arc_count(), 0);
+    }
+
+    #[test]
+    fn flat_synch_single_op() {
+        let mut g = Dfg::new();
+        let srcs = sources(&mut g, 5);
+        let r = synch_flat(&mut g, &srcs, ArcKind::Access).unwrap();
+        assert!(matches!(g.kind(r.op), OpKind::Synch { inputs: 5 }));
+        assert_eq!(g.arc_count(), 5);
+    }
+
+    #[test]
+    fn merge_helper() {
+        let mut g = Dfg::new();
+        let srcs = sources(&mut g, 3);
+        let r = merge(&mut g, &srcs, ArcKind::Value).unwrap();
+        assert!(matches!(g.kind(r.op), OpKind::Merge));
+        assert_eq!(g.arc_count(), 3);
+        // Single source: pass-through.
+        let one = sources(&mut g, 1);
+        assert_eq!(merge(&mut g, &one, ArcKind::Value), Some(one[0]));
+    }
+}

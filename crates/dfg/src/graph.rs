@@ -1,0 +1,509 @@
+//! The dataflow graph structure.
+
+use crate::op::OpKind;
+use std::fmt;
+
+/// A dense index identifying a dataflow operator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// The index as a `usize`, for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// A port reference: operator plus port index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Port {
+    /// The operator.
+    pub op: OpId,
+    /// Port index on that operator (input or output depending on context).
+    pub port: u16,
+}
+
+impl Port {
+    /// Construct a port reference.
+    #[inline]
+    pub fn new(op: OpId, port: usize) -> Port {
+        Port {
+            op,
+            port: port as u16,
+        }
+    }
+}
+
+/// What an arc carries: a useful value, or a dummy access token used only
+/// for sequencing memory operations (dotted in the paper's figures).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArcKind {
+    /// Carries a meaningful value.
+    Value,
+    /// Carries a dummy synchronization token.
+    Access,
+}
+
+/// A directed arc from an output port to an input port.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Arc {
+    /// Source output port.
+    pub from: Port,
+    /// Destination input port.
+    pub to: Port,
+    /// Value or access classification.
+    pub kind: ArcKind,
+}
+
+#[derive(Clone, Debug)]
+struct OpNode {
+    kind: OpKind,
+    /// One slot per input port; `Some(c)` marks the port as an immediate
+    /// (literal) operand — no arc may feed it.
+    imm: Vec<Option<i64>>,
+    /// Optional human-readable annotation (e.g. which CFG statement or
+    /// variable line the operator belongs to).
+    label: String,
+}
+
+/// A dataflow program graph.
+#[derive(Clone, Debug, Default)]
+pub struct Dfg {
+    ops: Vec<OpNode>,
+    arcs: Vec<Arc>,
+}
+
+impl Dfg {
+    /// An empty graph.
+    pub fn new() -> Dfg {
+        Dfg::default()
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the graph has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Add an operator; all input ports start arc-fed (no immediates).
+    pub fn add(&mut self, kind: OpKind) -> OpId {
+        let id = OpId(u32::try_from(self.ops.len()).expect("too many operators"));
+        let n_in = kind.n_inputs();
+        self.ops.push(OpNode {
+            kind,
+            imm: vec![None; n_in],
+            label: String::new(),
+        });
+        id
+    }
+
+    /// Add an operator with a label.
+    pub fn add_labeled(&mut self, kind: OpKind, label: impl Into<String>) -> OpId {
+        let id = self.add(kind);
+        self.ops[id.index()].label = label.into();
+        id
+    }
+
+    /// Set an input port to an immediate operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range or merge-like.
+    pub fn set_imm(&mut self, op: OpId, port: usize, value: i64) {
+        assert!(
+            !self.ops[op.index()].kind.is_merge_like(port),
+            "merge-like ports cannot take immediates"
+        );
+        self.ops[op.index()].imm[port] = Some(value);
+    }
+
+    /// The immediate on an input port, if any.
+    pub fn imm(&self, op: OpId, port: usize) -> Option<i64> {
+        self.ops[op.index()].imm[port]
+    }
+
+    /// The operator kind.
+    #[inline]
+    pub fn kind(&self, op: OpId) -> &OpKind {
+        &self.ops[op.index()].kind
+    }
+
+    /// Replace an operator's kind. Input-port count must be preserved
+    /// (used e.g. to retarget memory operations).
+    pub fn set_kind(&mut self, op: OpId, kind: OpKind) {
+        assert_eq!(
+            self.ops[op.index()].kind.n_inputs(),
+            kind.n_inputs(),
+            "set_kind must preserve input arity"
+        );
+        self.ops[op.index()].kind = kind;
+    }
+
+    /// The operator's label.
+    pub fn label(&self, op: OpId) -> &str {
+        &self.ops[op.index()].label
+    }
+
+    /// Replace an operator's label.
+    pub fn set_label(&mut self, op: OpId, label: impl Into<String>) {
+        self.ops[op.index()].label = label.into();
+    }
+
+    /// Connect `from` (an output port) to `to` (an input port).
+    pub fn connect(&mut self, from: Port, to: Port, kind: ArcKind) {
+        debug_assert!(
+            (from.port as usize) < self.kind(from.op).n_outputs(),
+            "output port out of range on {:?}",
+            self.kind(from.op)
+        );
+        debug_assert!(
+            (to.port as usize) < self.kind(to.op).n_inputs(),
+            "input port out of range on {:?}",
+            self.kind(to.op)
+        );
+        self.arcs.push(Arc { from, to, kind });
+    }
+
+    /// All arcs.
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// Remove the first arc from `from` to `to`; returns whether one was
+    /// found. Used by the §6 graph rewrites.
+    pub fn disconnect(&mut self, from: Port, to: Port) -> bool {
+        if let Some(i) = self
+            .arcs
+            .iter()
+            .position(|a| a.from == from && a.to == to)
+        {
+            self.arcs.swap_remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Retarget every arc currently pointing at input port `old` to point
+    /// at `new` instead; returns how many arcs moved.
+    pub fn retarget_input(&mut self, old: Port, new: Port) -> usize {
+        let mut n = 0;
+        for a in &mut self.arcs {
+            if a.to == old {
+                a.to = new;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Rebuild the graph without *isolated* operators (no incident arcs,
+    /// excluding `Start`/`End`). Returns the compacted graph and, for each
+    /// old operator id, its new id (or `None` if removed). Graph rewrites
+    /// that orphan operators call this to restore the validation invariant
+    /// that every operator is fed and reachable.
+    pub fn compact(&self) -> (Dfg, Vec<Option<OpId>>) {
+        let mut touched = vec![false; self.ops.len()];
+        for a in &self.arcs {
+            touched[a.from.op.index()] = true;
+            touched[a.to.op.index()] = true;
+        }
+        for (i, o) in self.ops.iter().enumerate() {
+            if matches!(o.kind, OpKind::Start | OpKind::End { .. }) {
+                touched[i] = true;
+            }
+        }
+        let mut map: Vec<Option<OpId>> = vec![None; self.ops.len()];
+        let mut out = Dfg::new();
+        for (i, o) in self.ops.iter().enumerate() {
+            if touched[i] {
+                let id = out.add_labeled(o.kind.clone(), o.label.clone());
+                for (p, imm) in o.imm.iter().enumerate() {
+                    if let Some(c) = imm {
+                        out.set_imm(id, p, *c);
+                    }
+                }
+                map[i] = Some(id);
+            }
+        }
+        for a in &self.arcs {
+            let from = Port {
+                op: map[a.from.op.index()].expect("touched"),
+                port: a.from.port,
+            };
+            let to = Port {
+                op: map[a.to.op.index()].expect("touched"),
+                port: a.to.port,
+            };
+            out.connect(from, to, a.kind);
+        }
+        (out, map)
+    }
+
+    /// Iterate over all operator ids.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        (0..self.ops.len() as u32).map(OpId)
+    }
+
+    /// Find the unique operator of a kind matching `pred`, if any.
+    pub fn find(&self, mut pred: impl FnMut(&OpKind) -> bool) -> Option<OpId> {
+        let mut found = None;
+        for id in self.op_ids() {
+            if pred(self.kind(id)) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(id);
+            }
+        }
+        found
+    }
+
+    /// The `Start` operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is not exactly one.
+    pub fn start(&self) -> OpId {
+        self.find(|k| matches!(k, OpKind::Start))
+            .expect("graph must have exactly one Start")
+    }
+
+    /// The `End` operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is not exactly one.
+    pub fn end(&self) -> OpId {
+        self.find(|k| matches!(k, OpKind::End { .. }))
+            .expect("graph must have exactly one End")
+    }
+
+    /// Incoming arcs of each operator, indexed by destination port:
+    /// `result[op][port]` = arc indices.
+    pub fn in_arcs(&self) -> Vec<Vec<Vec<usize>>> {
+        let mut out: Vec<Vec<Vec<usize>>> = self
+            .ops
+            .iter()
+            .map(|o| vec![Vec::new(); o.kind.n_inputs()])
+            .collect();
+        for (i, a) in self.arcs.iter().enumerate() {
+            out[a.to.op.index()][a.to.port as usize].push(i);
+        }
+        out
+    }
+
+    /// Outgoing arcs of each operator, indexed by source port.
+    pub fn out_arcs(&self) -> Vec<Vec<Vec<usize>>> {
+        let mut out: Vec<Vec<Vec<usize>>> = self
+            .ops
+            .iter()
+            .map(|o| vec![Vec::new(); o.kind.n_outputs()])
+            .collect();
+        for (i, a) in self.arcs.iter().enumerate() {
+            out[a.from.op.index()][a.from.port as usize].push(i);
+        }
+        out
+    }
+
+    /// Pretty-print the whole graph, one operator per line.
+    pub fn pretty(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let outs = self.out_arcs();
+        for id in self.op_ids() {
+            let o = &self.ops[id.index()];
+            let mut dests = Vec::new();
+            for (p, arcs) in outs[id.index()].iter().enumerate() {
+                for &ai in arcs {
+                    let a = &self.arcs[ai];
+                    let style = match a.kind {
+                        ArcKind::Value => "",
+                        ArcKind::Access => "~",
+                    };
+                    dests.push(format!("{p}{style}>{:?}.{}", a.to.op, a.to.port));
+                }
+            }
+            let imms: Vec<String> = o
+                .imm
+                .iter()
+                .enumerate()
+                .filter_map(|(p, i)| i.map(|v| format!("#{p}={v}")))
+                .collect();
+            let _ = writeln!(
+                s,
+                "{:>6?} {:<22} {:<14} {} {}",
+                id,
+                o.kind.mnemonic(),
+                imms.join(" "),
+                o.label,
+                dests.join(" ")
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf2df_cfg::{BinOp, VarId};
+
+    fn tiny() -> (Dfg, OpId, OpId, OpId, OpId) {
+        // start → load x → (+1) → store x → end
+        let mut g = Dfg::new();
+        let start = g.add(OpKind::Start);
+        let load = g.add(OpKind::Load { var: VarId(0) });
+        let add = g.add(OpKind::Binary { op: BinOp::Add });
+        g.set_imm(add, 1, 1);
+        let store = g.add(OpKind::Store { var: VarId(0) });
+        let end = g.add(OpKind::End { inputs: 1 });
+        g.connect(Port::new(start, 0), Port::new(load, 0), ArcKind::Access);
+        g.connect(Port::new(load, 0), Port::new(add, 0), ArcKind::Value);
+        g.connect(Port::new(add, 0), Port::new(store, 0), ArcKind::Value);
+        g.connect(Port::new(load, 1), Port::new(store, 1), ArcKind::Access);
+        g.connect(Port::new(store, 0), Port::new(end, 0), ArcKind::Access);
+        (g, start, load, add, store)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (g, start, load, add, store) = tiny();
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.arc_count(), 5);
+        assert_eq!(g.start(), start);
+        assert_eq!(g.imm(add, 1), Some(1));
+        assert_eq!(g.imm(add, 0), None);
+        assert!(matches!(g.kind(load), OpKind::Load { .. }));
+        let _ = store;
+    }
+
+    #[test]
+    fn in_and_out_arcs_indexed_by_port() {
+        let (g, _, load, add, store) = tiny();
+        let ins = g.in_arcs();
+        let outs = g.out_arcs();
+        // store has value on port 0 and access on port 1.
+        assert_eq!(ins[store.index()][0].len(), 1);
+        assert_eq!(ins[store.index()][1].len(), 1);
+        // load output port 0 (value) feeds add; port 1 (access) feeds store.
+        assert_eq!(outs[load.index()][0].len(), 1);
+        assert_eq!(outs[load.index()][1].len(), 1);
+        let a = g.arcs()[outs[load.index()][1][0]];
+        assert_eq!(a.to.op, store);
+        assert_eq!(a.kind, ArcKind::Access);
+        let _ = add;
+    }
+
+    #[test]
+    #[should_panic(expected = "merge-like")]
+    fn imm_on_merge_port_panics() {
+        let mut g = Dfg::new();
+        let m = g.add(OpKind::Merge);
+        g.set_imm(m, 0, 3);
+    }
+
+    #[test]
+    fn find_unique_rejects_duplicates() {
+        let mut g = Dfg::new();
+        g.add(OpKind::Start);
+        g.add(OpKind::Start);
+        assert!(g.find(|k| matches!(k, OpKind::Start)).is_none());
+    }
+
+    #[test]
+    fn labels_and_pretty() {
+        let mut g = Dfg::new();
+        let s = g.add_labeled(OpKind::Start, "the source");
+        assert_eq!(g.label(s), "the source");
+        let (g2, ..) = tiny();
+        let p = g2.pretty();
+        assert_eq!(p.lines().count(), g2.len());
+        assert!(p.contains("#1=1"), "immediate rendered: {p}");
+        assert!(p.contains("~>"), "access arcs rendered dotted-ish");
+    }
+
+    #[test]
+    fn compact_drops_isolated_ops_and_remaps() {
+        let mut g = Dfg::new();
+        let s = g.add(OpKind::Start);
+        let dead = g.add(OpKind::Identity); // never connected
+        let id = g.add_labeled(OpKind::Identity, "live");
+        let e = g.add(OpKind::End { inputs: 1 });
+        g.connect(Port::new(s, 0), Port::new(id, 0), ArcKind::Access);
+        g.connect(Port::new(id, 0), Port::new(e, 0), ArcKind::Access);
+        let (c, map) = g.compact();
+        assert_eq!(c.len(), 3);
+        assert_eq!(map[dead.index()], None);
+        let new_id = map[id.index()].unwrap();
+        assert_eq!(c.label(new_id), "live");
+        assert_eq!(c.arc_count(), 2);
+        crate::validate::validate(&c).unwrap();
+    }
+
+    #[test]
+    fn compact_preserves_start_end_and_imms() {
+        let mut g = Dfg::new();
+        let s = g.add(OpKind::Start);
+        let st = g.add(OpKind::Store { var: VarId(0) });
+        g.set_imm(st, 0, 42);
+        let e = g.add(OpKind::End { inputs: 1 });
+        g.add(OpKind::Merge); // isolated merge: dropped
+        g.connect(Port::new(s, 0), Port::new(st, 1), ArcKind::Access);
+        g.connect(Port::new(st, 0), Port::new(e, 0), ArcKind::Access);
+        let (c, map) = g.compact();
+        assert_eq!(c.len(), 3);
+        let new_st = map[st.index()].unwrap();
+        assert_eq!(c.imm(new_st, 0), Some(42));
+        // Start/End always survive, even if somehow isolated.
+        let mut g2 = Dfg::new();
+        g2.add(OpKind::Start);
+        g2.add(OpKind::End { inputs: 1 });
+        let (c2, _) = g2.compact();
+        assert_eq!(c2.len(), 2);
+    }
+
+    #[test]
+    fn disconnect_and_retarget() {
+        let mut g = Dfg::new();
+        let s = g.add(OpKind::Start);
+        let a = g.add(OpKind::Identity);
+        let b = g.add(OpKind::Identity);
+        let e = g.add(OpKind::End { inputs: 1 });
+        g.connect(Port::new(s, 0), Port::new(a, 0), ArcKind::Access);
+        g.connect(Port::new(a, 0), Port::new(e, 0), ArcKind::Access);
+        // Retarget the arc into `a` to `b` instead.
+        assert_eq!(g.retarget_input(Port::new(a, 0), Port::new(b, 0)), 1);
+        assert!(g.disconnect(Port::new(a, 0), Port::new(e, 0)));
+        assert!(!g.disconnect(Port::new(a, 0), Port::new(e, 0)), "already gone");
+        g.connect(Port::new(b, 0), Port::new(e, 0), ArcKind::Access);
+        let (c, map) = g.compact();
+        assert_eq!(map[a.index()], None, "a became isolated");
+        assert_eq!(c.len(), 3);
+        crate::validate::validate(&c).unwrap();
+    }
+
+    #[test]
+    fn set_kind_preserving_arity() {
+        let mut g = Dfg::new();
+        let l = g.add(OpKind::Load { var: VarId(0) });
+        g.set_kind(l, OpKind::Load { var: VarId(1) });
+        assert!(matches!(g.kind(l), OpKind::Load { var: VarId(1) }));
+    }
+}

@@ -1,0 +1,269 @@
+//! Dataflow operators.
+//!
+//! Firing discipline (§2.2): an operator fires when a token is present on
+//! every input port — except *merge-like* ports, where a token on any one
+//! arc fires the operator immediately. Input ports may instead carry an
+//! immediate constant (a "literal slot", as on real explicit-token-store
+//! machines), in which case no arc feeds them.
+
+use cf2df_cfg::{BinOp, LoopId, UnOp, VarId};
+
+/// The kind of a dataflow operator. Input/output port layouts are listed
+/// with each variant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    /// The unique source. No inputs; one output port. The machine seeds one
+    /// initial token on *each arc* leaving the output port (one per
+    /// circulating token line).
+    Start,
+    /// The unique sink: an `inputs`-ary rendezvous (the paper treats `end`
+    /// as a use of every variable). When it fires, execution halts.
+    End {
+        /// Number of input ports.
+        inputs: u32,
+    },
+    /// Unary arithmetic/logic.
+    Unary {
+        /// The operator.
+        op: UnOp,
+    },
+    /// Binary arithmetic/logic. In: `[lhs, rhs]`; out: `[result]`.
+    Binary {
+        /// The operator.
+        op: BinOp,
+    },
+    /// Fig 2's `switch`: in: `[data, pred]`; out: `[true, false]`. The data
+    /// token is forwarded to the output selected by the predicate.
+    Switch,
+    /// Multi-way switch (footnote 3): in: `[data, selector]`; out:
+    /// `arms` ports. The data token goes to port `selector` when
+    /// `0 ≤ selector < arms-1`, otherwise to the last (default) port.
+    CaseSwitch {
+        /// Number of output arms (≥ 2), the last being the default.
+        arms: u32,
+    },
+    /// Fig 2's `merge`: one merge-like input port (any number of arcs);
+    /// out: `[data]`. A token arriving on any arc is forwarded.
+    Merge,
+    /// Fig 2's `synch tree`, realized n-ary: in: `inputs` ports; out: one
+    /// dummy token once all inputs have arrived.
+    Synch {
+        /// Number of input ports.
+        inputs: u32,
+    },
+    /// Forward a token unchanged (wiring convenience).
+    Identity,
+    /// Emit the data input when the trigger arrives: in `[data, trigger]`;
+    /// out `[data]`. Used by the memory-elimination transform (§6.1) to
+    /// produce a variable's new value-token exactly once per execution of
+    /// its assignment (the old value-token is the trigger).
+    Gate,
+    /// Scalar load. In: `[access]`; out: `[value, access]`. Split-phase:
+    /// the access token is propagated only when the memory responds.
+    Load {
+        /// Variable whose cell is read.
+        var: VarId,
+    },
+    /// Scalar store. In: `[value, access]`; out: `[access]`.
+    Store {
+        /// Variable whose cell is written.
+        var: VarId,
+    },
+    /// Array-element load. In: `[index, access]`; out: `[value, access]`.
+    LoadIdx {
+        /// Array variable.
+        var: VarId,
+    },
+    /// Array-element store. In: `[index, value, access]`; out: `[access]`.
+    StoreIdx {
+        /// Array variable.
+        var: VarId,
+    },
+    /// I-structure read (§6.3 write-once arrays). In: `[index]`; out:
+    /// `[value]`. Reads issued before the write are deferred by the memory.
+    IstLoad {
+        /// Array variable backed by I-structure cells.
+        var: VarId,
+    },
+    /// I-structure write. In: `[index, value]`; out: `[done]`. Writing a
+    /// full cell is an error.
+    IstStore {
+        /// Array variable backed by I-structure cells.
+        var: VarId,
+    },
+    /// Loop-entry operator (§3). In: `[from-outside, from-backedge]`, both
+    /// merge-like; out: `[data]`. A token from outside acquires a fresh
+    /// iteration-0 tag for this loop; a token from the backedge advances to
+    /// the next iteration's tag.
+    LoopEntry {
+        /// The loop whose iteration tags this operator manages.
+        loop_id: LoopId,
+    },
+    /// Loop-exit operator (§3). In: `[data]`; out: `[data]` with the
+    /// innermost iteration tag (which must belong to `loop_id`) stripped.
+    LoopExit {
+        /// The loop whose tag is stripped.
+        loop_id: LoopId,
+    },
+    /// Retag a token from iteration `i` to iteration `i-1` of the same
+    /// loop (the backward synchronization link in the array-store
+    /// parallelization of Fig 14: the completion chain of iteration `i+1`
+    /// is handed to iteration `i`). In: `[data]`; out: `[data]`. A token
+    /// tagged iteration 0 is a translation bug and faults.
+    PrevIter {
+        /// The loop whose iteration tag is decremented.
+        loop_id: LoopId,
+    },
+    /// Materialize the current iteration index as a value: a token tagged
+    /// `(p, l, i)` triggers the output value `i` under the same tag.
+    /// In: `[trigger]`; out: `[index]`.
+    IterIndex {
+        /// The loop whose iteration index is read.
+        loop_id: LoopId,
+    },
+}
+
+impl OpKind {
+    /// Number of input ports.
+    pub fn n_inputs(&self) -> usize {
+        match self {
+            OpKind::Start => 0,
+            OpKind::End { inputs } | OpKind::Synch { inputs } => *inputs as usize,
+            OpKind::Unary { .. } | OpKind::Identity | OpKind::Merge => 1,
+            OpKind::Load { .. } | OpKind::LoopExit { .. } => 1,
+            OpKind::PrevIter { .. } | OpKind::IterIndex { .. } => 1,
+            OpKind::IstLoad { .. } => 1,
+            OpKind::Binary { .. } | OpKind::Switch | OpKind::Gate => 2,
+            OpKind::CaseSwitch { .. } => 2,
+            OpKind::Store { .. } | OpKind::LoadIdx { .. } | OpKind::IstStore { .. } => 2,
+            OpKind::LoopEntry { .. } => 2,
+            OpKind::StoreIdx { .. } => 3,
+        }
+    }
+
+    /// Number of output ports.
+    pub fn n_outputs(&self) -> usize {
+        match self {
+            OpKind::Start => 1,
+            OpKind::End { .. } => 0,
+            OpKind::Switch => 2,
+            OpKind::CaseSwitch { arms } => *arms as usize,
+            OpKind::Load { .. } | OpKind::LoadIdx { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Is input port `port` merge-like (fires on any single arc, may have
+    /// several arcs)?
+    pub fn is_merge_like(&self, port: usize) -> bool {
+        match self {
+            OpKind::Merge => port == 0,
+            OpKind::LoopEntry { .. } => port <= 1,
+            _ => false,
+        }
+    }
+
+    /// Is this a memory operation (load/store on the multiply-written
+    /// store, or an I-structure operation)?
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Load { .. }
+                | OpKind::Store { .. }
+                | OpKind::LoadIdx { .. }
+                | OpKind::StoreIdx { .. }
+                | OpKind::IstLoad { .. }
+                | OpKind::IstStore { .. }
+        )
+    }
+
+    /// Is this a store (writes memory)?
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Store { .. } | OpKind::StoreIdx { .. } | OpKind::IstStore { .. }
+        )
+    }
+
+    /// Short mnemonic for display.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            OpKind::Start => "start".into(),
+            OpKind::End { .. } => "end".into(),
+            OpKind::Unary { op } => format!("un[{}]", op.symbol()),
+            OpKind::Binary { op } => format!("bin[{}]", op.symbol()),
+            OpKind::Switch => "switch".into(),
+            OpKind::CaseSwitch { arms } => format!("case{arms}"),
+            OpKind::Merge => "merge".into(),
+            OpKind::Synch { inputs } => format!("synch{inputs}"),
+            OpKind::Identity => "id".into(),
+            OpKind::Gate => "gate".into(),
+            OpKind::Load { var } => format!("load {var:?}"),
+            OpKind::Store { var } => format!("store {var:?}"),
+            OpKind::LoadIdx { var } => format!("load {var:?}[·]"),
+            OpKind::StoreIdx { var } => format!("store {var:?}[·]"),
+            OpKind::IstLoad { var } => format!("ist-load {var:?}[·]"),
+            OpKind::IstStore { var } => format!("ist-store {var:?}[·]"),
+            OpKind::LoopEntry { loop_id } => format!("loop-entry {loop_id:?}"),
+            OpKind::LoopExit { loop_id } => format!("loop-exit {loop_id:?}"),
+            OpKind::PrevIter { loop_id } => format!("prev-iter {loop_id:?}"),
+            OpKind::IterIndex { loop_id } => format!("iter-index {loop_id:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_counts() {
+        assert_eq!(OpKind::Start.n_inputs(), 0);
+        assert_eq!(OpKind::Start.n_outputs(), 1);
+        assert_eq!(OpKind::End { inputs: 3 }.n_inputs(), 3);
+        assert_eq!(OpKind::End { inputs: 3 }.n_outputs(), 0);
+        assert_eq!(OpKind::Switch.n_inputs(), 2);
+        assert_eq!(OpKind::Switch.n_outputs(), 2);
+        assert_eq!(OpKind::Load { var: VarId(0) }.n_outputs(), 2);
+        assert_eq!(OpKind::StoreIdx { var: VarId(0) }.n_inputs(), 3);
+        assert_eq!(OpKind::Synch { inputs: 5 }.n_inputs(), 5);
+        assert_eq!(OpKind::PrevIter { loop_id: LoopId(0) }.n_inputs(), 1);
+        assert_eq!(OpKind::IterIndex { loop_id: LoopId(0) }.n_outputs(), 1);
+    }
+
+    #[test]
+    fn merge_like_ports() {
+        assert!(OpKind::Merge.is_merge_like(0));
+        assert!(!OpKind::Switch.is_merge_like(0));
+        let le = OpKind::LoopEntry { loop_id: LoopId(0) };
+        assert!(le.is_merge_like(0));
+        assert!(le.is_merge_like(1));
+        assert!(!OpKind::PrevIter { loop_id: LoopId(0) }.is_merge_like(0));
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(OpKind::Load { var: VarId(0) }.is_memory());
+        assert!(OpKind::IstStore { var: VarId(0) }.is_memory());
+        assert!(!OpKind::Switch.is_memory());
+        assert!(OpKind::Store { var: VarId(0) }.is_store());
+        assert!(!OpKind::Load { var: VarId(0) }.is_store());
+    }
+
+    #[test]
+    fn mnemonics_are_distinctive() {
+        let names: Vec<String> = [
+            OpKind::Start,
+            OpKind::Switch,
+            OpKind::Merge,
+            OpKind::Load { var: VarId(1) },
+            OpKind::Store { var: VarId(1) },
+        ]
+        .iter()
+        .map(|k| k.mnemonic())
+        .collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+    }
+}

@@ -1,0 +1,139 @@
+//! Abstract syntax of the Imp language.
+
+use cf2df_cfg::{BinOp, UnOp};
+
+/// A whole program: declarations followed by statements.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Program {
+    /// `array a[n];` declarations.
+    pub arrays: Vec<(String, u32)>,
+    /// `alias x ~ y;` declarations.
+    pub aliases: Vec<(String, String)>,
+    /// Top-level statement sequence.
+    pub body: Vec<AstStmt>,
+}
+
+/// Assignment target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstLValue {
+    /// Scalar target.
+    Var(String),
+    /// Array-element target.
+    Index(String, AstExpr),
+}
+
+/// Expression syntax.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstExpr {
+    /// Integer literal.
+    Const(i64),
+    /// Scalar read.
+    Var(String),
+    /// Array-element read.
+    Index(String, Box<AstExpr>),
+    /// Unary operation.
+    Unary(UnOp, Box<AstExpr>),
+    /// Binary operation.
+    Binary(BinOp, Box<AstExpr>, Box<AstExpr>),
+}
+
+impl AstExpr {
+    /// Convenience constructor for binary nodes.
+    pub fn bin(op: BinOp, l: AstExpr, r: AstExpr) -> AstExpr {
+        AstExpr::Binary(op, Box::new(l), Box::new(r))
+    }
+}
+
+/// Statement syntax.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstStmt {
+    /// `lhs := rhs;`
+    Assign {
+        /// Target.
+        lhs: AstLValue,
+        /// Right-hand side.
+        rhs: AstExpr,
+        /// Source line (for diagnostics).
+        line: u32,
+    },
+    /// `if c then { … } [else { … }]`
+    If {
+        /// Condition.
+        cond: AstExpr,
+        /// Then-block.
+        then_body: Vec<AstStmt>,
+        /// Else-block (possibly empty).
+        else_body: Vec<AstStmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `while c do { … }`
+    While {
+        /// Condition.
+        cond: AstExpr,
+        /// Loop body.
+        body: Vec<AstStmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `for v := a to b do { … }` (inclusive bounds, step 1).
+    For {
+        /// Induction variable.
+        var: String,
+        /// Initial value.
+        from: AstExpr,
+        /// Final value (inclusive).
+        to: AstExpr,
+        /// Loop body.
+        body: Vec<AstStmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `case e of { 0 => { … } 1 => { … } else => { … } }` — arms must be
+    /// numbered consecutively from 0; the `else` arm is mandatory and last.
+    Case {
+        /// Selector expression.
+        selector: AstExpr,
+        /// Numbered arms, in order (arm `i` taken when selector == i).
+        arms: Vec<Vec<AstStmt>>,
+        /// The default arm.
+        default: Vec<AstStmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `goto l;` — `goto end;` targets the program's `end` node.
+    Goto {
+        /// Target label.
+        label: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `l:` — a label marker binding `l` to the following program point.
+    Label {
+        /// The label name.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `skip;` — no operation.
+    Skip {
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl AstStmt {
+    /// The source line of the statement.
+    pub fn line(&self) -> u32 {
+        match self {
+            AstStmt::Assign { line, .. }
+            | AstStmt::If { line, .. }
+            | AstStmt::While { line, .. }
+            | AstStmt::For { line, .. }
+            | AstStmt::Case { line, .. }
+            | AstStmt::Goto { line, .. }
+            | AstStmt::Label { line, .. }
+            | AstStmt::Skip { line } => *line,
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Errors produced while parsing or lowering source programs.
+
+use std::fmt;
+
+/// Any front-end failure, with a 1-based source line where applicable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LangError {
+    /// Lexical error: unexpected character.
+    Lex {
+        /// Source line.
+        line: u32,
+        /// Offending character.
+        ch: char,
+    },
+    /// Parse error with a description of what was expected.
+    Parse {
+        /// Source line.
+        line: u32,
+        /// What went wrong.
+        msg: String,
+    },
+    /// `goto l` where `l` is never defined.
+    UndefinedLabel(String),
+    /// The same label defined twice.
+    DuplicateLabel(String),
+    /// A statement can never execute (it follows an unconditional `goto`
+    /// with no intervening label).
+    UnreachableCode {
+        /// Source line of the dead statement.
+        line: u32,
+    },
+    /// `a[i]` used but `a` was not declared with `array a[n];`.
+    UndeclaredArray(String),
+    /// An `array`-declared name used as a scalar.
+    ArrayUsedAsScalar(String),
+    /// A name declared twice as an array.
+    DuplicateArray(String),
+    /// The program's CFG failed validation after lowering (e.g. an infinite
+    /// loop with no path to `end`, which the paper's program model forbids).
+    InvalidCfg(String),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { line, ch } => {
+                write!(f, "line {line}: unexpected character {ch:?}")
+            }
+            LangError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            LangError::UndefinedLabel(l) => write!(f, "goto to undefined label {l:?}"),
+            LangError::DuplicateLabel(l) => write!(f, "label {l:?} defined twice"),
+            LangError::UnreachableCode { line } => {
+                write!(f, "line {line}: unreachable statement (follows a goto)")
+            }
+            LangError::UndeclaredArray(a) => {
+                write!(f, "array {a:?} indexed but never declared")
+            }
+            LangError::ArrayUsedAsScalar(a) => {
+                write!(f, "array {a:?} used without a subscript")
+            }
+            LangError::DuplicateArray(a) => write!(f, "array {a:?} declared twice"),
+            LangError::InvalidCfg(msg) => write!(f, "program violates CFG invariants: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}

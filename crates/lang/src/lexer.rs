@@ -1,0 +1,298 @@
+//! Hand-written lexer for the Imp language.
+
+use crate::error::LangError;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `:=`
+    Assign,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `~`
+    Tilde,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBrack,
+    /// `]`
+    RBrack,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `=>`
+    FatArrow,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+/// A token with its source line (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Tokenize source text. `#` starts a to-end-of-line comment.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut v: i64 = 0;
+                while let Some(&c) = chars.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        v = v.wrapping_mul(10).wrapping_add(d as i64);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Int(v),
+                    line,
+                });
+            }
+            _ => {
+                chars.next();
+                let two = |chars: &mut std::iter::Peekable<std::str::Chars>, want: char| {
+                    if chars.peek() == Some(&want) {
+                        chars.next();
+                        true
+                    } else {
+                        false
+                    }
+                };
+                let tok = match c {
+                    ':' => {
+                        if two(&mut chars, '=') {
+                            Tok::Assign
+                        } else {
+                            Tok::Colon
+                        }
+                    }
+                    ';' => Tok::Semi,
+                    ',' => Tok::Comma,
+                    '~' => Tok::Tilde,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '[' => Tok::LBrack,
+                    ']' => Tok::RBrack,
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '/' => Tok::Slash,
+                    '%' => Tok::Percent,
+                    '=' => {
+                        if two(&mut chars, '=') {
+                            Tok::EqEq
+                        } else if two(&mut chars, '>') {
+                            Tok::FatArrow
+                        } else {
+                            return Err(LangError::Lex { line, ch: '=' });
+                        }
+                    }
+                    '!' => {
+                        if two(&mut chars, '=') {
+                            Tok::NotEq
+                        } else {
+                            Tok::Bang
+                        }
+                    }
+                    '<' => {
+                        if two(&mut chars, '=') {
+                            Tok::Le
+                        } else {
+                            Tok::Lt
+                        }
+                    }
+                    '>' => {
+                        if two(&mut chars, '=') {
+                            Tok::Ge
+                        } else {
+                            Tok::Gt
+                        }
+                    }
+                    '&' => {
+                        if two(&mut chars, '&') {
+                            Tok::AndAnd
+                        } else {
+                            return Err(LangError::Lex { line, ch: '&' });
+                        }
+                    }
+                    '|' => {
+                        if two(&mut chars, '|') {
+                            Tok::OrOr
+                        } else {
+                            return Err(LangError::Lex { line, ch: '|' });
+                        }
+                    }
+                    other => return Err(LangError::Lex { line, ch: other }),
+                };
+                out.push(Spanned { tok, line });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_assignment() {
+        assert_eq!(
+            toks("x := x + 1;"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Ident("x".into()),
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_colon_and_assign() {
+        assert_eq!(
+            toks("l: x := 1;"),
+            vec![
+                Tok::Ident("l".into()),
+                Tok::Colon,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("== != <= >= && || < > !"),
+            vec![
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Bang
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = lex("x # comment\ny").unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(matches!(lex("x @ y"), Err(LangError::Lex { ch: '@', .. })));
+        assert!(matches!(lex("x = y"), Err(LangError::Lex { ch: '=', .. })));
+        assert!(matches!(lex("a & b"), Err(LangError::Lex { ch: '&', .. })));
+    }
+
+    #[test]
+    fn brackets_and_numbers() {
+        assert_eq!(
+            toks("a[10] := 3;"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::LBrack,
+                Tok::Int(10),
+                Tok::RBrack,
+                Tok::Assign,
+                Tok::Int(3),
+                Tok::Semi
+            ]
+        );
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! A small imperative source language ("Imp") and its translation to the
+//! statement-level control-flow graphs of §2.1.
+//!
+//! The language deliberately matches the paper's program model:
+//!
+//! * assignments `x := e` and `a[i] := e`;
+//! * *unstructured* control flow via labels and `goto` (including
+//!   `goto end`), exactly as in the paper's running example;
+//! * structured sugar (`if/then/else`, `while`, `for`) that lowers to
+//!   forks and joins;
+//! * `array a[n];` declarations and `alias x ~ y;` declarations building
+//!   the alias structure of §5 (the relation is reflexive and symmetric but
+//!   **not** transitive, matching Definition 6).
+//!
+//! ```
+//! use cf2df_lang::parse_to_cfg;
+//! let program = cf2df_lang::corpus::RUNNING_EXAMPLE;
+//! let parsed = parse_to_cfg(program).unwrap();
+//! assert!(parsed.cfg.validate().is_ok());
+//! ```
+
+pub mod ast;
+pub mod corpus;
+pub mod emit;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{AstExpr, AstLValue, AstStmt, Program};
+pub use error::LangError;
+pub use lower::{lower, Parsed};
+
+/// Parse source text and lower it to a validated control-flow graph.
+pub fn parse_to_cfg(src: &str) -> Result<Parsed, LangError> {
+    let program = parser::parse(src)?;
+    lower(&program)
+}

@@ -1,0 +1,87 @@
+//! Execution metrics: the quantities the paper's parallelism claims are
+//! about.
+//!
+//! With unbounded processors and unit latencies, `makespan` is the dataflow
+//! graph's *critical path* and `avg_parallelism = fired / makespan` is the
+//! parallelism the graph exposes — the paper's central measure of how much
+//! a translation schema "exploits fine-grain parallelism across
+//! statements".
+
+/// Metrics gathered over one execution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecStats {
+    /// Operators fired.
+    pub fired: u64,
+    /// Memory reads issued (ordinary + I-structure).
+    pub mem_reads: u64,
+    /// Memory writes issued.
+    pub mem_writes: u64,
+    /// Time at which `End` fired (the makespan; with unbounded processors,
+    /// the critical path).
+    pub makespan: u64,
+    /// Operators issued per time step, up to a configurable cap.
+    pub profile: Vec<u32>,
+    /// Maximum operators issued in any single step.
+    pub max_parallelism: u32,
+    /// Token collisions observed (only nonzero when collisions are
+    /// configured non-fatal).
+    pub collisions: u64,
+    /// Tokens still pending (in rendezvous slots or in flight) when `End`
+    /// fired. A clean translation drains to zero.
+    pub leftover_tokens: u64,
+    /// I-structure reads that had to be deferred.
+    pub deferred_reads: u64,
+    /// Distinct iteration tags created.
+    pub tags_created: u64,
+    /// High-water mark of occupied rendezvous slots — the machine's
+    /// waiting-matching (frame memory) pressure, a first-order hardware
+    /// cost on explicit-token-store machines like Monsoon.
+    pub max_pending_slots: u64,
+}
+
+impl ExecStats {
+    /// Average parallelism: operators fired per time step.
+    pub fn avg_parallelism(&self) -> f64 {
+        if self.makespan == 0 {
+            self.fired as f64
+        } else {
+            self.fired as f64 / self.makespan as f64
+        }
+    }
+
+    /// One-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "fired={} makespan={} avg_par={:.2} max_par={} reads={} writes={} leftover={}",
+            self.fired,
+            self.makespan,
+            self.avg_parallelism(),
+            self.max_parallelism,
+            self.mem_reads,
+            self.mem_writes,
+            self.leftover_tokens
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_parallelism_guards_zero_makespan() {
+        let s = ExecStats {
+            fired: 5,
+            makespan: 0,
+            ..Default::default()
+        };
+        assert_eq!(s.avg_parallelism(), 5.0);
+        let s2 = ExecStats {
+            fired: 10,
+            makespan: 4,
+            ..Default::default()
+        };
+        assert_eq!(s2.avg_parallelism(), 2.5);
+        assert!(s2.summary().contains("avg_par=2.50"));
+    }
+}

@@ -1,0 +1,434 @@
+//! A multi-threaded token-pushing executor.
+//!
+//! Where [`crate::exec`] is a deterministic discrete-event *simulator*
+//! measuring idealized parallelism, this module actually executes a
+//! dataflow graph on OS threads: worker threads pull tokens from a shared
+//! channel, rendezvous them in sharded slot tables, fire operators, and
+//! push result tokens back. It demonstrates the paper's point that the
+//! translated graphs are genuinely parallel programs — any interleaving
+//! the token dependences permit yields the same final memory, which the
+//! tests check against the deterministic simulator.
+//!
+//! Timing metrics are not meaningful here (wall-clock benches use
+//! Criterion); the executor reports fired-operator and memory-op counts.
+
+use crate::exec::MachineError;
+use crate::memory::Memory;
+use crate::tag::{TagId, TagTable};
+use cf2df_cfg::MemLayout;
+use cf2df_dfg::{Dfg, OpId, OpKind, Port};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Result of a threaded run.
+#[derive(Clone, Debug)]
+pub struct ParOutcome {
+    /// Final ordinary memory.
+    pub memory: Vec<i64>,
+    /// Final I-structure memory.
+    pub ist_memory: Vec<i64>,
+    /// Operators fired.
+    pub fired: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Token {
+    to: Port,
+    tag: TagId,
+    value: i64,
+}
+
+const SHARDS: usize = 16;
+
+/// One shard of the rendezvous-slot table.
+type SlotShard = Mutex<std::collections::HashMap<(OpId, TagId), Vec<Option<i64>>>>;
+
+struct Shared {
+    layout: MemLayout,
+    dests: Vec<Vec<Vec<Port>>>,
+    live: Vec<usize>,
+    /// Rendezvous slots, sharded by (op, tag) hash.
+    slots: Vec<SlotShard>,
+    tags: Mutex<TagTable>,
+    mem: Mutex<Memory<(OpId, TagId)>>,
+    pending: AtomicUsize,
+    halted: AtomicBool,
+    failed: Mutex<Option<MachineError>>,
+    fired: AtomicU64,
+    tx: Sender<Token>,
+}
+
+impl Shared {
+    fn shard(&self, op: OpId, tag: TagId) -> usize {
+        (op.0 as usize).wrapping_mul(31).wrapping_add(tag.0 as usize) % SHARDS
+    }
+
+    fn send(&self, t: Token) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        // Send failure means the channel closed during shutdown; the token
+        // is dropped, which is fine once halted/failed is set.
+        if self.tx.send(t).is_err() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn fail(&self, e: MachineError) {
+        let mut f = self.failed.lock();
+        if f.is_none() {
+            *f = Some(e);
+        }
+        self.halted.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Execute a dataflow graph on `n_threads` worker threads.
+pub fn run_threaded(
+    g: &Dfg,
+    layout: &MemLayout,
+    n_threads: usize,
+) -> Result<ParOutcome, MachineError> {
+    let n_threads = n_threads.max(1);
+    let mut dests: Vec<Vec<Vec<Port>>> = g
+        .op_ids()
+        .map(|o| vec![Vec::new(); g.kind(o).n_outputs()])
+        .collect();
+    for a in g.arcs() {
+        dests[a.from.op.index()][a.from.port as usize].push(a.to);
+    }
+    let live: Vec<usize> = g
+        .op_ids()
+        .map(|o| {
+            (0..g.kind(o).n_inputs())
+                .filter(|&p| g.imm(o, p).is_none())
+                .count()
+        })
+        .collect();
+
+    let (tx, rx): (Sender<Token>, Receiver<Token>) = unbounded();
+    let shared = Arc::new(Shared {
+        layout: layout.clone(),
+        dests,
+        live,
+        slots: std::iter::repeat_with(|| Mutex::new(std::collections::HashMap::new()))
+            .take(SHARDS)
+            .collect(),
+        tags: Mutex::new(TagTable::new()),
+        mem: Mutex::new(Memory::new(layout)),
+        pending: AtomicUsize::new(0),
+        halted: AtomicBool::new(false),
+        failed: Mutex::new(None),
+        fired: AtomicU64::new(0),
+        tx,
+    });
+
+    // Seed initial tokens.
+    let start = g.start();
+    for &to in &shared.dests[start.index()][0].clone() {
+        shared.send(Token {
+            to,
+            tag: TagId::ROOT,
+            value: 0,
+        });
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            let shared = Arc::clone(&shared);
+            let rx = rx.clone();
+            let g = &*g;
+            scope.spawn(move || worker(g, &shared, &rx));
+        }
+    });
+
+    let failed = shared.failed.lock().take();
+    if let Some(e) = failed {
+        return Err(e);
+    }
+    if !shared.halted.load(Ordering::SeqCst) {
+        return Err(MachineError::Deadlock {
+            pending: vec!["threaded executor quiesced without End".into()],
+        });
+    }
+    let mem = shared.mem.lock();
+    Ok(ParOutcome {
+        memory: mem.cells().to_vec(),
+        ist_memory: mem.ist_cells(),
+        fired: shared.fired.load(Ordering::SeqCst),
+    })
+}
+
+fn worker(g: &Dfg, sh: &Shared, rx: &Receiver<Token>) {
+    loop {
+        if sh.halted.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(t) = rx.recv_timeout(std::time::Duration::from_millis(5)) else {
+            // Queue empty: if nothing is pending anywhere, we are done
+            // (either End fired, a failure was recorded, or the graph
+            // quiesced — the caller distinguishes).
+            if sh.pending.load(Ordering::SeqCst) == 0 {
+                if !sh.halted.load(Ordering::SeqCst) && sh.failed.lock().is_none() {
+                    // Genuine quiescence without End: deadlock.
+                    sh.fail(MachineError::Deadlock {
+                        pending: vec!["no tokens in flight".into()],
+                    });
+                }
+                return;
+            }
+            continue;
+        };
+        process(g, sh, t);
+        sh.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn process(g: &Dfg, sh: &Shared, t: Token) {
+    let op = t.to.op;
+    let port = t.to.port as usize;
+    let kind = g.kind(op);
+    match kind {
+        OpKind::Merge | OpKind::LoopEntry { .. } => {
+            fire_single(g, sh, op, t.tag, port, t.value);
+        }
+        _ => {
+            let n_in = kind.n_inputs();
+            if sh.live[op.index()] <= 1 {
+                let mut vals = Vec::with_capacity(n_in);
+                for p in 0..n_in {
+                    vals.push(g.imm(op, p).unwrap_or(0));
+                }
+                if n_in > 0 {
+                    vals[port] = t.value;
+                }
+                fire_full(g, sh, op, t.tag, vals);
+                return;
+            }
+            let complete = {
+                let mut shard = sh.slots[sh.shard(op, t.tag)].lock();
+                let slot = shard.entry((op, t.tag)).or_insert_with(|| {
+                    (0..n_in).map(|p| g.imm(op, p)).collect::<Vec<_>>()
+                });
+                if slot[port].is_some() {
+                    let tag = sh.tags.lock().render(t.tag);
+                    drop(shard);
+                    sh.fail(MachineError::TokenCollision { op, port, tag });
+                    return;
+                }
+                slot[port] = Some(t.value);
+                if slot.iter().all(|v| v.is_some()) {
+                    let vals = shard
+                        .remove(&(op, t.tag))
+                        .expect("present")
+                        .into_iter()
+                        .map(|v| v.expect("full"))
+                        .collect::<Vec<_>>();
+                    Some(vals)
+                } else {
+                    None
+                }
+            };
+            if let Some(vals) = complete {
+                fire_full(g, sh, op, t.tag, vals);
+            }
+        }
+    }
+}
+
+fn emit(sh: &Shared, op: OpId, out_port: usize, value: i64, tag: TagId) {
+    for &to in &sh.dests[op.index()][out_port] {
+        sh.send(Token { to, tag, value });
+    }
+}
+
+fn fire_single(g: &Dfg, sh: &Shared, op: OpId, tag: TagId, port: usize, value: i64) {
+    sh.fired.fetch_add(1, Ordering::Relaxed);
+    match g.kind(op) {
+        OpKind::Merge => emit(sh, op, 0, value, tag),
+        OpKind::LoopEntry { loop_id } => {
+            let new_tag = if port == 0 {
+                sh.tags.lock().child(tag, *loop_id, 0)
+            } else {
+                let mut tags = sh.tags.lock();
+                match tags.info(tag) {
+                    Some((p, l, i)) if l == *loop_id => tags.child(p, *loop_id, i + 1),
+                    other => {
+                        drop(tags);
+                        sh.fail(MachineError::TagMismatch {
+                            op,
+                            detail: format!("backedge token tagged {other:?}"),
+                        });
+                        return;
+                    }
+                }
+            };
+            emit(sh, op, 0, value, new_tag);
+        }
+        _ => unreachable!("fire_single only for merge-like ops"),
+    }
+}
+
+fn fire_full(g: &Dfg, sh: &Shared, op: OpId, tag: TagId, vals: Vec<i64>) {
+    sh.fired.fetch_add(1, Ordering::Relaxed);
+    match g.kind(op) {
+        OpKind::Start => unreachable!("Start never fires"),
+        OpKind::End { .. } => {
+            sh.halted.store(true, Ordering::SeqCst);
+        }
+        OpKind::Unary { op: u } => emit(sh, op, 0, u.eval(vals[0]), tag),
+        OpKind::Binary { op: b } => emit(sh, op, 0, b.eval(vals[0], vals[1]), tag),
+        OpKind::Switch => {
+            let out = if vals[1] != 0 { 0 } else { 1 };
+            emit(sh, op, out, vals[0], tag);
+        }
+        OpKind::CaseSwitch { arms } => {
+            let sel = vals[1];
+            let out = if sel >= 0 && (sel as u64) < u64::from(*arms) - 1 {
+                sel as usize
+            } else {
+                *arms as usize - 1
+            };
+            emit(sh, op, out, vals[0], tag);
+        }
+        OpKind::Synch { .. } => emit(sh, op, 0, 0, tag),
+        OpKind::Identity | OpKind::Gate => emit(sh, op, 0, vals[0], tag),
+        OpKind::Merge | OpKind::LoopEntry { .. } => unreachable!("merge-like"),
+        OpKind::Load { var } => {
+            let v = sh.mem.lock().read_scalar(&sh.layout, *var);
+            emit(sh, op, 0, v, tag);
+            emit(sh, op, 1, 0, tag);
+        }
+        OpKind::Store { var } => {
+            sh.mem.lock().write_scalar(&sh.layout, *var, vals[0]);
+            emit(sh, op, 0, 0, tag);
+        }
+        OpKind::LoadIdx { var } => {
+            let r = sh.mem.lock().read_element(&sh.layout, *var, vals[0]);
+            match r {
+                Ok(v) => {
+                    emit(sh, op, 0, v, tag);
+                    emit(sh, op, 1, 0, tag);
+                }
+                Err(e) => sh.fail(e.into()),
+            }
+        }
+        OpKind::StoreIdx { var } => {
+            let r = sh
+                .mem
+                .lock()
+                .write_element(&sh.layout, *var, vals[0], vals[1]);
+            match r {
+                Ok(()) => emit(sh, op, 0, 0, tag),
+                Err(e) => sh.fail(e.into()),
+            }
+        }
+        OpKind::IstLoad { var } => {
+            let r = sh.mem.lock().ist_read(&sh.layout, *var, vals[0], (op, tag));
+            match r {
+                Ok(Some(v)) => emit(sh, op, 0, v, tag),
+                Ok(None) => {} // deferred; released by the write
+                Err(e) => sh.fail(e.into()),
+            }
+        }
+        OpKind::IstStore { var } => {
+            let value = vals[1];
+            let r = sh.mem.lock().ist_write(&sh.layout, *var, vals[0], value);
+            match r {
+                Ok(released) => {
+                    emit(sh, op, 0, 0, tag);
+                    for d in released {
+                        let (ld_op, ld_tag) = d.ctx;
+                        emit(sh, ld_op, 0, value, ld_tag);
+                    }
+                }
+                Err(e) => sh.fail(e.into()),
+            }
+        }
+        OpKind::LoopExit { loop_id } => {
+            let info = sh.tags.lock().info(tag);
+            match info {
+                Some((p, l, _)) if l == *loop_id => emit(sh, op, 0, vals[0], p),
+                other => sh.fail(MachineError::TagMismatch {
+                    op,
+                    detail: format!("exit token tagged {other:?}"),
+                }),
+            }
+        }
+        OpKind::PrevIter { loop_id } => {
+            let mut tags = sh.tags.lock();
+            match tags.info(tag) {
+                Some((p, l, i)) if l == *loop_id && i > 0 => {
+                    let nt = tags.child(p, *loop_id, i - 1);
+                    drop(tags);
+                    emit(sh, op, 0, vals[0], nt);
+                }
+                other => {
+                    drop(tags);
+                    sh.fail(MachineError::TagMismatch {
+                        op,
+                        detail: format!("prev-iter token tagged {other:?}"),
+                    });
+                }
+            }
+        }
+        OpKind::IterIndex { loop_id } => {
+            let info = sh.tags.lock().info(tag);
+            match info {
+                Some((_, l, i)) if l == *loop_id => emit(sh, op, 0, i as i64, tag),
+                other => sh.fail(MachineError::TagMismatch {
+                    op,
+                    detail: format!("iter-index token tagged {other:?}"),
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf2df_cfg::{BinOp, VarId, VarTable};
+    use cf2df_dfg::graph::ArcKind;
+
+    #[test]
+    fn threaded_matches_simulator_on_straight_line() {
+        let mut t = VarTable::new();
+        t.scalar("x");
+        let layout = MemLayout::distinct(&t);
+        let mut g = Dfg::new();
+        let s = g.add(OpKind::Start);
+        let ld = g.add(OpKind::Load { var: VarId(0) });
+        let add = g.add(OpKind::Binary { op: BinOp::Add });
+        g.set_imm(add, 1, 41);
+        let st = g.add(OpKind::Store { var: VarId(0) });
+        let e = g.add(OpKind::End { inputs: 1 });
+        g.connect(Port::new(s, 0), Port::new(ld, 0), ArcKind::Access);
+        g.connect(Port::new(ld, 0), Port::new(add, 0), ArcKind::Value);
+        g.connect(Port::new(add, 0), Port::new(st, 0), ArcKind::Value);
+        g.connect(Port::new(ld, 1), Port::new(st, 1), ArcKind::Access);
+        g.connect(Port::new(st, 0), Port::new(e, 0), ArcKind::Access);
+
+        let sim = crate::exec::run(&g, &layout, crate::exec::MachineConfig::unbounded()).unwrap();
+        for threads in [1, 2, 4] {
+            let par = run_threaded(&g, &layout, threads).unwrap();
+            assert_eq!(par.memory, sim.memory, "threads={threads}");
+            assert_eq!(par.fired, sim.stats.fired);
+        }
+    }
+
+    #[test]
+    fn threaded_detects_deadlock() {
+        let mut t = VarTable::new();
+        t.scalar("x");
+        let layout = MemLayout::distinct(&t);
+        let mut g = Dfg::new();
+        let s = g.add(OpKind::Start);
+        let sy = g.add(OpKind::Synch { inputs: 2 });
+        let e = g.add(OpKind::End { inputs: 1 });
+        g.connect(Port::new(s, 0), Port::new(sy, 0), ArcKind::Access);
+        g.connect(Port::new(sy, 0), Port::new(e, 0), ArcKind::Access);
+        let err = run_threaded(&g, &layout, 2).unwrap_err();
+        assert!(matches!(err, MachineError::Deadlock { .. }));
+    }
+}

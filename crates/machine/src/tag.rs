@@ -1,0 +1,151 @@
+//! Iteration tags (activation contexts).
+//!
+//! Each loop iteration gets a distinct tag, standing in for the activation
+//! frame Monsoon would allocate per iteration (§2.2). Tags form a tree:
+//! the root tag is the outermost activation, and entering loop `l` at
+//! iteration `i` under tag `t` produces the child tag `(t, l, i)`. Tokens
+//! rendezvous only with tokens carrying the *same* tag, so different
+//! iterations — and different loops — never interfere.
+
+use cf2df_cfg::LoopId;
+use std::collections::HashMap;
+
+/// A dense index identifying an iteration context.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TagId(pub u32);
+
+impl TagId {
+    /// The root (outermost) tag.
+    pub const ROOT: TagId = TagId(0);
+
+    /// The index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for TagId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Ctx {
+    parent: TagId,
+    loop_id: LoopId,
+    iter: u32,
+}
+
+/// Interning table for iteration contexts. Interning guarantees that every
+/// token line entering the same iteration of the same loop under the same
+/// parent context receives the *same* tag, so their tokens rendezvous.
+#[derive(Debug)]
+pub struct TagTable {
+    ctxs: Vec<Option<Ctx>>,
+    intern: HashMap<(TagId, LoopId, u32), TagId>,
+}
+
+impl Default for TagTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TagTable {
+    /// A table containing only the root tag.
+    pub fn new() -> TagTable {
+        TagTable {
+            ctxs: vec![None],
+            intern: HashMap::new(),
+        }
+    }
+
+    /// The tag for iteration `iter` of loop `loop_id` under `parent`.
+    pub fn child(&mut self, parent: TagId, loop_id: LoopId, iter: u32) -> TagId {
+        if let Some(&t) = self.intern.get(&(parent, loop_id, iter)) {
+            return t;
+        }
+        let t = TagId(u32::try_from(self.ctxs.len()).expect("too many tags"));
+        self.ctxs.push(Some(Ctx {
+            parent,
+            loop_id,
+            iter,
+        }));
+        self.intern.insert((parent, loop_id, iter), t);
+        t
+    }
+
+    /// Decompose a tag into `(parent, loop, iteration)`; `None` for the
+    /// root.
+    pub fn info(&self, tag: TagId) -> Option<(TagId, LoopId, u32)> {
+        self.ctxs[tag.index()].map(|c| (c.parent, c.loop_id, c.iter))
+    }
+
+    /// Nesting depth of a tag (root = 0).
+    pub fn depth(&self, tag: TagId) -> u32 {
+        let mut d = 0;
+        let mut t = tag;
+        while let Some((p, _, _)) = self.info(t) {
+            d += 1;
+            t = p;
+        }
+        d
+    }
+
+    /// Number of distinct tags created (including the root).
+    pub fn len(&self) -> usize {
+        self.ctxs.len()
+    }
+
+    /// Always false: the root tag always exists.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Human-readable rendering, e.g. `root.L0[3].L1[0]`.
+    pub fn render(&self, tag: TagId) -> String {
+        match self.info(tag) {
+            None => "root".to_owned(),
+            Some((p, l, i)) => format!("{}.{:?}[{}]", self.render(p), l, i),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_has_no_info() {
+        let t = TagTable::new();
+        assert_eq!(t.info(TagId::ROOT), None);
+        assert_eq!(t.depth(TagId::ROOT), 0);
+        assert_eq!(t.render(TagId::ROOT), "root");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn children_are_interned() {
+        let mut t = TagTable::new();
+        let a = t.child(TagId::ROOT, LoopId(0), 3);
+        let b = t.child(TagId::ROOT, LoopId(0), 3);
+        assert_eq!(a, b, "same (parent, loop, iter) must intern to same tag");
+        let c = t.child(TagId::ROOT, LoopId(0), 4);
+        assert_ne!(a, c);
+        let d = t.child(TagId::ROOT, LoopId(1), 3);
+        assert_ne!(a, d);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn nesting_and_render() {
+        let mut t = TagTable::new();
+        let outer = t.child(TagId::ROOT, LoopId(1), 2);
+        let inner = t.child(outer, LoopId(0), 0);
+        assert_eq!(t.depth(inner), 2);
+        assert_eq!(t.info(inner), Some((outer, LoopId(0), 0)));
+        assert_eq!(t.render(inner), "root.L1[2].L0[0]");
+    }
+}

@@ -1,0 +1,63 @@
+//! Parallelization-study scenario: the paper pitches the dataflow model as
+//! "ideally suited for measuring the extent to which parallelization
+//! techniques can expose parallelism in imperative language programs".
+//! This example does exactly that: for each corpus program it reports the
+//! parallelism each translation level exposes, and how much of it survives
+//! on machines with finitely many processors.
+//!
+//! ```text
+//! cargo run --example parallelism_study
+//! ```
+
+use cf2df::bench::harness::{measure, measure_baseline};
+use cf2df::cfg::{CoverStrategy, MemLayout};
+use cf2df::core::pipeline::{translate, TranslateOptions};
+use cf2df::machine::{run, MachineConfig};
+
+fn main() {
+    let mc = MachineConfig::unbounded();
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9}   speedup over sequential",
+        "program", "schema1", "schema2", "optim", "full"
+    );
+    for (name, src) in cf2df::lang::corpus::all() {
+        let parsed = cf2df::lang::parse_to_cfg(src).unwrap();
+        let base = measure_baseline(&parsed, &mc);
+        let mut cells = Vec::new();
+        for opts in [
+            TranslateOptions::schema1(),
+            TranslateOptions::schema3(CoverStrategy::Singletons),
+            TranslateOptions::schema3(CoverStrategy::Singletons).with_optimized(true),
+            TranslateOptions::full_parallel_schema3(),
+        ] {
+            let m = measure(&parsed, &opts, &mc, name);
+            assert_eq!(m.memory, base.memory, "{name}: semantics preserved");
+            cells.push(base.makespan as f64 / m.makespan.max(1) as f64);
+        }
+        println!(
+            "{:<16} {:>8.2}x {:>8.2}x {:>8.2}x {:>8.2}x",
+            name, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+
+    // How much parallelism survives with P processors? (amdahl-style view)
+    println!("\nfinite-processor scaling (optimized translation, `stencil`):");
+    let parsed = cf2df::lang::parse_to_cfg(cf2df::lang::corpus::STENCIL).unwrap();
+    let t = translate(
+        &parsed.cfg,
+        &parsed.alias,
+        &TranslateOptions::schema3(CoverStrategy::Singletons).with_optimized(true),
+    )
+    .unwrap();
+    let layout = MemLayout::distinct(&t.cfg.vars);
+    let unbounded = run(&t.dfg, &layout, MachineConfig::unbounded()).unwrap();
+    println!("  P=∞ : makespan {}", unbounded.stats.makespan);
+    for p in [1usize, 2, 4, 8, 16] {
+        let out = run(&t.dfg, &layout, MachineConfig::with_processors(p)).unwrap();
+        println!(
+            "  P={p:<2}: makespan {} (efficiency {:.0}%)",
+            out.stats.makespan,
+            100.0 * unbounded.stats.makespan as f64 / out.stats.makespan as f64
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! `cf2df` — command-line driver: parse, translate, simulate, and compare
+//! Imp programs.
+//!
+//! ```text
+//! cf2df cfg        <file.imp> [--dot]
+//! cf2df translate  <file.imp> [SCHEMA] [TRANSFORMS] [--dot | --emit <out.dfg>]
+//! cf2df run-graph  <file.dfg> [MACHINE]
+//! cf2df run        <file.imp> [SCHEMA] [TRANSFORMS] [MACHINE] [--trace]
+//! cf2df compare    <file.imp> [MACHINE]
+//!
+//! SCHEMA:     --schema1 | --schema2 (default) | --schema3 | --optimized | --full
+//! TRANSFORMS: --memelim --readpar --arraypar --forward --no-loop-control
+//!             --istructure <array>[,<array>…]
+//! MACHINE:    --processors <n> --mem-latency <n> --op-latency <n>
+//! ```
+//!
+//! `<file.imp>` may be `-` for stdin, or the name of a built-in corpus
+//! program (e.g. `running_example`, `stencil`).
+
+use cf2df::cfg::{CoverStrategy, MemLayout};
+use cf2df::core::pipeline::{translate, TranslateOptions};
+use cf2df::machine::{run, run_traced, vonneumann, MachineConfig};
+use std::io::Read as _;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("{}", include_str!("cf2df.rs").lines()
+        .skip(1)
+        .take_while(|l| l.starts_with("//!"))
+        .map(|l| l.trim_start_matches("//!").trim_start())
+        .collect::<Vec<_>>()
+        .join("\n"));
+    exit(2)
+}
+
+fn load_source(arg: &str) -> String {
+    if arg == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).expect("readable stdin");
+        return s;
+    }
+    if let Some((_, src)) = cf2df::lang::corpus::all().iter().find(|(n, _)| *n == arg) {
+        return (*src).to_owned();
+    }
+    std::fs::read_to_string(arg).unwrap_or_else(|e| {
+        eprintln!("cannot read {arg}: {e} (and it is not a corpus program)");
+        exit(2)
+    })
+}
+
+struct Args {
+    rest: Vec<String>,
+}
+
+impl Args {
+    fn flag(&mut self, name: &str) -> bool {
+        if let Some(i) = self.rest.iter().position(|a| a == name) {
+            self.rest.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, name: &str) -> Option<String> {
+        let i = self.rest.iter().position(|a| a == name)?;
+        if i + 1 >= self.rest.len() {
+            eprintln!("{name} needs a value");
+            exit(2)
+        }
+        let v = self.rest.remove(i + 1);
+        self.rest.remove(i);
+        Some(v)
+    }
+}
+
+fn parse_schema(args: &mut Args) -> TranslateOptions {
+    let mut opts = if args.flag("--schema1") {
+        TranslateOptions::schema1()
+    } else if args.flag("--full") {
+        TranslateOptions::full_parallel_schema3()
+    } else if args.flag("--optimized") {
+        TranslateOptions::schema3(CoverStrategy::Singletons).with_optimized(true)
+    } else if args.flag("--schema3") {
+        TranslateOptions::schema3(CoverStrategy::Singletons)
+    } else {
+        args.flag("--schema2");
+        TranslateOptions::schema3(CoverStrategy::Singletons)
+    };
+    if args.flag("--memelim") {
+        opts = opts.with_memory_elimination(true);
+    }
+    if args.flag("--readpar") {
+        opts = opts.with_read_parallelization(true);
+    }
+    if args.flag("--arraypar") {
+        opts = opts.with_array_parallelization(true);
+    }
+    if args.flag("--forward") {
+        opts = opts.with_store_forwarding(true);
+    }
+    if args.flag("--no-loop-control") {
+        opts = opts.with_loop_control(false);
+    }
+    if let Some(arrays) = args.value("--istructure") {
+        opts = opts.with_istructure_arrays(arrays.split(','));
+    }
+    opts
+}
+
+fn parse_machine(args: &mut Args) -> MachineConfig {
+    let mut mc = match args.value("--processors") {
+        Some(p) => MachineConfig::with_processors(p.parse().expect("numeric --processors")),
+        None => MachineConfig::unbounded(),
+    };
+    if let Some(l) = args.value("--mem-latency") {
+        mc = mc.mem_latency(l.parse().expect("numeric --mem-latency"));
+    }
+    if let Some(l) = args.value("--op-latency") {
+        mc = mc.op_latency(l.parse().expect("numeric --op-latency"));
+    }
+    mc
+}
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.len() < 2 {
+        usage();
+    }
+    let cmd = argv.remove(0);
+    let file = argv.remove(0);
+    let mut args = Args { rest: argv };
+    if cmd == "run-graph" {
+        let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+            eprintln!("cannot read {file}: {e}");
+            exit(2)
+        });
+        let (g, vars) = cf2df::dfg::io::read_module(&text).unwrap_or_else(|e| {
+            eprintln!("bad graph file: {e}");
+            exit(1)
+        });
+        let mc = parse_machine(&mut args);
+        let layout = MemLayout::distinct(&vars);
+        let out = run(&g, &layout, mc).unwrap_or_else(|e| {
+            eprintln!("machine fault: {e}");
+            exit(1)
+        });
+        println!("{}", out.stats.summary());
+        for v in vars.ids() {
+            let base = layout.base(v) as usize;
+            println!("  {} = {}", vars.name(v), out.memory[base]);
+        }
+        return;
+    }
+    let src = load_source(&file);
+    let parsed = cf2df::lang::parse_to_cfg(&src).unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        exit(1)
+    });
+
+    match cmd.as_str() {
+        "cfg" => {
+            if args.flag("--dot") {
+                print!("{}", cf2df::cfg::dot::cfg_to_dot(&parsed.cfg, &file));
+            } else {
+                print!("{}", parsed.cfg.pretty());
+            }
+        }
+        "translate" => {
+            let opts = parse_schema(&mut args);
+            let dot = args.flag("--dot");
+            let emit = args.value("--emit");
+            let t = translate(&parsed.cfg, &parsed.alias, &opts).unwrap_or_else(|e| {
+                eprintln!("translation error: {e}");
+                exit(1)
+            });
+            eprintln!("{}", t.stats.summary());
+            if let Some(path) = emit {
+                let text = cf2df::dfg::io::write_module(&t.dfg, &t.cfg.vars);
+                std::fs::write(&path, text).expect("writable output");
+                eprintln!("wrote {path}");
+            } else if dot {
+                print!("{}", cf2df::dfg::dot::dfg_to_dot(&t.dfg, &file));
+            } else {
+                print!("{}", t.dfg.pretty());
+            }
+        }
+        "run" => {
+            let opts = parse_schema(&mut args);
+            let mc = parse_machine(&mut args);
+            let want_trace = args.flag("--trace");
+            let t = translate(&parsed.cfg, &parsed.alias, &opts).unwrap_or_else(|e| {
+                eprintln!("translation error: {e}");
+                exit(1)
+            });
+            let layout = MemLayout::distinct(&t.cfg.vars);
+            let out = if want_trace {
+                let (out, trace) = run_traced(&t.dfg, &layout, mc).unwrap_or_else(|e| {
+                    eprintln!("machine fault: {e}");
+                    exit(1)
+                });
+                print!("{}", trace.timeline(&t.dfg));
+                out
+            } else {
+                run(&t.dfg, &layout, mc).unwrap_or_else(|e| {
+                    eprintln!("machine fault: {e}");
+                    exit(1)
+                })
+            };
+            println!("{}", out.stats.summary());
+            for v in t.cfg.vars.ids() {
+                let base = layout.base(v) as usize;
+                let cells = layout.cells(v) as usize;
+                if cells == 1 {
+                    println!("  {} = {}", t.cfg.vars.name(v), out.memory[base]);
+                } else {
+                    let slice: Vec<i64> = out.memory[base..base + cells].to_vec();
+                    let ist: Vec<i64> = out.ist_memory[base..base + cells].to_vec();
+                    let shown = if ist.iter().any(|&x| x != 0) { ist } else { slice };
+                    println!("  {} = {:?}", t.cfg.vars.name(v), shown);
+                }
+            }
+        }
+        "compare" => {
+            let mc = parse_machine(&mut args);
+            let layout = MemLayout::distinct(&parsed.cfg.vars);
+            let base = vonneumann::interpret(&parsed.cfg, &layout, &mc).unwrap_or_else(|e| {
+                eprintln!("baseline fault: {e}");
+                exit(1)
+            });
+            println!(
+                "{:<12} {:>9} {:>9} {:>9} {:>9}",
+                "config", "fired", "makespan", "avg-par", "speedup"
+            );
+            println!(
+                "{:<12} {:>9} {:>9} {:>9.2} {:>8.2}x",
+                "sequential",
+                base.stats.fired,
+                base.stats.makespan,
+                1.0,
+                1.0
+            );
+            for (label, opts) in [
+                ("schema1", TranslateOptions::schema1()),
+                (
+                    "schema2",
+                    TranslateOptions::schema3(CoverStrategy::Singletons),
+                ),
+                (
+                    "optimized",
+                    TranslateOptions::schema3(CoverStrategy::Singletons).with_optimized(true),
+                ),
+                ("full", TranslateOptions::full_parallel_schema3()),
+            ] {
+                let t = translate(&parsed.cfg, &parsed.alias, &opts).unwrap_or_else(|e| {
+                    eprintln!("translation error ({label}): {e}");
+                    exit(1)
+                });
+                let out = run(&t.dfg, &layout, mc.clone()).unwrap_or_else(|e| {
+                    eprintln!("machine fault ({label}): {e}");
+                    exit(1)
+                });
+                if out.memory != base.memory {
+                    eprintln!("{label}: MEMORY MISMATCH vs sequential semantics");
+                    exit(1)
+                }
+                println!(
+                    "{:<12} {:>9} {:>9} {:>9.2} {:>8.2}x",
+                    label,
+                    out.stats.fired,
+                    out.stats.makespan,
+                    out.stats.avg_parallelism(),
+                    base.stats.makespan as f64 / out.stats.makespan as f64
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

