@@ -1,59 +1,58 @@
 //! Analysis costs: postdominators, control dependence, switch placement
 //! (Fig 10), and source vectors (Fig 11) as the CFG grows. Regenerates the
 //! algorithmic-cost side of experiments F10/F11.
+//!
+//! Plain `harness = false` binary on the in-tree [`cf2df_bench::timing`]
+//! harness (the workspace builds offline, without criterion).
 
-use cf2df_bench::workloads;
+use cf2df_bench::{timing::Timer, workloads};
 use cf2df_cfg::loop_control::insert_loop_control;
 use cf2df_cfg::{ControlDeps, Cover, CoverStrategy, DomTree, LoopForest};
 use cf2df_core::source_vec::SourceVectors;
 use cf2df_core::switch_place::SwitchPlacement;
 use cf2df_core::Lines;
 use cf2df_lang::parse_to_cfg;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_postdominators(c: &mut Criterion) {
-    let mut g = c.benchmark_group("postdominators");
+fn bench_postdominators(t: &mut Timer) {
+    t.group("postdominators");
     for n in [8usize, 32, 128] {
         let src = workloads::diamond_ladder(n);
         let parsed = parse_to_cfg(&src).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &parsed.cfg, |b, cfg| {
-            b.iter(|| black_box(DomTree::postdominators(cfg)))
+        t.bench(&format!("n={n}"), || {
+            black_box(DomTree::postdominators(&parsed.cfg))
         });
     }
-    g.finish();
 }
 
-fn bench_control_deps(c: &mut Criterion) {
-    let mut g = c.benchmark_group("control_dependence");
+fn bench_control_deps(t: &mut Timer) {
+    t.group("control_dependence");
     for n in [8usize, 32, 128] {
         let src = workloads::diamond_ladder(n);
         let parsed = parse_to_cfg(&src).unwrap();
         let pd = DomTree::postdominators(&parsed.cfg);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &parsed.cfg, |b, cfg| {
-            b.iter(|| black_box(ControlDeps::compute(cfg, &pd)))
+        t.bench(&format!("n={n}"), || {
+            black_box(ControlDeps::compute(&parsed.cfg, &pd))
         });
     }
-    g.finish();
 }
 
-fn bench_switch_placement(c: &mut Criterion) {
-    let mut g = c.benchmark_group("switch_placement_fig10");
+fn bench_switch_placement(t: &mut Timer) {
+    t.group("switch_placement_fig10");
     for n in [8usize, 32, 128] {
         let src = workloads::diamond_ladder(n);
         let parsed = parse_to_cfg(&src).unwrap();
         let lc = insert_loop_control(&parsed.cfg).unwrap();
         let cover = Cover::build(&CoverStrategy::Singletons, &parsed.alias);
         let lines = Lines::new(&lc.cfg.vars, &parsed.alias, &cover, false);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &(lc, lines), |b, (lc, lines)| {
-            b.iter(|| black_box(SwitchPlacement::compute(lc, lines)))
+        t.bench(&format!("n={n}"), || {
+            black_box(SwitchPlacement::compute(&lc, &lines))
         });
     }
-    g.finish();
 }
 
-fn bench_source_vectors(c: &mut Criterion) {
-    let mut g = c.benchmark_group("source_vectors_fig11");
+fn bench_source_vectors(t: &mut Timer) {
+    t.group("source_vectors_fig11");
     for n in [8usize, 32, 128] {
         let src = workloads::diamond_ladder(n);
         let parsed = parse_to_cfg(&src).unwrap();
@@ -61,43 +60,28 @@ fn bench_source_vectors(c: &mut Criterion) {
         let cover = Cover::build(&CoverStrategy::Singletons, &parsed.alias);
         let lines = Lines::new(&lc.cfg.vars, &parsed.alias, &cover, false);
         let sp = SwitchPlacement::compute(&lc, &lines);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(n),
-            &(lc, lines, sp),
-            |b, (lc, lines, sp)| b.iter(|| black_box(SourceVectors::compute(lc, lines, sp))),
-        );
+        t.bench(&format!("n={n}"), || {
+            black_box(SourceVectors::compute(&lc, &lines, &sp))
+        });
     }
-    g.finish();
 }
 
-fn bench_loop_forest(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interval_decomposition");
+fn bench_loop_forest(t: &mut Timer) {
+    t.group("interval_decomposition");
     for depth in [2usize, 4, 6] {
         let src = workloads::loop_nest(depth, 3);
         let parsed = parse_to_cfg(&src).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(depth), &parsed.cfg, |b, cfg| {
-            b.iter(|| black_box(LoopForest::compute(cfg).unwrap()))
+        t.bench(&format!("depth={depth}"), || {
+            black_box(LoopForest::compute(&parsed.cfg).unwrap())
         });
     }
-    g.finish();
 }
 
-
-/// Short measurement windows: these benches run in CI-like settings.
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800))
+fn main() {
+    let mut t = Timer::quick();
+    bench_postdominators(&mut t);
+    bench_control_deps(&mut t);
+    bench_switch_placement(&mut t);
+    bench_source_vectors(&mut t);
+    bench_loop_forest(&mut t);
 }
-
-criterion_group!{
-    name = benches;
-    config = quick();
-    targets = bench_postdominators,
-    bench_control_deps,
-    bench_switch_placement,
-    bench_source_vectors,
-    bench_loop_forest
-}
-criterion_main!(benches);

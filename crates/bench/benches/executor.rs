@@ -1,12 +1,15 @@
 //! Wall-clock execution: the deterministic simulator vs the multi-threaded
 //! token-pushing executor at different thread counts.
+//!
+//! Plain `harness = false` binary on the in-tree [`cf2df_bench::timing`]
+//! harness (the workspace builds offline, without criterion).
 
+use cf2df_bench::timing::Timer;
 use cf2df_cfg::MemLayout;
 use cf2df_core::pipeline::{translate, TranslateOptions};
 use cf2df_lang::parse_to_cfg;
 use cf2df_machine::parallel::run_threaded;
 use cf2df_machine::{run, MachineConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn workload() -> (cf2df_dfg::Dfg, MemLayout) {
@@ -18,42 +21,18 @@ fn workload() -> (cf2df_dfg::Dfg, MemLayout) {
     (t.dfg, layout)
 }
 
-fn bench_executors(c: &mut Criterion) {
+fn main() {
     let (dfg, layout) = workload();
-    let mut g = c.benchmark_group("executor");
-    g.bench_function("simulator", |b| {
-        b.iter(|| {
-            let out = run(&dfg, &layout, MachineConfig::unbounded()).unwrap();
-            black_box(out.stats.fired)
-        })
+    let mut t = Timer::quick();
+    t.group("executor");
+    t.bench("simulator", || {
+        let out = run(&dfg, &layout, MachineConfig::unbounded()).unwrap();
+        black_box(out.stats.fired)
     });
     for threads in [1usize, 2, 4] {
-        g.bench_with_input(
-            BenchmarkId::new("threaded", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let out = run_threaded(&dfg, &layout, threads).unwrap();
-                    black_box(out.fired)
-                })
-            },
-        );
+        t.bench(&format!("threaded/{threads}"), || {
+            let out = run_threaded(&dfg, &layout, threads).unwrap();
+            black_box(out.fired)
+        });
     }
-    g.finish();
 }
-
-
-/// Short measurement windows: these benches run in CI-like settings.
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800))
-}
-
-criterion_group!{
-    name = benches;
-    config = quick();
-    targets = bench_executors
-}
-criterion_main!(benches);

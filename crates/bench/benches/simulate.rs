@@ -1,12 +1,14 @@
 //! Simulator throughput: executing translated graphs on the ETS machine.
 //! Regenerates the dynamic side of experiments F6–F8, F14, C4, C5.
+//!
+//! Plain `harness = false` binary on the in-tree [`cf2df_bench::timing`]
+//! harness (the workspace builds offline, without criterion).
 
-use cf2df_bench::workloads;
+use cf2df_bench::{timing::Timer, workloads};
 use cf2df_cfg::MemLayout;
 use cf2df_core::pipeline::{translate, TranslateOptions};
 use cf2df_lang::parse_to_cfg;
 use cf2df_machine::{run, MachineConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn prepared(src: &str, opts: &TranslateOptions) -> (cf2df_dfg::Dfg, MemLayout) {
@@ -16,8 +18,8 @@ fn prepared(src: &str, opts: &TranslateOptions) -> (cf2df_dfg::Dfg, MemLayout) {
     (t.dfg, layout)
 }
 
-fn bench_corpus(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate");
+fn bench_corpus(t: &mut Timer) {
+    t.group("simulate");
     for (name, src) in [
         ("fib", cf2df_lang::corpus::FIB),
         ("nested", cf2df_lang::corpus::NESTED),
@@ -30,80 +32,58 @@ fn bench_corpus(c: &mut Criterion) {
             ("full", TranslateOptions::full_parallel()),
         ] {
             let (dfg, layout) = prepared(src, &opts);
-            g.bench_with_input(
-                BenchmarkId::new(label, name),
-                &(dfg, layout),
-                |b, (dfg, layout)| {
-                    b.iter(|| {
-                        let out = run(dfg, layout, MachineConfig::unbounded()).unwrap();
-                        black_box(out.stats.fired)
-                    })
-                },
-            );
+            t.bench(&format!("{label}/{name}"), || {
+                let out = run(&dfg, &layout, MachineConfig::unbounded()).unwrap();
+                black_box(out.stats.fired)
+            });
         }
     }
-    g.finish();
 }
 
-fn bench_processor_sweep(c: &mut Criterion) {
+fn bench_processor_sweep(t: &mut Timer) {
     let (dfg, layout) = prepared(cf2df_lang::corpus::NESTED, &TranslateOptions::schema2());
-    let mut g = c.benchmark_group("simulate_finite_processors");
+    t.group("simulate_finite_processors");
     for p in [1usize, 4, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            b.iter(|| run(&dfg, &layout, MachineConfig::with_processors(p)).unwrap().stats.makespan)
+        t.bench(&format!("p={p}"), || {
+            run(&dfg, &layout, MachineConfig::with_processors(p))
+                .unwrap()
+                .stats
+                .makespan
         });
     }
-    g.finish();
 }
 
-fn bench_fig14(c: &mut Criterion) {
+fn bench_fig14(t: &mut Timer) {
     let src = workloads::array_store_loop(32);
     let base = TranslateOptions::schema2().with_memory_elimination(true);
     let para = base.clone().with_array_parallelization(true);
     let (g_base, layout) = prepared(&src, &base);
     let (g_para, _) = prepared(&src, &para);
     let mc = MachineConfig::unbounded().mem_latency(50);
-    let mut g = c.benchmark_group("fig14_array_stores");
-    g.bench_function("sequentialized", |b| {
-        b.iter(|| run(&g_base, &layout, mc.clone()).unwrap().stats.makespan)
+    t.group("fig14_array_stores");
+    t.bench("sequentialized", || {
+        run(&g_base, &layout, mc.clone()).unwrap().stats.makespan
     });
-    g.bench_function("parallelized", |b| {
-        b.iter(|| run(&g_para, &layout, mc.clone()).unwrap().stats.makespan)
+    t.bench("parallelized", || {
+        run(&g_para, &layout, mc.clone()).unwrap().stats.makespan
     });
-    g.finish();
 }
 
-fn bench_baseline(c: &mut Criterion) {
+fn bench_baseline(t: &mut Timer) {
     let parsed = parse_to_cfg(cf2df_lang::corpus::NESTED).unwrap();
     let layout = MemLayout::distinct(&parsed.cfg.vars);
-    c.bench_function("von_neumann_interpreter", |b| {
-        b.iter(|| {
-            cf2df_machine::vonneumann::interpret(
-                &parsed.cfg,
-                &layout,
-                &MachineConfig::default(),
-            )
+    t.group("baseline");
+    t.bench("von_neumann_interpreter", || {
+        cf2df_machine::vonneumann::interpret(&parsed.cfg, &layout, &MachineConfig::default())
             .unwrap()
             .statements
-        })
     });
 }
 
-
-/// Short measurement windows: these benches run in CI-like settings.
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800))
+fn main() {
+    let mut t = Timer::quick();
+    bench_corpus(&mut t);
+    bench_processor_sweep(&mut t);
+    bench_fig14(&mut t);
+    bench_baseline(&mut t);
 }
-
-criterion_group!{
-    name = benches;
-    config = quick();
-    targets = bench_corpus,
-    bench_processor_sweep,
-    bench_fig14,
-    bench_baseline
-}
-criterion_main!(benches);

@@ -1,16 +1,18 @@
 //! Translation throughput: how fast each schema compiles control-flow
 //! graphs into dataflow graphs (the compiler-side cost of the paper's
 //! techniques). Regenerates the cost side of experiments F3–F11.
+//!
+//! Plain `harness = false` binary on the in-tree [`cf2df_bench::timing`]
+//! harness (the workspace builds offline, without criterion).
 
-use cf2df_bench::workloads;
+use cf2df_bench::{timing::Timer, workloads};
 use cf2df_cfg::CoverStrategy;
 use cf2df_core::pipeline::{translate, TranslateOptions};
 use cf2df_lang::parse_to_cfg;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_schemas(c: &mut Criterion) {
-    let mut g = c.benchmark_group("translate_schema");
+fn bench_schemas(t: &mut Timer) {
+    t.group("translate_schema");
     for (name, src) in [
         ("running_example", cf2df_lang::corpus::RUNNING_EXAMPLE),
         ("nested", cf2df_lang::corpus::NESTED),
@@ -27,73 +29,49 @@ fn bench_schemas(c: &mut Criterion) {
             ),
             ("full", TranslateOptions::full_parallel_schema3()),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(label, name),
-                &parsed,
-                |b, parsed| {
-                    b.iter(|| {
-                        let t =
-                            translate(&parsed.cfg, &parsed.alias, black_box(&opts)).unwrap();
-                        black_box(t.stats.ops)
-                    })
-                },
-            );
+            t.bench(&format!("{label}/{name}"), || {
+                let tr = translate(&parsed.cfg, &parsed.alias, black_box(&opts)).unwrap();
+                black_box(tr.stats.ops)
+            });
         }
     }
-    g.finish();
 }
 
-fn bench_scaling(c: &mut Criterion) {
+fn bench_scaling(t: &mut Timer) {
     // C1's static side: translation cost as variables scale.
-    let mut g = c.benchmark_group("translate_scaling_vars");
+    t.group("translate_scaling_vars");
     for n in [4usize, 16, 64] {
         let src = workloads::loop_with_bystanders(n, 2, 4);
         let parsed = parse_to_cfg(&src).unwrap();
-        g.bench_with_input(BenchmarkId::new("schema2", n), &parsed, |b, parsed| {
-            b.iter(|| {
-                translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2()).unwrap()
-            })
+        t.bench(&format!("schema2/{n}"), || {
+            translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2()).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("optimized", n), &parsed, |b, parsed| {
-            b.iter(|| {
-                translate(&parsed.cfg, &parsed.alias, &TranslateOptions::optimized()).unwrap()
-            })
+        t.bench(&format!("optimized/{n}"), || {
+            translate(&parsed.cfg, &parsed.alias, &TranslateOptions::optimized()).unwrap()
         });
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("translate_scaling_forks");
+    t.group("translate_scaling_forks");
     for n in [4usize, 16, 64] {
         let src = workloads::diamond_ladder(n);
         let parsed = parse_to_cfg(&src).unwrap();
-        g.bench_with_input(BenchmarkId::new("optimized", n), &parsed, |b, parsed| {
-            b.iter(|| {
-                translate(&parsed.cfg, &parsed.alias, &TranslateOptions::optimized()).unwrap()
-            })
+        t.bench(&format!("optimized/{n}"), || {
+            translate(&parsed.cfg, &parsed.alias, &TranslateOptions::optimized()).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_frontend(c: &mut Criterion) {
+fn bench_frontend(t: &mut Timer) {
+    t.group("frontend");
     let src = workloads::random_program(7, &Default::default());
-    c.bench_function("parse_and_lower", |b| {
-        b.iter(|| parse_to_cfg(black_box(&src)).unwrap())
+    t.bench("parse_and_lower", || {
+        parse_to_cfg(black_box(&src)).unwrap()
     });
 }
 
-
-/// Short measurement windows: these benches run in CI-like settings.
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800))
+fn main() {
+    let mut t = Timer::quick();
+    bench_schemas(&mut t);
+    bench_scaling(&mut t);
+    bench_frontend(&mut t);
 }
-
-criterion_group!{
-    name = benches;
-    config = quick();
-    targets = bench_schemas, bench_scaling, bench_frontend
-}
-criterion_main!(benches);

@@ -7,10 +7,9 @@ use cf2df_core::pipeline::{translate, TranslateOptions, Translated};
 use cf2df_lang::Parsed;
 use cf2df_machine::vonneumann;
 use cf2df_machine::{run, MachineConfig};
-use serde::Serialize;
 
 /// Metrics of one (program, configuration) run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Measurement {
     /// Configuration label.
     pub label: String,
@@ -33,8 +32,33 @@ pub struct Measurement {
     /// Dynamic memory operations executed.
     pub mem_ops: u64,
     /// Final memory (for equivalence checks).
-    #[serde(skip)]
     pub memory: Vec<i64>,
+}
+
+impl Measurement {
+    /// Machine-readable JSON rendering (hand-rolled; the workspace builds
+    /// without serde). `memory` is omitted, mirroring the old
+    /// `#[serde(skip)]` behavior — it is an equivalence-check artifact,
+    /// not a metric.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"ops\":{},\"arcs\":{},\"switches\":{},",
+                "\"merges\":{},\"fired\":{},\"makespan\":{},",
+                "\"avg_parallelism\":{},\"max_parallelism\":{},\"mem_ops\":{}}}"
+            ),
+            self.label.escape_default(),
+            self.ops,
+            self.arcs,
+            self.switches,
+            self.merges,
+            self.fired,
+            self.makespan,
+            self.avg_parallelism,
+            self.max_parallelism,
+            self.mem_ops
+        )
+    }
 }
 
 /// Translate and simulate; panics on translation or machine errors (the

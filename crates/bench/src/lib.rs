@@ -8,10 +8,16 @@
 //! * [`harness`] — run a program through a translation configuration and
 //!   the machine, collecting comparable metrics;
 //! * [`figures`] — one reproduction function per paper figure/claim,
-//!   printed by the `figures` binary and recorded in `EXPERIMENTS.md`.
+//!   printed by the `figures` binary and recorded in `EXPERIMENTS.md`;
+//! * [`prng`] — a seedable xorshift64* generator (in-tree replacement for
+//!   the `rand` crate, per the offline/no-deps build policy);
+//! * [`timing`] — a minimal wall-clock micro-benchmark harness (in-tree
+//!   replacement for `criterion`) driving the `benches/` targets.
 
 pub mod figures;
 pub mod harness;
+pub mod prng;
+pub mod timing;
 pub mod workloads;
 
 pub use harness::{measure, measure_source, Measurement};

@@ -1,0 +1,185 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! In-tree replacement for `criterion` (removed per the offline/no-deps
+//! build policy). The `benches/` targets are plain `harness = false`
+//! binaries built on this module: each benchmark warms up, then measures
+//! batched iterations until a time budget is spent, and prints one
+//! aligned line of statistics. No statistical regression machinery — the
+//! goal is honest relative numbers printed offline, not criterion's HTML
+//! reports.
+//!
+//! ```no_run
+//! let mut t = cf2df_bench::timing::Timer::quick();
+//! t.bench("sum", || (0..1000u64).sum::<u64>());
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's collected statistics, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    /// Benchmark label.
+    pub name: String,
+    /// Total measured iterations.
+    pub iters: u64,
+    /// Mean ns/iter.
+    pub mean_ns: f64,
+    /// Median of the per-batch means, ns/iter (robust to scheduler noise).
+    pub median_ns: f64,
+    /// Fastest batch, ns/iter.
+    pub min_ns: f64,
+    /// Slowest batch, ns/iter.
+    pub max_ns: f64,
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+impl Stats {
+    /// One aligned report line.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<44} {} /iter  (median {}, min {}, max {}, {} iters)",
+            self.name,
+            human(self.mean_ns),
+            human(self.median_ns),
+            human(self.min_ns),
+            human(self.max_ns),
+            self.iters
+        )
+    }
+}
+
+/// The benchmark driver: time budgets plus the accumulated results.
+pub struct Timer {
+    warmup: Duration,
+    measure: Duration,
+    /// Results of every `bench` call, in execution order.
+    pub results: Vec<Stats>,
+    quiet: bool,
+}
+
+impl Timer {
+    /// Short windows tuned for CI-like settings (matches the old
+    /// criterion `quick()` profile: ~300 ms warm-up, ~800 ms measure).
+    pub fn quick() -> Timer {
+        Timer {
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(800),
+            results: Vec::new(),
+            quiet: false,
+        }
+    }
+
+    /// Custom budgets.
+    pub fn with_budgets(warmup: Duration, measure: Duration) -> Timer {
+        Timer {
+            warmup,
+            measure,
+            results: Vec::new(),
+            quiet: false,
+        }
+    }
+
+    /// Suppress per-benchmark printing (used by this module's tests).
+    pub fn quiet(mut self) -> Timer {
+        self.quiet = true;
+        self
+    }
+
+    /// Print a group heading, mirroring criterion's benchmark groups.
+    pub fn group(&self, name: &str) {
+        if !self.quiet {
+            println!("\n## {name}");
+        }
+    }
+
+    /// Measure `f`, print one report line, and record the stats.
+    ///
+    /// The closure's return value is passed through
+    /// [`std::hint::black_box`] so the computation cannot be optimized
+    /// away.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &Stats {
+        // Warm-up, and estimate the per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est_per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+
+        // Batch so each batch lasts ≳100 µs: per-batch clock reads then
+        // cost well under 1% of what they time.
+        let batch = ((100_000.0 / est_per_iter.max(1.0)).ceil() as u64).clamp(1, 1 << 20);
+
+        let mut per_iter: Vec<f64> = Vec::new();
+        let mut total_iters = 0u64;
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure || per_iter.is_empty() {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            per_iter.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+            total_iters += batch;
+        }
+
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let mut sorted = per_iter.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let stats = Stats {
+            name: name.to_owned(),
+            iters: total_iters,
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: sorted[0],
+            max_ns: sorted[sorted.len() - 1],
+        };
+        if !self.quiet {
+            println!("{}", stats.line());
+        }
+        self.results.push(stats);
+        self.results.last().expect("just pushed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_sane() {
+        let mut t =
+            Timer::with_budgets(Duration::from_millis(5), Duration::from_millis(20)).quiet();
+        let s = t.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(s.iters > 0);
+        assert!(s.mean_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        assert_eq!(t.results.len(), 1);
+    }
+
+    #[test]
+    fn report_lines_are_humane() {
+        assert!(human(12.3).contains("ns"));
+        assert!(human(12_300.0).contains("µs"));
+        assert!(human(12_300_000.0).contains("ms"));
+        assert!(human(2_000_000_000.0).contains('s'));
+    }
+}

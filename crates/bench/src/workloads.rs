@@ -5,8 +5,7 @@
 //! generator* producing terminating, reducible Imp programs (for
 //! differential and property tests).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::prng::Prng;
 use std::fmt::Write as _;
 
 /// `n` independent variable updates followed by a reduction — the workload
@@ -156,7 +155,7 @@ impl Default for GenConfig {
 /// Generate a random, terminating, reducible Imp program. The same seed
 /// always yields the same program.
 pub fn random_program(seed: u64, cfgen: &GenConfig) -> String {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut s = String::new();
     for a in 0..cfgen.n_arrays {
         let _ = writeln!(s, "array a{a}[8];");
@@ -165,53 +164,52 @@ pub fn random_program(seed: u64, cfgen: &GenConfig) -> String {
     // (arrays share a length, so consistent bindings exist for them too).
     for i in 0..cfgen.n_vars {
         for j in (i + 1)..cfgen.n_vars {
-            if rng.gen_ratio(cfgen.alias_percent.min(100), 100) {
+            if rng.ratio(cfgen.alias_percent.min(100), 100) {
                 let _ = writeln!(s, "alias v{i} ~ v{j};");
             }
         }
     }
     for i in 0..cfgen.n_arrays {
         for j in (i + 1)..cfgen.n_arrays {
-            if rng.gen_ratio(cfgen.alias_percent.min(100), 100) {
+            if rng.ratio(cfgen.alias_percent.min(100), 100) {
                 let _ = writeln!(s, "alias a{i} ~ a{j};");
             }
         }
     }
     // Initialize everything deterministically.
     for i in 0..cfgen.n_vars {
-        let _ = writeln!(s, "v{i} := {};", rng.gen_range(-5..20));
+        let _ = writeln!(s, "v{i} := {};", rng.range_i64(-5, 20));
     }
     let mut counter = 0usize;
     gen_block(&mut rng, cfgen, &mut s, cfgen.max_depth, 0, &mut counter);
     s
 }
 
-fn gen_expr(rng: &mut SmallRng, cfgen: &GenConfig, depth: usize) -> String {
-    if depth == 0 || rng.gen_ratio(2, 5) {
-        return match rng.gen_range(0..3) {
-            0 => format!("{}", rng.gen_range(-4..10)),
-            1 => format!("v{}", rng.gen_range(0..cfgen.n_vars)),
+fn gen_expr(rng: &mut Prng, cfgen: &GenConfig, depth: usize) -> String {
+    if depth == 0 || rng.ratio(2, 5) {
+        return match rng.range_usize(0, 3) {
+            0 => format!("{}", rng.range_i64(-4, 10)),
+            1 => format!("v{}", rng.range_usize(0, cfgen.n_vars)),
             _ => {
-                if cfgen.n_arrays > 0 && rng.gen_bool(0.3) {
+                if cfgen.n_arrays > 0 && rng.chance(0.3) {
                     // Clamp the subscript into range with min/max.
-                    let a = rng.gen_range(0..cfgen.n_arrays);
-                    let v = rng.gen_range(0..cfgen.n_vars);
+                    let a = rng.range_usize(0, cfgen.n_arrays);
+                    let v = rng.range_usize(0, cfgen.n_vars);
                     format!("a{a}[min(max(v{v}, 0), 7)]")
                 } else {
-                    format!("v{}", rng.gen_range(0..cfgen.n_vars))
+                    format!("v{}", rng.range_usize(0, cfgen.n_vars))
                 }
             }
         };
     }
     let l = gen_expr(rng, cfgen, depth - 1);
     let r = gen_expr(rng, cfgen, depth - 1);
-    let op = ["+", "-", "*", "/", "%", "<", "<=", "==", "!="]
-        [rng.gen_range(0..9)];
+    let op = rng.pick(&["+", "-", "*", "/", "%", "<", "<=", "==", "!="]);
     format!("({l} {op} {r})")
 }
 
 fn gen_block(
-    rng: &mut SmallRng,
+    rng: &mut Prng,
     cfgen: &GenConfig,
     s: &mut String,
     depth: usize,
@@ -219,27 +217,27 @@ fn gen_block(
     counter: &mut usize,
 ) {
     let pad = "  ".repeat(indent);
-    let n = rng.gen_range(1..=cfgen.block_len);
+    let n = rng.range_usize(1, cfgen.block_len + 1);
     for _ in 0..n {
-        match rng.gen_range(0..10) {
+        match rng.range_usize(0, 10) {
             0..=4 => {
                 // Assignment (occasionally to an array element).
-                if cfgen.n_arrays > 0 && rng.gen_bool(0.2) {
-                    let a = rng.gen_range(0..cfgen.n_arrays);
-                    let v = rng.gen_range(0..cfgen.n_vars);
+                if cfgen.n_arrays > 0 && rng.chance(0.2) {
+                    let a = rng.range_usize(0, cfgen.n_arrays);
+                    let v = rng.range_usize(0, cfgen.n_vars);
                     let e = gen_expr(rng, cfgen, 2);
                     let _ = writeln!(s, "{pad}a{a}[min(max(v{v}, 0), 7)] := {e};");
                 } else {
-                    let v = rng.gen_range(0..cfgen.n_vars);
+                    let v = rng.range_usize(0, cfgen.n_vars);
                     let e = gen_expr(rng, cfgen, 2);
                     let _ = writeln!(s, "{pad}v{v} := {e};");
                 }
             }
             5..=6 if depth > 0 => {
-                if rng.gen_bool(0.25) {
+                if rng.chance(0.25) {
                     // Multi-way branch (footnote 3).
                     let sel = gen_expr(rng, cfgen, 1);
-                    let n_arms = rng.gen_range(2..=3);
+                    let n_arms = rng.range_usize(2, 4);
                     let _ = writeln!(s, "{pad}case {sel} of {{");
                     for arm in 0..n_arms {
                         let _ = writeln!(s, "{pad}  {arm} => {{");
@@ -254,7 +252,7 @@ fn gen_block(
                     let c = gen_expr(rng, cfgen, 1);
                     let _ = writeln!(s, "{pad}if {c} then {{");
                     gen_block(rng, cfgen, s, depth - 1, indent + 1, counter);
-                    if rng.gen_bool(0.6) {
+                    if rng.chance(0.6) {
                         let _ = writeln!(s, "{pad}}} else {{");
                         gen_block(rng, cfgen, s, depth - 1, indent + 1, counter);
                     }
@@ -266,7 +264,7 @@ fn gen_block(
                 // terminates.
                 let id = *counter;
                 *counter += 1;
-                let trip = rng.gen_range(1..=cfgen.max_trip);
+                let trip = rng.range_usize(1, cfgen.max_trip + 1);
                 let _ = writeln!(s, "{pad}for t{id} := 1 to {trip} do {{");
                 gen_block(rng, cfgen, s, depth - 1, indent + 1, counter);
                 let _ = writeln!(s, "{pad}}}");
@@ -284,7 +282,7 @@ fn gen_block(
 /// `3 * blocks * 8` statements; the resulting CFGs are frequently
 /// *irreducible* (multi-entry cycles), exercising node splitting.
 pub fn goto_soup(seed: u64, blocks: usize) -> String {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut rng = Prng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let blocks = blocks.max(2);
     let mut s = String::from("c := 0;\nx := 1;\ny := 2;\n");
     let budget = 8 * blocks;
@@ -294,7 +292,7 @@ pub fn goto_soup(seed: u64, blocks: usize) -> String {
         let _ = writeln!(s, "  c := c + 1;");
         let _ = writeln!(s, "  if c > {budget} then {{ goto end; }} else {{ skip; }}");
         // A little work.
-        match rng.gen_range(0..3) {
+        match rng.range_usize(0, 3) {
             0 => {
                 let _ = writeln!(s, "  x := x + y;");
             }
@@ -307,11 +305,11 @@ pub fn goto_soup(seed: u64, blocks: usize) -> String {
         }
         // Conditional jump to a random block (backward or forward: cycles
         // with multiple entries arise freely).
-        let t1 = rng.gen_range(0..blocks);
+        let t1 = rng.range_usize(0, blocks);
         let _ = writeln!(
             s,
             "  if (x + y + c) % {} == 0 then {{ goto b{t1}; }} else {{ skip; }}",
-            rng.gen_range(2..5)
+            rng.range_usize(2, 5)
         );
         // Fall through to the next block (keeping every block reachable);
         // the final block ends the program.

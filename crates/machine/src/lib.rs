@@ -25,12 +25,14 @@
 //! [`vonneumann`] provides the sequential control-flow interpreter used as
 //! the baseline (the "thread descriptor" execution the paper contrasts
 //! with), and [`parallel`] a multi-threaded token-pushing executor
-//! demonstrating real parallel execution of the same graphs.
+//! demonstrating real parallel execution of the same graphs, built on the
+//! std-only work-stealing [`scheduler`].
 
 pub mod exec;
 pub mod memory;
 pub mod metrics;
 pub mod parallel;
+pub mod scheduler;
 pub mod tag;
 pub mod trace;
 pub mod vonneumann;

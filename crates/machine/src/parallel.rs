@@ -2,25 +2,45 @@
 //!
 //! Where [`crate::exec`] is a deterministic discrete-event *simulator*
 //! measuring idealized parallelism, this module actually executes a
-//! dataflow graph on OS threads: worker threads pull tokens from a shared
-//! channel, rendezvous them in sharded slot tables, fire operators, and
-//! push result tokens back. It demonstrates the paper's point that the
-//! translated graphs are genuinely parallel programs — any interleaving
-//! the token dependences permit yields the same final memory, which the
-//! tests check against the deterministic simulator.
+//! dataflow graph on OS threads: worker threads pull tokens from
+//! work-stealing run queues ([`crate::scheduler`]), rendezvous them in
+//! sharded slot tables, fire operators, and push result tokens back. It
+//! demonstrates the paper's point that the translated graphs are
+//! genuinely parallel programs — any interleaving the token dependences
+//! permit yields the same final memory, which the tests check against
+//! the deterministic simulator.
 //!
-//! Timing metrics are not meaningful here (wall-clock benches use
-//! Criterion); the executor reports fired-operator and memory-op counts.
+//! Everything here is std-only (offline/no-deps build policy), and the
+//! shared state is engineered so independent memory operations really do
+//! proceed in parallel, as Schema 2 promises:
+//!
+//! * ordinary memory cells are `AtomicI64`s — loads and stores never take
+//!   a lock (the dataflow graph's access tokens are what order them);
+//! * I-structure cells are lock-striped by address;
+//! * the tag (iteration-context) interner is sharded by
+//!   `(parent, loop, iteration)`, each shard allocating `TagId`s from a
+//!   disjoint arithmetic progression;
+//! * rendezvous slots are sharded by `(operator, tag)` hash, as before.
+//!
+//! Shutdown is explicit: a sent token is never dropped. Workers drain
+//! until the token population hits zero (clean completion after `End`,
+//! or quiescence without `End` — reported as deadlock) or a recorded
+//! [`MachineError`] halts the run. The scheduler's debug assertion and
+//! [`tests::no_token_is_dropped_without_a_recorded_error`] pin this down.
+//!
+//! Timing metrics are not meaningful here (wall-clock benches live in
+//! `cf2df-bench/benches/executor.rs`); the executor reports
+//! fired-operator and memory-op counts.
 
 use crate::exec::MachineError;
-use crate::memory::Memory;
-use crate::tag::{TagId, TagTable};
-use cf2df_cfg::MemLayout;
+use crate::memory::{DeferredRead, MemError};
+use crate::scheduler::{Ctx, Scheduler};
+use crate::tag::TagId;
+use cf2df_cfg::{LoopId, MemLayout, VarId};
 use cf2df_dfg::{Dfg, OpId, OpKind, Port};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Result of a threaded run.
 #[derive(Clone, Debug)]
@@ -40,10 +60,256 @@ struct Token {
     value: i64,
 }
 
-const SHARDS: usize = 16;
+/// Shards in the rendezvous-slot table.
+const SLOT_SHARDS: usize = 32;
+/// Stripes in the I-structure store.
+const IST_STRIPES: usize = 16;
+/// Shards in the tag interner.
+const TAG_SHARDS: usize = 16;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One shard of the rendezvous-slot table.
-type SlotShard = Mutex<std::collections::HashMap<(OpId, TagId), Vec<Option<i64>>>>;
+type SlotShard = Mutex<HashMap<(OpId, TagId), Vec<Option<i64>>>>;
+
+// ---------------------------------------------------------------------
+// Sharded memory
+// ---------------------------------------------------------------------
+
+/// One I-structure cell (write-once, deferred reads).
+#[derive(Debug, Default)]
+enum IstSlot {
+    #[default]
+    Empty,
+    Full(i64),
+    Deferred(Vec<DeferredRead<(OpId, TagId)>>),
+}
+
+/// Concurrent machine memory: atomic ordinary cells plus a lock-striped
+/// I-structure overlay. The dataflow graph's access tokens are
+/// responsible for ordering, exactly as in the sequential [`crate::memory::Memory`];
+/// the cells only have to be individually race-free.
+struct ParMemory {
+    cells: Vec<AtomicI64>,
+    /// Stripe `s` holds the cells of every address `a ≡ s (mod IST_STRIPES)`,
+    /// at index `a / IST_STRIPES`.
+    ist: Vec<Mutex<Vec<IstSlot>>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl ParMemory {
+    fn new(layout: &MemLayout) -> ParMemory {
+        let n = layout.total_cells() as usize;
+        let per_stripe = n.div_ceil(IST_STRIPES);
+        ParMemory {
+            cells: (0..n).map(|_| AtomicI64::new(0)).collect(),
+            ist: (0..IST_STRIPES)
+                .map(|_| {
+                    Mutex::new(
+                        std::iter::repeat_with(IstSlot::default)
+                            .take(per_stripe)
+                            .collect(),
+                    )
+                })
+                .collect(),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    fn read_scalar(&self, layout: &MemLayout, var: VarId) -> i64 {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.cells[layout.base(var) as usize].load(Ordering::SeqCst)
+    }
+
+    fn write_scalar(&self, layout: &MemLayout, var: VarId, value: i64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.cells[layout.base(var) as usize].store(value, Ordering::SeqCst);
+    }
+
+    fn read_element(&self, layout: &MemLayout, var: VarId, index: i64) -> Result<i64, MemError> {
+        let addr = layout
+            .element(var, index)
+            .ok_or(MemError::OutOfBounds { var, index })?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(self.cells[addr as usize].load(Ordering::SeqCst))
+    }
+
+    fn write_element(
+        &self,
+        layout: &MemLayout,
+        var: VarId,
+        index: i64,
+        value: i64,
+    ) -> Result<(), MemError> {
+        let addr = layout
+            .element(var, index)
+            .ok_or(MemError::OutOfBounds { var, index })?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.cells[addr as usize].store(value, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn ist_read(
+        &self,
+        layout: &MemLayout,
+        var: VarId,
+        index: i64,
+        ctx: (OpId, TagId),
+    ) -> Result<Option<i64>, MemError> {
+        let addr = layout
+            .element(var, index)
+            .ok_or(MemError::OutOfBounds { var, index })? as usize;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let mut stripe = lock(&self.ist[addr % IST_STRIPES]);
+        let slot = &mut stripe[addr / IST_STRIPES];
+        match slot {
+            IstSlot::Full(v) => Ok(Some(*v)),
+            IstSlot::Empty => {
+                *slot = IstSlot::Deferred(vec![DeferredRead { ctx }]);
+                Ok(None)
+            }
+            IstSlot::Deferred(q) => {
+                q.push(DeferredRead { ctx });
+                Ok(None)
+            }
+        }
+    }
+
+    fn ist_write(
+        &self,
+        layout: &MemLayout,
+        var: VarId,
+        index: i64,
+        value: i64,
+    ) -> Result<Vec<DeferredRead<(OpId, TagId)>>, MemError> {
+        let addr = layout
+            .element(var, index)
+            .ok_or(MemError::OutOfBounds { var, index })? as usize;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let mut stripe = lock(&self.ist[addr % IST_STRIPES]);
+        let slot = &mut stripe[addr / IST_STRIPES];
+        match std::mem::take(slot) {
+            IstSlot::Full(_) => Err(MemError::IStructureRewrite { addr: addr as u32 }),
+            IstSlot::Empty => {
+                *slot = IstSlot::Full(value);
+                Ok(Vec::new())
+            }
+            IstSlot::Deferred(q) => {
+                *slot = IstSlot::Full(value);
+                Ok(q)
+            }
+        }
+    }
+
+    fn cells_snapshot(&self) -> Vec<i64> {
+        self.cells.iter().map(|c| c.load(Ordering::SeqCst)).collect()
+    }
+
+    /// I-structure snapshot in address order (empty cells read as 0).
+    fn ist_snapshot(&self) -> Vec<i64> {
+        let stripes: Vec<MutexGuard<'_, Vec<IstSlot>>> = self.ist.iter().map(lock).collect();
+        (0..self.cells.len())
+            .map(|a| match &stripes[a % IST_STRIPES][a / IST_STRIPES] {
+                IstSlot::Full(v) => *v,
+                _ => 0,
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded tag interner
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+struct TagCtx {
+    parent: TagId,
+    loop_id: LoopId,
+    iter: u32,
+}
+
+#[derive(Default)]
+struct TagShard {
+    intern: HashMap<(TagId, LoopId, u32), TagId>,
+    /// `ctxs[k]` is the context of `TagId(k * TAG_SHARDS + shard_index)`;
+    /// `None` only for the root slot in shard 0.
+    ctxs: Vec<Option<TagCtx>>,
+}
+
+/// Concurrent interning table for iteration contexts (the parallel
+/// analogue of [`crate::tag::TagTable`]). Shard `s` allocates the ids
+/// `{ k * TAG_SHARDS + s }`, so allocation never contends across shards,
+/// and a tag's shard is recoverable from its id for lock-local `info`
+/// lookups. Interning still guarantees that every token line entering
+/// the same iteration of the same loop under the same parent receives
+/// the *same* tag, because one shard owns each `(parent, loop, iter)` key.
+struct ParTagTable {
+    shards: Vec<Mutex<TagShard>>,
+}
+
+impl ParTagTable {
+    fn new() -> ParTagTable {
+        let mut shards: Vec<Mutex<TagShard>> = (0..TAG_SHARDS)
+            .map(|_| Mutex::new(TagShard::default()))
+            .collect();
+        // Reserve id 0 (= slot 0 of shard 0) for the root tag.
+        shards[0].get_mut().unwrap().ctxs.push(None);
+        ParTagTable { shards }
+    }
+
+    fn shard_of(parent: TagId, loop_id: LoopId, iter: u32) -> usize {
+        let h = (parent.0 as usize)
+            .wrapping_mul(0x9e37_79b1)
+            .wrapping_add((loop_id.0 as usize).wrapping_mul(31))
+            .wrapping_add(iter as usize);
+        h % TAG_SHARDS
+    }
+
+    /// The tag for iteration `iter` of loop `loop_id` under `parent`.
+    fn child(&self, parent: TagId, loop_id: LoopId, iter: u32) -> TagId {
+        let s = Self::shard_of(parent, loop_id, iter);
+        let mut shard = lock(&self.shards[s]);
+        if let Some(&t) = shard.intern.get(&(parent, loop_id, iter)) {
+            return t;
+        }
+        let k = shard.ctxs.len();
+        let id = u32::try_from(k * TAG_SHARDS + s).expect("too many tags");
+        let t = TagId(id);
+        shard.ctxs.push(Some(TagCtx { parent, loop_id, iter }));
+        shard.intern.insert((parent, loop_id, iter), t);
+        t
+    }
+
+    /// Decompose a tag into `(parent, loop, iteration)`; `None` for the
+    /// root.
+    fn info(&self, tag: TagId) -> Option<(TagId, LoopId, u32)> {
+        let s = tag.index() % TAG_SHARDS;
+        let k = tag.index() / TAG_SHARDS;
+        let shard = lock(&self.shards[s]);
+        shard
+            .ctxs
+            .get(k)
+            .copied()
+            .flatten()
+            .map(|c| (c.parent, c.loop_id, c.iter))
+    }
+
+    /// Human-readable rendering for error messages.
+    fn render(&self, tag: TagId) -> String {
+        match self.info(tag) {
+            None => "root".to_owned(),
+            Some((p, l, i)) => format!("{}.{:?}[{}]", self.render(p), l, i),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The executor
+// ---------------------------------------------------------------------
 
 struct Shared {
     layout: MemLayout,
@@ -51,35 +317,31 @@ struct Shared {
     live: Vec<usize>,
     /// Rendezvous slots, sharded by (op, tag) hash.
     slots: Vec<SlotShard>,
-    tags: Mutex<TagTable>,
-    mem: Mutex<Memory<(OpId, TagId)>>,
-    pending: AtomicUsize,
-    halted: AtomicBool,
+    tags: ParTagTable,
+    mem: ParMemory,
+    end_seen: AtomicBool,
     failed: Mutex<Option<MachineError>>,
     fired: AtomicU64,
-    tx: Sender<Token>,
 }
 
 impl Shared {
     fn shard(&self, op: OpId, tag: TagId) -> usize {
-        (op.0 as usize).wrapping_mul(31).wrapping_add(tag.0 as usize) % SHARDS
+        (op.0 as usize)
+            .wrapping_mul(0x9e37_79b1)
+            .wrapping_add(tag.0 as usize)
+            % SLOT_SHARDS
     }
 
-    fn send(&self, t: Token) {
-        self.pending.fetch_add(1, Ordering::SeqCst);
-        // Send failure means the channel closed during shutdown; the token
-        // is dropped, which is fine once halted/failed is set.
-        if self.tx.send(t).is_err() {
-            self.pending.fetch_sub(1, Ordering::SeqCst);
-        }
-    }
-
-    fn fail(&self, e: MachineError) {
-        let mut f = self.failed.lock();
+    /// Record the first failure and halt the run. Tokens still queued are
+    /// abandoned *only* on this path — with an error recorded — which is
+    /// what makes a silently dropped token impossible.
+    fn fail(&self, ctx: &Ctx<'_, Token>, e: MachineError) {
+        let mut f = lock(&self.failed);
         if f.is_none() {
             *f = Some(e);
         }
-        self.halted.store(true, Ordering::SeqCst);
+        drop(f);
+        ctx.halt();
     }
 }
 
@@ -106,91 +368,58 @@ pub fn run_threaded(
         })
         .collect();
 
-    let (tx, rx): (Sender<Token>, Receiver<Token>) = unbounded();
-    let shared = Arc::new(Shared {
+    let shared = Shared {
         layout: layout.clone(),
         dests,
         live,
-        slots: std::iter::repeat_with(|| Mutex::new(std::collections::HashMap::new()))
-            .take(SHARDS)
+        slots: std::iter::repeat_with(|| Mutex::new(HashMap::new()))
+            .take(SLOT_SHARDS)
             .collect(),
-        tags: Mutex::new(TagTable::new()),
-        mem: Mutex::new(Memory::new(layout)),
-        pending: AtomicUsize::new(0),
-        halted: AtomicBool::new(false),
+        tags: ParTagTable::new(),
+        mem: ParMemory::new(layout),
+        end_seen: AtomicBool::new(false),
         failed: Mutex::new(None),
         fired: AtomicU64::new(0),
-        tx,
-    });
+    };
 
+    let sched: Scheduler<Token> = Scheduler::new(n_threads);
     // Seed initial tokens.
     let start = g.start();
-    for &to in &shared.dests[start.index()][0].clone() {
-        shared.send(Token {
+    for &to in &shared.dests[start.index()][0] {
+        sched.inject(Token {
             to,
             tag: TagId::ROOT,
             value: 0,
         });
     }
 
-    std::thread::scope(|scope| {
-        for _ in 0..n_threads {
-            let shared = Arc::clone(&shared);
-            let rx = rx.clone();
-            let g = &*g;
-            scope.spawn(move || worker(g, &shared, &rx));
-        }
-    });
+    let outcome = sched.run(|ctx, t| process(g, &shared, ctx, t));
 
-    let failed = shared.failed.lock().take();
-    if let Some(e) = failed {
+    if let Some(e) = lock(&shared.failed).take() {
         return Err(e);
     }
-    if !shared.halted.load(Ordering::SeqCst) {
+    // No failure recorded: the scheduler drained — every sent token was
+    // processed (the scheduler debug-asserts this too).
+    debug_assert_eq!(outcome.leftover, 0, "token dropped without an error");
+    if !shared.end_seen.load(Ordering::SeqCst) {
         return Err(MachineError::Deadlock {
             pending: vec!["threaded executor quiesced without End".into()],
         });
     }
-    let mem = shared.mem.lock();
     Ok(ParOutcome {
-        memory: mem.cells().to_vec(),
-        ist_memory: mem.ist_cells(),
+        memory: shared.mem.cells_snapshot(),
+        ist_memory: shared.mem.ist_snapshot(),
         fired: shared.fired.load(Ordering::SeqCst),
     })
 }
 
-fn worker(g: &Dfg, sh: &Shared, rx: &Receiver<Token>) {
-    loop {
-        if sh.halted.load(Ordering::SeqCst) {
-            return;
-        }
-        let Ok(t) = rx.recv_timeout(std::time::Duration::from_millis(5)) else {
-            // Queue empty: if nothing is pending anywhere, we are done
-            // (either End fired, a failure was recorded, or the graph
-            // quiesced — the caller distinguishes).
-            if sh.pending.load(Ordering::SeqCst) == 0 {
-                if !sh.halted.load(Ordering::SeqCst) && sh.failed.lock().is_none() {
-                    // Genuine quiescence without End: deadlock.
-                    sh.fail(MachineError::Deadlock {
-                        pending: vec!["no tokens in flight".into()],
-                    });
-                }
-                return;
-            }
-            continue;
-        };
-        process(g, sh, t);
-        sh.pending.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-fn process(g: &Dfg, sh: &Shared, t: Token) {
+fn process(g: &Dfg, sh: &Shared, ctx: &Ctx<'_, Token>, t: Token) {
     let op = t.to.op;
     let port = t.to.port as usize;
     let kind = g.kind(op);
     match kind {
         OpKind::Merge | OpKind::LoopEntry { .. } => {
-            fire_single(g, sh, op, t.tag, port, t.value);
+            fire_single(g, sh, ctx, op, t.tag, port, t.value);
         }
         _ => {
             let n_in = kind.n_inputs();
@@ -202,18 +431,18 @@ fn process(g: &Dfg, sh: &Shared, t: Token) {
                 if n_in > 0 {
                     vals[port] = t.value;
                 }
-                fire_full(g, sh, op, t.tag, vals);
+                fire_full(g, sh, ctx, op, t.tag, vals);
                 return;
             }
             let complete = {
-                let mut shard = sh.slots[sh.shard(op, t.tag)].lock();
-                let slot = shard.entry((op, t.tag)).or_insert_with(|| {
-                    (0..n_in).map(|p| g.imm(op, p)).collect::<Vec<_>>()
-                });
+                let mut shard = lock(&sh.slots[sh.shard(op, t.tag)]);
+                let slot = shard
+                    .entry((op, t.tag))
+                    .or_insert_with(|| (0..n_in).map(|p| g.imm(op, p)).collect::<Vec<_>>());
                 if slot[port].is_some() {
-                    let tag = sh.tags.lock().render(t.tag);
                     drop(shard);
-                    sh.fail(MachineError::TokenCollision { op, port, tag });
+                    let tag = sh.tags.render(t.tag);
+                    sh.fail(ctx, MachineError::TokenCollision { op, port, tag });
                     return;
                 }
                 slot[port] = Some(t.value);
@@ -230,57 +459,75 @@ fn process(g: &Dfg, sh: &Shared, t: Token) {
                 }
             };
             if let Some(vals) = complete {
-                fire_full(g, sh, op, t.tag, vals);
+                fire_full(g, sh, ctx, op, t.tag, vals);
             }
         }
     }
 }
 
-fn emit(sh: &Shared, op: OpId, out_port: usize, value: i64, tag: TagId) {
+fn emit(sh: &Shared, ctx: &Ctx<'_, Token>, op: OpId, out_port: usize, value: i64, tag: TagId) {
     for &to in &sh.dests[op.index()][out_port] {
-        sh.send(Token { to, tag, value });
+        ctx.push(Token { to, tag, value });
     }
 }
 
-fn fire_single(g: &Dfg, sh: &Shared, op: OpId, tag: TagId, port: usize, value: i64) {
+fn fire_single(
+    g: &Dfg,
+    sh: &Shared,
+    ctx: &Ctx<'_, Token>,
+    op: OpId,
+    tag: TagId,
+    port: usize,
+    value: i64,
+) {
     sh.fired.fetch_add(1, Ordering::Relaxed);
     match g.kind(op) {
-        OpKind::Merge => emit(sh, op, 0, value, tag),
+        OpKind::Merge => emit(sh, ctx, op, 0, value, tag),
         OpKind::LoopEntry { loop_id } => {
             let new_tag = if port == 0 {
-                sh.tags.lock().child(tag, *loop_id, 0)
+                sh.tags.child(tag, *loop_id, 0)
             } else {
-                let mut tags = sh.tags.lock();
-                match tags.info(tag) {
-                    Some((p, l, i)) if l == *loop_id => tags.child(p, *loop_id, i + 1),
+                match sh.tags.info(tag) {
+                    Some((p, l, i)) if l == *loop_id => sh.tags.child(p, *loop_id, i + 1),
                     other => {
-                        drop(tags);
-                        sh.fail(MachineError::TagMismatch {
-                            op,
-                            detail: format!("backedge token tagged {other:?}"),
-                        });
+                        sh.fail(
+                            ctx,
+                            MachineError::TagMismatch {
+                                op,
+                                detail: format!("backedge token tagged {other:?}"),
+                            },
+                        );
                         return;
                     }
                 }
             };
-            emit(sh, op, 0, value, new_tag);
+            emit(sh, ctx, op, 0, value, new_tag);
         }
         _ => unreachable!("fire_single only for merge-like ops"),
     }
 }
 
-fn fire_full(g: &Dfg, sh: &Shared, op: OpId, tag: TagId, vals: Vec<i64>) {
+fn fire_full(
+    g: &Dfg,
+    sh: &Shared,
+    ctx: &Ctx<'_, Token>,
+    op: OpId,
+    tag: TagId,
+    vals: Vec<i64>,
+) {
     sh.fired.fetch_add(1, Ordering::Relaxed);
     match g.kind(op) {
         OpKind::Start => unreachable!("Start never fires"),
         OpKind::End { .. } => {
-            sh.halted.store(true, Ordering::SeqCst);
+            // Mark completion but keep draining: workers exit when the
+            // token population reaches zero, so nothing is dropped.
+            sh.end_seen.store(true, Ordering::SeqCst);
         }
-        OpKind::Unary { op: u } => emit(sh, op, 0, u.eval(vals[0]), tag),
-        OpKind::Binary { op: b } => emit(sh, op, 0, b.eval(vals[0], vals[1]), tag),
+        OpKind::Unary { op: u } => emit(sh, ctx, op, 0, u.eval(vals[0]), tag),
+        OpKind::Binary { op: b } => emit(sh, ctx, op, 0, b.eval(vals[0], vals[1]), tag),
         OpKind::Switch => {
             let out = if vals[1] != 0 { 0 } else { 1 };
-            emit(sh, op, out, vals[0], tag);
+            emit(sh, ctx, op, out, vals[0], tag);
         }
         OpKind::CaseSwitch { arms } => {
             let sel = vals[1];
@@ -289,106 +536,95 @@ fn fire_full(g: &Dfg, sh: &Shared, op: OpId, tag: TagId, vals: Vec<i64>) {
             } else {
                 *arms as usize - 1
             };
-            emit(sh, op, out, vals[0], tag);
+            emit(sh, ctx, op, out, vals[0], tag);
         }
-        OpKind::Synch { .. } => emit(sh, op, 0, 0, tag),
-        OpKind::Identity | OpKind::Gate => emit(sh, op, 0, vals[0], tag),
-        OpKind::Merge | OpKind::LoopEntry { .. } => unreachable!("merge-like"),
+        OpKind::Synch { .. } => emit(sh, ctx, op, 0, 0, tag),
+        OpKind::Identity | OpKind::Gate => emit(sh, ctx, op, 0, vals[0], tag),
         OpKind::Load { var } => {
-            let v = sh.mem.lock().read_scalar(&sh.layout, *var);
-            emit(sh, op, 0, v, tag);
-            emit(sh, op, 1, 0, tag);
+            let v = sh.mem.read_scalar(&sh.layout, *var);
+            emit(sh, ctx, op, 0, v, tag);
+            emit(sh, ctx, op, 1, 0, tag);
         }
         OpKind::Store { var } => {
-            sh.mem.lock().write_scalar(&sh.layout, *var, vals[0]);
-            emit(sh, op, 0, 0, tag);
+            sh.mem.write_scalar(&sh.layout, *var, vals[0]);
+            emit(sh, ctx, op, 0, 0, tag);
         }
         OpKind::LoadIdx { var } => {
-            let r = sh.mem.lock().read_element(&sh.layout, *var, vals[0]);
-            match r {
+            match sh.mem.read_element(&sh.layout, *var, vals[0]) {
                 Ok(v) => {
-                    emit(sh, op, 0, v, tag);
-                    emit(sh, op, 1, 0, tag);
+                    emit(sh, ctx, op, 0, v, tag);
+                    emit(sh, ctx, op, 1, 0, tag);
                 }
-                Err(e) => sh.fail(e.into()),
+                Err(e) => sh.fail(ctx, e.into()),
             }
         }
         OpKind::StoreIdx { var } => {
-            let r = sh
-                .mem
-                .lock()
-                .write_element(&sh.layout, *var, vals[0], vals[1]);
-            match r {
-                Ok(()) => emit(sh, op, 0, 0, tag),
-                Err(e) => sh.fail(e.into()),
+            match sh.mem.write_element(&sh.layout, *var, vals[0], vals[1]) {
+                Ok(()) => emit(sh, ctx, op, 0, 0, tag),
+                Err(e) => sh.fail(ctx, e.into()),
             }
         }
         OpKind::IstLoad { var } => {
-            let r = sh.mem.lock().ist_read(&sh.layout, *var, vals[0], (op, tag));
-            match r {
-                Ok(Some(v)) => emit(sh, op, 0, v, tag),
+            match sh.mem.ist_read(&sh.layout, *var, vals[0], (op, tag)) {
+                Ok(Some(v)) => emit(sh, ctx, op, 0, v, tag),
                 Ok(None) => {} // deferred; released by the write
-                Err(e) => sh.fail(e.into()),
+                Err(e) => sh.fail(ctx, e.into()),
             }
         }
         OpKind::IstStore { var } => {
             let value = vals[1];
-            let r = sh.mem.lock().ist_write(&sh.layout, *var, vals[0], value);
-            match r {
+            match sh.mem.ist_write(&sh.layout, *var, vals[0], value) {
                 Ok(released) => {
-                    emit(sh, op, 0, 0, tag);
+                    emit(sh, ctx, op, 0, 0, tag);
                     for d in released {
                         let (ld_op, ld_tag) = d.ctx;
-                        emit(sh, ld_op, 0, value, ld_tag);
+                        emit(sh, ctx, ld_op, 0, value, ld_tag);
                     }
                 }
-                Err(e) => sh.fail(e.into()),
+                Err(e) => sh.fail(ctx, e.into()),
             }
         }
-        OpKind::LoopExit { loop_id } => {
-            let info = sh.tags.lock().info(tag);
-            match info {
-                Some((p, l, _)) if l == *loop_id => emit(sh, op, 0, vals[0], p),
-                other => sh.fail(MachineError::TagMismatch {
+        OpKind::LoopExit { loop_id } => match sh.tags.info(tag) {
+            Some((p, l, _)) if l == *loop_id => emit(sh, ctx, op, 0, vals[0], p),
+            other => sh.fail(
+                ctx,
+                MachineError::TagMismatch {
                     op,
                     detail: format!("exit token tagged {other:?}"),
-                }),
+                },
+            ),
+        },
+        OpKind::PrevIter { loop_id } => match sh.tags.info(tag) {
+            Some((p, l, i)) if l == *loop_id && i > 0 => {
+                let nt = sh.tags.child(p, *loop_id, i - 1);
+                emit(sh, ctx, op, 0, vals[0], nt);
             }
-        }
-        OpKind::PrevIter { loop_id } => {
-            let mut tags = sh.tags.lock();
-            match tags.info(tag) {
-                Some((p, l, i)) if l == *loop_id && i > 0 => {
-                    let nt = tags.child(p, *loop_id, i - 1);
-                    drop(tags);
-                    emit(sh, op, 0, vals[0], nt);
-                }
-                other => {
-                    drop(tags);
-                    sh.fail(MachineError::TagMismatch {
-                        op,
-                        detail: format!("prev-iter token tagged {other:?}"),
-                    });
-                }
-            }
-        }
-        OpKind::IterIndex { loop_id } => {
-            let info = sh.tags.lock().info(tag);
-            match info {
-                Some((_, l, i)) if l == *loop_id => emit(sh, op, 0, i as i64, tag),
-                other => sh.fail(MachineError::TagMismatch {
+            other => sh.fail(
+                ctx,
+                MachineError::TagMismatch {
+                    op,
+                    detail: format!("prev-iter token tagged {other:?}"),
+                },
+            ),
+        },
+        OpKind::IterIndex { loop_id } => match sh.tags.info(tag) {
+            Some((_, l, i)) if l == *loop_id => emit(sh, ctx, op, 0, i as i64, tag),
+            other => sh.fail(
+                ctx,
+                MachineError::TagMismatch {
                     op,
                     detail: format!("iter-index token tagged {other:?}"),
-                }),
-            }
-        }
+                },
+            ),
+        },
+        OpKind::Merge | OpKind::LoopEntry { .. } => unreachable!("merge-like"),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cf2df_cfg::{BinOp, VarId, VarTable};
+    use cf2df_cfg::{BinOp, VarTable};
     use cf2df_dfg::graph::ArcKind;
 
     #[test]
@@ -430,5 +666,109 @@ mod tests {
         g.connect(Port::new(sy, 0), Port::new(e, 0), ArcKind::Access);
         let err = run_threaded(&g, &layout, 2).unwrap_err();
         assert!(matches!(err, MachineError::Deadlock { .. }));
+    }
+
+    /// The satellite invariant: a token can only go unprocessed when a
+    /// `MachineError` was recorded for the run. An out-of-bounds store
+    /// halts mid-flight — the run must surface that error (not hang, not
+    /// quietly finish), and a clean run of the same shape must drain.
+    #[test]
+    fn no_token_is_dropped_without_a_recorded_error() {
+        let mut t = VarTable::new();
+        t.array("a", 4);
+        let layout = MemLayout::distinct(&t);
+        // start → (+ idx) → store a[idx] := 7 → end. The start token
+        // (value 0) triggers the add, whose output is the store index.
+        let build = |idx: i64| {
+            let mut g = Dfg::new();
+            let s = g.add(OpKind::Start);
+            let add = g.add(OpKind::Binary { op: BinOp::Add });
+            g.set_imm(add, 1, idx);
+            let st = g.add(OpKind::StoreIdx { var: VarId(0) });
+            g.set_imm(st, 1, 7);
+            g.set_imm(st, 2, 0); // access trigger satisfied immediately
+            let e = g.add(OpKind::End { inputs: 1 });
+            g.connect(Port::new(s, 0), Port::new(add, 0), ArcKind::Value);
+            g.connect(Port::new(add, 0), Port::new(st, 0), ArcKind::Value);
+            g.connect(Port::new(st, 0), Port::new(e, 0), ArcKind::Access);
+            g
+        };
+        // Failing run: index 9 is out of bounds.
+        let g_bad = build(9);
+        let err = run_threaded(&g_bad, &layout, 4).unwrap_err();
+        assert!(
+            matches!(err, MachineError::Memory(MemError::OutOfBounds { .. })),
+            "expected OutOfBounds, got {err:?}"
+        );
+        // Clean run: same graph with a legal index drains fully.
+        let g_ok = build(2);
+        let out = run_threaded(&g_ok, &layout, 4).unwrap();
+        assert_eq!(out.memory[layout.element(VarId(0), 2).unwrap() as usize], 7);
+    }
+
+    #[test]
+    fn sharded_tags_intern_consistently() {
+        let tags = ParTagTable::new();
+        assert_eq!(tags.info(TagId::ROOT), None);
+        assert_eq!(tags.render(TagId::ROOT), "root");
+        let a = tags.child(TagId::ROOT, LoopId(0), 3);
+        let b = tags.child(TagId::ROOT, LoopId(0), 3);
+        assert_eq!(a, b, "same key must intern to the same tag");
+        let c = tags.child(TagId::ROOT, LoopId(0), 4);
+        assert_ne!(a, c);
+        let inner = tags.child(a, LoopId(1), 0);
+        assert_eq!(tags.info(inner), Some((a, LoopId(1), 0)));
+        assert_eq!(tags.render(inner), "root.L0[3].L1[0]");
+    }
+
+    #[test]
+    fn sharded_tags_safe_under_contention() {
+        let tags = ParTagTable::new();
+        let ids: Vec<TagId> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let tags = &tags;
+                    scope.spawn(move || {
+                        (0..100u32)
+                            .map(|i| tags.child(TagId::ROOT, LoopId(0), i))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut all: Vec<Vec<TagId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let first = all.pop().unwrap();
+            for other in &all {
+                assert_eq!(&first, other, "interning must agree across threads");
+            }
+            first
+        });
+        // All distinct iterations got distinct tags.
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn par_memory_striping_is_addressable() {
+        let mut t = VarTable::new();
+        t.scalar("x");
+        let a = t.array("a", 40); // spans several stripes
+        let layout = MemLayout::distinct(&t);
+        let m = ParMemory::new(&layout);
+        for i in 0..40 {
+            m.ist_write(&layout, a, i, i * 10).unwrap();
+        }
+        let snap = m.ist_snapshot();
+        for i in 0..40 {
+            assert_eq!(snap[layout.element(a, i).unwrap() as usize], i * 10);
+        }
+        // Deferred read released by the matching write.
+        let m2 = ParMemory::new(&layout);
+        assert_eq!(
+            m2.ist_read(&layout, a, 3, (OpId(1), TagId::ROOT)).unwrap(),
+            None
+        );
+        let released = m2.ist_write(&layout, a, 3, 5).unwrap();
+        assert_eq!(released.len(), 1);
+        assert!(m2.ist_write(&layout, a, 3, 6).is_err(), "rewrite detected");
     }
 }

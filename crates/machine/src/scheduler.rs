@@ -1,0 +1,353 @@
+//! A std-only work-stealing task scheduler.
+//!
+//! This is the execution core under [`crate::parallel`]: the previous
+//! design funneled every token through one multi-producer channel
+//! (`crossbeam::channel`), making the channel the serialization point for
+//! the whole machine. Here each worker owns a run queue; a worker pushes
+//! the tasks it creates onto its own queue (no cross-thread traffic on
+//! the fast path), pops locally in LIFO order for cache locality, and
+//! steals the *oldest* task from a sibling only when its own queue runs
+//! dry. Idle workers park on a `Condvar` instead of spinning on a
+//! receive timeout.
+//!
+//! Shutdown is **explicit** — the property the old executor lacked
+//! (`Shared::send` silently dropped tokens once the channel closed):
+//!
+//! * a task pushed onto a queue is never dropped: it is either processed,
+//!   or still countable in a queue when [`Scheduler::run`] returns after
+//!   an explicit [`Ctx::halt`] (the caller sees the count in
+//!   [`Outcome::leftover`]);
+//! * with no halt requested, workers only exit when the in-flight count
+//!   reaches zero, so `run` returning with `leftover == 0` is a
+//!   *guarantee*, checked by a debug assertion, not a race.
+//!
+//! The scheduler knows nothing about dataflow; it moves opaque `T`s. The
+//! machine semantics (rendezvous, firing, memory) live in
+//! [`crate::parallel`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Lock, recovering the guard if a panicking worker poisoned it (the
+/// panic itself still propagates through the scope join).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// What `run` observed by the time every worker exited.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// Tasks fully processed.
+    pub processed: u64,
+    /// Tasks still sitting in run queues when the workers exited. Zero
+    /// unless [`Ctx::halt`] cut execution short.
+    pub leftover: u64,
+    /// Whether [`Ctx::halt`] was called.
+    pub halted: bool,
+}
+
+struct Park {
+    /// Guarded by `park_lock`; counts workers inside the wait loop.
+    sleepers: Mutex<usize>,
+    cvar: Condvar,
+}
+
+/// Work-stealing scheduler over tasks of type `T`.
+pub struct Scheduler<T> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+    /// Global injector for tasks pushed from outside a worker (seeding).
+    inject: Mutex<VecDeque<T>>,
+    /// Tasks pushed but not yet fully processed (includes the one a
+    /// worker is currently running). Zero means no task exists and none
+    /// can ever appear — the quiescence/termination signal.
+    pending: AtomicUsize,
+    /// Tasks currently resting in some queue, awaiting pickup.
+    queued: AtomicUsize,
+    stop: AtomicBool,
+    processed: AtomicU64,
+    park: Park,
+}
+
+/// Handle given to the task body: push follow-up work, request shutdown.
+pub struct Ctx<'s, T> {
+    sched: &'s Scheduler<T>,
+    /// Index of the worker running this task; its queue takes the pushes.
+    worker: usize,
+}
+
+impl<T: Send> Scheduler<T> {
+    /// A scheduler with `n` worker queues (`n >= 1`).
+    pub fn new(n_workers: usize) -> Scheduler<T> {
+        let n = n_workers.max(1);
+        Scheduler {
+            queues: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            inject: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            processed: AtomicU64::new(0),
+            park: Park {
+                sleepers: Mutex::new(0),
+                cvar: Condvar::new(),
+            },
+        }
+    }
+
+    /// Number of worker queues.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Seed a task from outside the worker pool (before or during `run`).
+    pub fn inject(&self, t: T) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        lock(&self.inject).push_back(t);
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        self.wake_one();
+    }
+
+    fn wake_one(&self) {
+        // Dekker-style pairing with `park`: the pusher writes `queued`
+        // then reads `sleepers`; the sleeper registers in `sleepers` then
+        // re-reads `queued`. SeqCst on both means at least one side sees
+        // the other, so a wakeup cannot be lost.
+        if *lock(&self.park.sleepers) > 0 {
+            self.park.cvar.notify_one();
+        }
+    }
+
+    fn wake_all(&self) {
+        let _guard = lock(&self.park.sleepers);
+        self.park.cvar.notify_all();
+    }
+
+    /// Pop for worker `w`: own queue first (newest — LIFO, the tokens it
+    /// just produced are hottest), then the injector, then steal the
+    /// oldest task of each sibling.
+    fn find_task(&self, w: usize) -> Option<T> {
+        if let Some(t) = lock(&self.queues[w]).pop_back() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(t);
+        }
+        if let Some(t) = lock(&self.inject).pop_front() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(t);
+        }
+        let n = self.queues.len();
+        for i in 1..n {
+            let victim = (w + i) % n;
+            if let Some(t) = lock(&self.queues[victim]).pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Run `body` over every task until the system drains or halts.
+    ///
+    /// `body` receives a [`Ctx`] for pushing follow-up tasks and a task.
+    /// Workers exit when (a) `Ctx::halt` was called, or (b) `pending`
+    /// reaches zero — every pushed task was processed and none can ever
+    /// appear again.
+    pub fn run<F>(&self, body: F) -> Outcome
+    where
+        F: Fn(&Ctx<'_, T>, T) + Sync,
+        T: Send,
+    {
+        let body = &body;
+        std::thread::scope(|scope| {
+            for w in 0..self.queues.len() {
+                let sched = &*self;
+                scope.spawn(move || sched.worker_loop(w, body));
+            }
+        });
+        let leftover = self.drain_count();
+        let halted = self.stop.load(Ordering::SeqCst);
+        debug_assert!(
+            halted || leftover == 0,
+            "scheduler quiesced with {leftover} unprocessed tasks — \
+             a task was lost without an explicit halt"
+        );
+        Outcome {
+            processed: self.processed.load(Ordering::SeqCst),
+            leftover,
+            halted,
+        }
+    }
+
+    fn worker_loop<F>(&self, w: usize, body: &F)
+    where
+        F: Fn(&Ctx<'_, T>, T) + Sync,
+    {
+        let ctx = Ctx { sched: self, worker: w };
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            if let Some(t) = self.find_task(w) {
+                body(&ctx, t);
+                self.processed.fetch_add(1, Ordering::SeqCst);
+                if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    // Last in-flight task: nothing can create work any
+                    // more. Wake everyone so they observe pending == 0.
+                    self.wake_all();
+                }
+                continue;
+            }
+            // Found nothing. Either the system is done, or another worker
+            // is still running a task that may push more — park.
+            let mut sleepers = lock(&self.park.sleepers);
+            *sleepers += 1;
+            loop {
+                if self.stop.load(Ordering::SeqCst)
+                    || self.pending.load(Ordering::SeqCst) == 0
+                {
+                    *sleepers -= 1;
+                    return;
+                }
+                if self.queued.load(Ordering::SeqCst) > 0 {
+                    *sleepers -= 1;
+                    break; // work appeared — go take it
+                }
+                sleepers = self
+                    .park
+                    .cvar
+                    .wait(sleepers)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// Remaining tasks across all queues (meaningful after `run`).
+    fn drain_count(&self) -> u64 {
+        let mut n = lock(&self.inject).len() as u64;
+        for q in &self.queues {
+            n += lock(q).len() as u64;
+        }
+        n
+    }
+}
+
+impl<T: Send> Ctx<'_, T> {
+    /// Push a follow-up task onto the current worker's queue. Never
+    /// fails, never drops: the task is processed unless the whole run is
+    /// explicitly halted first.
+    pub fn push(&self, t: T) {
+        let s = self.sched;
+        s.pending.fetch_add(1, Ordering::SeqCst);
+        lock(&s.queues[self.worker]).push_back(t);
+        s.queued.fetch_add(1, Ordering::SeqCst);
+        s.wake_one();
+    }
+
+    /// Request an immediate stop: all workers exit as soon as they
+    /// observe the flag; queued tasks are left in place and reported in
+    /// [`Outcome::leftover`].
+    pub fn halt(&self) {
+        self.sched.stop.store(true, Ordering::SeqCst);
+        self.sched.wake_all();
+    }
+
+    /// Index of the worker running the current task.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Fan out a binary tree of tasks and sum the leaves: exercises
+    /// pushes from inside workers, stealing, and clean quiescence.
+    fn tree_sum(workers: usize, depth: u32) -> (u64, Outcome) {
+        let sched: Scheduler<(u32, u64)> = Scheduler::new(workers);
+        let total = AtomicU64::new(0);
+        sched.inject((depth, 1));
+        let out = sched.run(|ctx, (d, v)| {
+            if d == 0 {
+                total.fetch_add(v, Ordering::Relaxed);
+            } else {
+                ctx.push((d - 1, v * 2));
+                ctx.push((d - 1, v * 2 + 1));
+            }
+        });
+        (total.load(Ordering::Relaxed), out)
+    }
+
+    #[test]
+    fn drains_cleanly_at_every_width() {
+        // Leaves of the value tree starting at 1: values 2^d .. 2^(d+1)-1.
+        let d = 10u32;
+        let expect: u64 = (1u64 << d..1u64 << (d + 1)).sum();
+        for workers in [1, 2, 4, 8] {
+            let (sum, out) = tree_sum(workers, d);
+            assert_eq!(sum, expect, "workers={workers}");
+            assert_eq!(out.leftover, 0);
+            assert!(!out.halted);
+            // Internal nodes + leaves of a depth-d binary tree.
+            assert_eq!(out.processed, (1 << (d + 1)) - 1);
+        }
+    }
+
+    #[test]
+    fn injected_tasks_are_all_processed() {
+        let sched: Scheduler<u64> = Scheduler::new(4);
+        let total = AtomicU64::new(0);
+        for i in 0..1000 {
+            sched.inject(i);
+        }
+        let out = sched.run(|_, v| {
+            total.fetch_add(v, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 499_500);
+        assert_eq!(out.processed, 1000);
+        assert_eq!(out.leftover, 0);
+    }
+
+    #[test]
+    fn halt_stops_early_and_accounts_for_leftovers() {
+        let sched: Scheduler<u64> = Scheduler::new(2);
+        for i in 0..100 {
+            sched.inject(i);
+        }
+        let out = sched.run(|ctx, v| {
+            if v == 0 {
+                ctx.halt();
+            }
+        });
+        assert!(out.halted);
+        // Every injected task is accounted for: processed or leftover.
+        assert_eq!(out.processed + out.leftover, 100);
+    }
+
+    #[test]
+    fn no_work_at_all_returns_immediately() {
+        let sched: Scheduler<()> = Scheduler::new(4);
+        let out = sched.run(|_, ()| {});
+        assert_eq!(
+            out,
+            Outcome { processed: 0, leftover: 0, halted: false }
+        );
+    }
+
+    #[test]
+    fn single_worker_is_depth_first() {
+        // With one worker and LIFO pops, a chain of pushes runs to
+        // completion like a recursion — queue depth stays bounded.
+        let sched: Scheduler<u32> = Scheduler::new(1);
+        let count = AtomicU64::new(0);
+        sched.inject(10_000);
+        let out = sched.run(|ctx, n| {
+            count.fetch_add(1, Ordering::Relaxed);
+            if n > 0 {
+                ctx.push(n - 1);
+            }
+        });
+        assert_eq!(out.processed, 10_001);
+        assert_eq!(count.load(Ordering::Relaxed), 10_001);
+    }
+}

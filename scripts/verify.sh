@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline.
+#
+# The workspace has a zero-external-dependency policy (see README
+# "Offline, zero-dependency build"): everything below must pass on a
+# machine with no network access and no cargo registry cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> default features must be warning-free"
+RUSTFLAGS="-Dwarnings" cargo check --workspace --all-targets --offline
+
+echo "==> best-effort: --all-features (proptest = 8x heavy property mode)"
+if cargo build --workspace --all-features --offline; then
+    echo "    all-features build: ok"
+else
+    echo "    all-features build: FAILED (non-blocking)" >&2
+fi
+
+echo "verify: OK"

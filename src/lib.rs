@@ -31,6 +31,8 @@
 //! assert_eq!(out.memory[layout.base(x) as usize], 10);
 //! ```
 
+pub mod testkit;
+
 pub use cf2df_bench as bench;
 pub use cf2df_cfg as cfg;
 pub use cf2df_core as core;

@@ -1,35 +1,49 @@
-//! Property-based tests (proptest) over randomly generated programs and
-//! control-flow graphs.
+//! Property-based tests over randomly generated programs and
+//! control-flow graphs, on the deterministic in-house harness
+//! [`cf2df::testkit`] (the workspace builds offline with zero external
+//! crates, so proptest itself is not available). Enable the `proptest`
+//! cargo feature for heavy mode — 8× the cases per suite.
 
-use cf2df::bench::workloads::{random_program, GenConfig};
+use cf2df::bench::prng::Prng;
+use cf2df::bench::workloads::{goto_soup, random_program, GenConfig};
 use cf2df::cfg::{between, ControlDeps, CoverStrategy, DomTree, MemLayout};
 use cf2df::core::pipeline::{translate, TranslateOptions};
 use cf2df::lang::parse_to_cfg;
 use cf2df::machine::{run, vonneumann, MachineConfig};
-use proptest::prelude::*;
+use cf2df::testkit;
 
-fn gen_config() -> impl Strategy<Value = GenConfig> {
-    (2usize..6, 0usize..2, 1usize..5, 1usize..3, 0u32..40).prop_map(
-        |(n_vars, n_arrays, block_len, max_depth, alias_percent)| GenConfig {
-            n_vars,
-            n_arrays,
-            block_len,
-            max_depth,
-            alias_percent,
-            max_trip: 3,
-        },
-    )
+fn gen_config(rng: &mut Prng) -> GenConfig {
+    GenConfig {
+        n_vars: rng.range_usize(2, 6),
+        n_arrays: rng.range_usize(0, 2),
+        block_len: rng.range_usize(1, 5),
+        max_depth: rng.range_usize(1, 3),
+        alias_percent: rng.below(40) as u32,
+        max_trip: 3,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// The fixed small shape used by the suites that need loops but bounded
+/// state space.
+fn small_config() -> GenConfig {
+    GenConfig {
+        n_vars: 4,
+        n_arrays: 1,
+        block_len: 3,
+        max_depth: 2,
+        alias_percent: 0,
+        max_trip: 3,
+    }
+}
 
-    /// Theorem 1: `N` is between `F` and `ipostdom(F)` iff `F ∈ CD⁺(N)` —
-    /// checked by brute-force path search vs. the iterated worklist, on the
-    /// CFGs of random programs.
-    #[test]
-    fn theorem1_between_iff_iterated_cd(seed in any::<u64>(), cfgen in gen_config()) {
-        let src = random_program(seed, &cfgen);
+/// Theorem 1: `N` is between `F` and `ipostdom(F)` iff `F ∈ CD⁺(N)` —
+/// checked by brute-force path search vs. the iterated worklist, on the
+/// CFGs of random programs.
+#[test]
+fn theorem1_between_iff_iterated_cd() {
+    testkit::cases("theorem1", 48, |rng| {
+        let cfgen = gen_config(rng);
+        let src = random_program(rng.next_u64(), &cfgen);
         let parsed = parse_to_cfg(&src).unwrap();
         let cfg = &parsed.cfg;
         let pd = DomTree::postdominators(cfg);
@@ -37,36 +51,41 @@ proptest! {
         for n in cfg.node_ids() {
             let closure = cd.iterated_single(n);
             for f in cfg.node_ids() {
-                prop_assert_eq!(
+                assert_eq!(
                     between(cfg, &pd, f, n),
                     closure[f.index()],
-                    "Theorem 1 violated for F={:?}, N={:?}\n{}",
-                    f, n, src
+                    "Theorem 1 violated for F={f:?}, N={n:?}\n{src}"
                 );
             }
         }
-    }
+    });
+}
 
-    /// The fast postdominator algorithm agrees with the quadratic
-    /// set-based reference.
-    #[test]
-    fn postdominators_match_naive(seed in any::<u64>(), cfgen in gen_config()) {
-        let src = random_program(seed, &cfgen);
+/// The fast postdominator algorithm agrees with the quadratic set-based
+/// reference.
+#[test]
+fn postdominators_match_naive() {
+    testkit::cases("postdom_naive", 48, |rng| {
+        let cfgen = gen_config(rng);
+        let src = random_program(rng.next_u64(), &cfgen);
         let parsed = parse_to_cfg(&src).unwrap();
         let cfg = &parsed.cfg;
         let pd = DomTree::postdominators(cfg);
         let sets = cf2df::cfg::postdom::naive_postdominator_sets(cfg);
         for a in cfg.node_ids() {
             for b in cfg.node_ids() {
-                prop_assert_eq!(pd.dominates(a, b), sets[b.index()][a.index()]);
+                assert_eq!(pd.dominates(a, b), sets[b.index()][a.index()]);
             }
         }
-    }
+    });
+}
 
-    /// Every schema computes the sequential semantics on random programs.
-    #[test]
-    fn schemas_match_sequential_semantics(seed in any::<u64>(), cfgen in gen_config()) {
-        let src = random_program(seed, &cfgen);
+/// Every schema computes the sequential semantics on random programs.
+#[test]
+fn schemas_match_sequential_semantics() {
+    testkit::cases("schemas_vs_seq", 48, |rng| {
+        let cfgen = gen_config(rng);
+        let src = random_program(rng.next_u64(), &cfgen);
         let parsed = parse_to_cfg(&src).unwrap();
         let layout = MemLayout::distinct(&parsed.cfg.vars);
         let mc = MachineConfig::unbounded();
@@ -80,25 +99,27 @@ proptest! {
         ] {
             let t = translate(&parsed.cfg, &parsed.alias, &opts).unwrap();
             let out = run(&t.dfg, &layout, mc.clone()).unwrap();
-            prop_assert_eq!(&out.memory, &oracle.memory, "{:?}\n{}", opts, src);
-            prop_assert_eq!(out.stats.leftover_tokens, 0);
+            assert_eq!(&out.memory, &oracle.memory, "{opts:?}\n{src}");
+            assert_eq!(out.stats.leftover_tokens, 0);
         }
-    }
+    });
+}
 
-    /// Schema 3 graphs remain correct under every random consistent
-    /// binding of the alias structure (names sharing locations).
-    #[test]
-    fn schema3_sound_for_random_bindings(
-        seed in any::<u64>(),
-        pick in any::<u64>(),
-        mut cfgen in gen_config(),
-    ) {
+/// Schema 3 graphs remain correct under every random consistent binding
+/// of the alias structure (names sharing locations).
+#[test]
+fn schema3_sound_for_random_bindings() {
+    testkit::cases("schema3_bindings", 48, |rng| {
+        let mut cfgen = gen_config(rng);
         cfgen.alias_percent = 50;
         cfgen.n_arrays = 2; // arrays share a length, so they may bind too
-        let src = random_program(seed, &cfgen);
+        let src = random_program(rng.next_u64(), &cfgen);
+        let pick = rng.next_u64();
         let parsed = parse_to_cfg(&src).unwrap();
         let bindings = parsed.alias.consistent_bindings();
-        prop_assume!(!bindings.is_empty());
+        if bindings.is_empty() {
+            return; // nothing to bind — vacuous case
+        }
         let binding = &bindings[(pick as usize) % bindings.len()];
         let layout = MemLayout::with_binding(&parsed.cfg.vars, binding);
         let mc = MachineConfig::unbounded();
@@ -110,74 +131,92 @@ proptest! {
         ] {
             let t = translate(&parsed.cfg, &parsed.alias, &opts).unwrap();
             let out = run(&t.dfg, &layout, mc.clone()).unwrap();
-            prop_assert_eq!(&out.memory, &oracle.memory,
-                "binding {:?} under {:?}\n{}", binding, opts, src);
+            assert_eq!(
+                &out.memory, &oracle.memory,
+                "binding {binding:?} under {opts:?}\n{src}"
+            );
         }
-    }
+    });
+}
 
-    /// The optimized construction never emits a redundant switch, and its
-    /// switch count never exceeds the full translation's.
-    #[test]
-    fn optimized_switches_are_minimal(seed in any::<u64>(), cfgen in gen_config()) {
-        let src = random_program(seed, &cfgen);
+/// The optimized construction never emits a redundant switch, and its
+/// switch count never exceeds the full translation's.
+#[test]
+fn optimized_switches_are_minimal() {
+    testkit::cases("opt_switches", 48, |rng| {
+        let cfgen = gen_config(rng);
+        let src = random_program(rng.next_u64(), &cfgen);
         let parsed = parse_to_cfg(&src).unwrap();
-        let full = translate(&parsed.cfg, &parsed.alias,
-            &TranslateOptions::schema3(CoverStrategy::Singletons)).unwrap();
-        let opt = translate(&parsed.cfg, &parsed.alias,
-            &TranslateOptions::schema3(CoverStrategy::Singletons).with_optimized(true)).unwrap();
-        prop_assert!(cf2df::dfg::validate::redundant_switches(&opt.dfg).is_empty());
-        prop_assert!(opt.stats.switches <= full.stats.switches);
-        prop_assert!(opt.stats.ops <= full.stats.ops);
-    }
+        let full = translate(
+            &parsed.cfg,
+            &parsed.alias,
+            &TranslateOptions::schema3(CoverStrategy::Singletons),
+        )
+        .unwrap();
+        let opt = translate(
+            &parsed.cfg,
+            &parsed.alias,
+            &TranslateOptions::schema3(CoverStrategy::Singletons).with_optimized(true),
+        )
+        .unwrap();
+        assert!(cf2df::dfg::validate::redundant_switches(&opt.dfg).is_empty());
+        assert!(opt.stats.switches <= full.stats.switches);
+        assert!(opt.stats.ops <= full.stats.ops);
+    });
+}
 
-    /// Makespan is monotone in processor count, and the unbounded machine
-    /// is a lower bound.
-    #[test]
-    fn makespan_monotone_in_processors(seed in any::<u64>()) {
-        let cfgen = GenConfig { n_vars: 4, n_arrays: 1, block_len: 3, max_depth: 2,
-            alias_percent: 0, max_trip: 3 };
-        let src = random_program(seed, &cfgen);
+/// Makespan is monotone in processor count, and the unbounded machine is
+/// a lower bound.
+#[test]
+fn makespan_monotone_in_processors() {
+    testkit::cases("makespan_monotone", 48, |rng| {
+        let src = random_program(rng.next_u64(), &small_config());
         let parsed = parse_to_cfg(&src).unwrap();
         let layout = MemLayout::distinct(&parsed.cfg.vars);
-        let t = translate(&parsed.cfg, &parsed.alias,
-            &TranslateOptions::schema3(CoverStrategy::Singletons)).unwrap();
+        let t = translate(
+            &parsed.cfg,
+            &parsed.alias,
+            &TranslateOptions::schema3(CoverStrategy::Singletons),
+        )
+        .unwrap();
         let unbounded = run(&t.dfg, &layout, MachineConfig::unbounded()).unwrap();
         let p4 = run(&t.dfg, &layout, MachineConfig::with_processors(4)).unwrap();
         let p1 = run(&t.dfg, &layout, MachineConfig::with_processors(1)).unwrap();
-        prop_assert!(unbounded.stats.makespan <= p4.stats.makespan);
-        prop_assert!(p4.stats.makespan <= p1.stats.makespan);
-        prop_assert_eq!(&unbounded.memory, &p1.memory);
-        prop_assert_eq!(&unbounded.memory, &p4.memory);
+        assert!(unbounded.stats.makespan <= p4.stats.makespan);
+        assert!(p4.stats.makespan <= p1.stats.makespan);
+        assert_eq!(&unbounded.memory, &p1.memory);
+        assert_eq!(&unbounded.memory, &p4.memory);
         // Work is schedule-invariant.
-        prop_assert_eq!(unbounded.stats.fired, p1.stats.fired);
-    }
+        assert_eq!(unbounded.stats.fired, p1.stats.fired);
+    });
+}
 
-    /// Node splitting preserves semantics on irreducible graphs is covered
-    /// by unit tests; here: loop-control insertion preserves the sequential
-    /// semantics observed by the interpreter (joins/loop nodes are
-    /// transparent).
-    #[test]
-    fn loop_control_transparent_to_baseline(seed in any::<u64>(), cfgen in gen_config()) {
-        let src = random_program(seed, &cfgen);
+/// Loop-control insertion preserves the sequential semantics observed by
+/// the interpreter (joins/loop nodes are transparent). Node splitting on
+/// irreducible graphs is covered by `goto_soup_survives_node_splitting`.
+#[test]
+fn loop_control_transparent_to_baseline() {
+    testkit::cases("loop_control_transparent", 48, |rng| {
+        let cfgen = gen_config(rng);
+        let src = random_program(rng.next_u64(), &cfgen);
         let parsed = parse_to_cfg(&src).unwrap();
         let layout = MemLayout::distinct(&parsed.cfg.vars);
         let mc = MachineConfig::default();
         let before = vonneumann::interpret(&parsed.cfg, &layout, &mc).unwrap();
         let lc = cf2df::cfg::loop_control::insert_loop_control(&parsed.cfg).unwrap();
         let after = vonneumann::interpret(&lc.cfg, &layout, &mc).unwrap();
-        prop_assert_eq!(before.memory, after.memory);
-    }
+        assert_eq!(before.memory, after.memory);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Unstructured "goto soup" programs — frequently irreducible — go
-    /// through node splitting (the paper's code-copying remedy) and every
-    /// schema, and still compute the sequential semantics.
-    #[test]
-    fn goto_soup_survives_node_splitting(seed in any::<u64>(), blocks in 3usize..8) {
-        let src = cf2df::bench::workloads::goto_soup(seed, blocks);
+/// Unstructured "goto soup" programs — frequently irreducible — go
+/// through node splitting (the paper's code-copying remedy) and every
+/// schema, and still compute the sequential semantics.
+#[test]
+fn goto_soup_survives_node_splitting() {
+    testkit::cases("goto_soup_split", 40, |rng| {
+        let blocks = rng.range_usize(3, 8);
+        let src = goto_soup(rng.next_u64(), blocks);
         let parsed = parse_to_cfg(&src).unwrap();
         let layout = MemLayout::distinct(&parsed.cfg.vars);
         let mc = MachineConfig::unbounded();
@@ -190,81 +229,84 @@ proptest! {
         ] {
             let t = translate(&parsed.cfg, &parsed.alias, &opts).unwrap();
             let out = run(&t.dfg, &layout, mc.clone()).unwrap();
-            prop_assert_eq!(&out.memory, &oracle.memory, "{:?}\n{}", opts, src);
+            assert_eq!(&out.memory, &oracle.memory, "{opts:?}\n{src}");
         }
-    }
-
-    /// Node splitting really is exercised: a healthy share of the soup is
-    /// irreducible before splitting.
-    #[test]
-    fn goto_soup_is_sometimes_irreducible(seed in 0u64..1) {
-        let mut irreducible = 0usize;
-        let mut total = 0usize;
-        for s in 0..60u64 {
-            let src = cf2df::bench::workloads::goto_soup(seed * 1000 + s, 6);
-            let parsed = parse_to_cfg(&src).unwrap();
-            total += 1;
-            if cf2df::cfg::LoopForest::compute(&parsed.cfg).is_err() {
-                irreducible += 1;
-            }
-        }
-        prop_assert!(
-            irreducible * 5 >= total,
-            "only {irreducible}/{total} irreducible — generator too tame"
-        );
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The textual graph format round-trips every graph the translator
-    /// produces, and the reloaded graph executes identically.
-    #[test]
-    fn graph_text_format_round_trips(seed in any::<u64>(), cfgen in gen_config()) {
-        let src = random_program(seed, &cfgen);
+/// Node splitting really is exercised: a healthy share of the soup is
+/// irreducible before splitting.
+#[test]
+fn goto_soup_is_sometimes_irreducible() {
+    let mut irreducible = 0usize;
+    let mut total = 0usize;
+    for s in 0..60u64 {
+        let src = goto_soup(s, 6);
         let parsed = parse_to_cfg(&src).unwrap();
-        let t = translate(&parsed.cfg, &parsed.alias,
-            &TranslateOptions::schema3(CoverStrategy::Singletons)).unwrap();
+        total += 1;
+        if cf2df::cfg::LoopForest::compute(&parsed.cfg).is_err() {
+            irreducible += 1;
+        }
+    }
+    assert!(
+        irreducible * 5 >= total,
+        "only {irreducible}/{total} irreducible — generator too tame"
+    );
+}
+
+/// The textual graph format round-trips every graph the translator
+/// produces, and the reloaded graph executes identically.
+#[test]
+fn graph_text_format_round_trips() {
+    testkit::cases("io_round_trip", 32, |rng| {
+        let cfgen = gen_config(rng);
+        let src = random_program(rng.next_u64(), &cfgen);
+        let parsed = parse_to_cfg(&src).unwrap();
+        let t = translate(
+            &parsed.cfg,
+            &parsed.alias,
+            &TranslateOptions::schema3(CoverStrategy::Singletons),
+        )
+        .unwrap();
         let text = cf2df::dfg::io::write_module(&t.dfg, &t.cfg.vars);
         let (g2, vars2) = cf2df::dfg::io::read_module(&text).unwrap();
-        prop_assert_eq!(g2.len(), t.dfg.len());
-        prop_assert_eq!(g2.arc_count(), t.dfg.arc_count());
+        assert_eq!(g2.len(), t.dfg.len());
+        assert_eq!(g2.arc_count(), t.dfg.arc_count());
         let layout = MemLayout::distinct(&vars2);
         let a = run(&t.dfg, &layout, MachineConfig::unbounded()).unwrap();
         let b = run(&g2, &layout, MachineConfig::unbounded()).unwrap();
-        prop_assert_eq!(a.memory, b.memory);
-        prop_assert_eq!(a.stats.fired, b.stats.fired);
-        prop_assert_eq!(a.stats.makespan, b.stats.makespan);
-    }
+        assert_eq!(a.memory, b.memory);
+        assert_eq!(a.stats.fired, b.stats.fired);
+        assert_eq!(a.stats.makespan, b.stats.makespan);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The io format also round-trips fully-transformed graphs (gates,
-    /// prev-iter/iter-index, I-structure ops included).
-    #[test]
-    fn io_round_trips_transformed_graphs(seed in any::<u64>()) {
-        let cfgen = GenConfig { n_vars: 4, n_arrays: 1, block_len: 3,
-            max_depth: 2, alias_percent: 0, max_trip: 3 };
-        let src = random_program(seed, &cfgen);
+/// The io format also round-trips fully-transformed graphs (gates,
+/// prev-iter/iter-index, I-structure ops included).
+#[test]
+fn io_round_trips_transformed_graphs() {
+    testkit::cases("io_round_trip_full", 24, |rng| {
+        let src = random_program(rng.next_u64(), &small_config());
         let parsed = parse_to_cfg(&src).unwrap();
-        let t = translate(&parsed.cfg, &parsed.alias,
-            &TranslateOptions::full_parallel_schema3()).unwrap();
+        let t = translate(
+            &parsed.cfg,
+            &parsed.alias,
+            &TranslateOptions::full_parallel_schema3(),
+        )
+        .unwrap();
         let text = cf2df::dfg::io::write_module(&t.dfg, &t.cfg.vars);
         let (g2, vars2) = cf2df::dfg::io::read_module(&text).unwrap();
         let layout = MemLayout::distinct(&vars2);
         let a = run(&t.dfg, &layout, MachineConfig::unbounded()).unwrap();
         let b = run(&g2, &layout, MachineConfig::unbounded()).unwrap();
-        prop_assert_eq!(a.memory, b.memory);
-        prop_assert_eq!(a.stats.makespan, b.stats.makespan);
-    }
+        assert_eq!(a.memory, b.memory);
+        assert_eq!(a.stats.makespan, b.stats.makespan);
+    });
 }
 
 /// Allen–Cocke intervals agree with the loop structure on reducible
-/// graphs: every natural-loop header heads an interval, and each loop body
-/// is contained in its header's interval.
+/// graphs: every natural-loop header heads an interval, and each loop
+/// body is contained in its header's interval.
 #[test]
 fn interval_partition_matches_loop_structure() {
     use cf2df::cfg::intervals::interval_partition;
@@ -295,13 +337,12 @@ fn interval_partition_matches_loop_structure() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Goto-form emission round-trips the semantics of random programs.
-    #[test]
-    fn emitted_source_preserves_random_semantics(seed in any::<u64>(), cfgen in gen_config()) {
-        let src = random_program(seed, &cfgen);
+/// Goto-form emission round-trips the semantics of random programs.
+#[test]
+fn emitted_source_preserves_random_semantics() {
+    testkit::cases("emit_round_trip", 32, |rng| {
+        let cfgen = gen_config(rng);
+        let src = random_program(rng.next_u64(), &cfgen);
         let parsed = parse_to_cfg(&src).unwrap();
         let emitted = cf2df::lang::emit::emit_goto_form(&parsed.cfg);
         let reparsed = parse_to_cfg(&emitted).unwrap();
@@ -309,66 +350,83 @@ proptest! {
         let mc = MachineConfig::default();
         let a = vonneumann::interpret(&parsed.cfg, &layout, &mc).unwrap();
         let b = vonneumann::interpret(&reparsed.cfg, &layout, &mc).unwrap();
-        prop_assert_eq!(a.memory, b.memory, "{}\n-- emitted --\n{}", src, emitted);
-    }
-
-    /// The threaded executor agrees with the simulator on random programs.
-    #[test]
-    fn threaded_executor_matches_on_random_programs(seed in any::<u64>()) {
-        let cfgen = GenConfig { n_vars: 4, n_arrays: 1, block_len: 3,
-            max_depth: 2, alias_percent: 0, max_trip: 3 };
-        let src = random_program(seed, &cfgen);
-        let parsed = parse_to_cfg(&src).unwrap();
-        let layout = MemLayout::distinct(&parsed.cfg.vars);
-        let t = translate(&parsed.cfg, &parsed.alias,
-            &TranslateOptions::schema3(CoverStrategy::Singletons)).unwrap();
-        let sim = run(&t.dfg, &layout, MachineConfig::unbounded()).unwrap();
-        let par = cf2df::machine::parallel::run_threaded(&t.dfg, &layout, 3).unwrap();
-        prop_assert_eq!(par.memory, sim.memory);
-        prop_assert_eq!(par.fired, sim.stats.fired);
-    }
+        assert_eq!(a.memory, b.memory, "{src}\n-- emitted --\n{emitted}");
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// The threaded executor agrees with the simulator on random programs.
+/// (The full corpus at 1/2/4/8 workers is covered by
+/// `tests/parallel_equivalence.rs`.)
+#[test]
+fn threaded_executor_matches_on_random_programs() {
+    testkit::cases("threaded_random", 32, |rng| {
+        let src = random_program(rng.next_u64(), &small_config());
+        let parsed = parse_to_cfg(&src).unwrap();
+        let layout = MemLayout::distinct(&parsed.cfg.vars);
+        let t = translate(
+            &parsed.cfg,
+            &parsed.alias,
+            &TranslateOptions::schema3(CoverStrategy::Singletons),
+        )
+        .unwrap();
+        let sim = run(&t.dfg, &layout, MachineConfig::unbounded()).unwrap();
+        let par = cf2df::machine::parallel::run_threaded(&t.dfg, &layout, 3).unwrap();
+        assert_eq!(par.memory, sim.memory);
+        assert_eq!(par.fired, sim.stats.fired);
+    });
+}
 
-    /// The io parser never panics on arbitrary input — it either parses or
-    /// returns a structured error.
-    #[test]
-    fn io_parser_is_total(input in "\\PC*") {
+/// The io parser never panics on arbitrary input — it either parses or
+/// returns a structured error.
+#[test]
+fn io_parser_is_total() {
+    testkit::cases("io_total", 256, |rng| {
+        let input = testkit::junk_string(rng, 200);
         let _ = cf2df::dfg::io::read_text(&input);
         let _ = cf2df::dfg::io::read_module(&input);
-    }
+    });
+}
 
-    /// Nor on line-structured junk resembling the format.
-    #[test]
-    fn io_parser_survives_formatish_junk(
-        lines in proptest::collection::vec("(op|arc|var)? ?[0-9a-z .>=-]{0,20}", 0..12)
-    ) {
+/// Nor on line-structured junk resembling the format.
+#[test]
+fn io_parser_survives_formatish_junk() {
+    const CHARS: &[&str] = &[
+        "0", "1", "2", "7", "9", "a", "b", "f", "x", "z", " ", ".", ">", "=", "-",
+    ];
+    testkit::cases("io_formatish", 256, |rng| {
+        let n_lines = rng.range_usize(0, 12);
+        let lines: Vec<String> = (0..n_lines)
+            .map(|_| {
+                let prefix = *rng.pick(&["op ", "arc ", "var ", ""]);
+                format!("{prefix}{}", testkit::token_junk(rng, CHARS, 20, ""))
+            })
+            .collect();
         let input = format!("dfg v1\n{}", lines.join("\n"));
         let _ = cf2df::dfg::io::read_text(&input);
         let _ = cf2df::dfg::io::read_module(&input);
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The language front end is total: arbitrary text either parses to a
-    /// valid CFG or returns a structured error — never a panic.
-    #[test]
-    fn front_end_is_total(input in "\\PC*") {
+/// The language front end is total: arbitrary text either parses to a
+/// valid CFG or returns a structured error — never a panic.
+#[test]
+fn front_end_is_total() {
+    testkit::cases("front_end_total", 256, |rng| {
+        let input = testkit::junk_string(rng, 200);
         let _ = parse_to_cfg(&input);
-    }
+    });
+}
 
-    /// Imp-looking junk too.
-    #[test]
-    fn front_end_survives_impish_junk(
-        toks in proptest::collection::vec(
-            "(x|y|if|then|else|while|do|goto|skip|array|alias|:=|;|\\{|\\}|[0-9]{1,3}|\\+|<|~|\\[|\\])",
-            0..40
-        )
-    ) {
-        let _ = parse_to_cfg(&toks.join(" "));
-    }
+/// Imp-looking junk too.
+#[test]
+fn front_end_survives_impish_junk() {
+    const TOKS: &[&str] = &[
+        "x", "y", "if", "then", "else", "while", "do", "goto", "skip", "array",
+        "alias", ":=", ";", "{", "}", "0", "7", "12", "100", "999", "+", "<",
+        "~", "[", "]",
+    ];
+    testkit::cases("front_end_impish", 256, |rng| {
+        let input = testkit::token_junk(rng, TOKS, 40, " ");
+        let _ = parse_to_cfg(&input);
+    });
 }
