@@ -1,0 +1,419 @@
+//! The benchmark-artifact pipeline behind `cf2df bench`.
+//!
+//! Runs the canonical workload suite ([`crate::workloads`]) through the
+//! deterministic simulator and the threaded executor at 1/2/4/8 workers,
+//! collecting [`crate::harness::Measurement`]s, executor metrics
+//! ([`cf2df_machine::ParMetrics`]), and wall-clock timings
+//! ([`crate::timing`]), and renders two artifacts:
+//!
+//! * `BENCH_pipeline.json` — simulated (idealized-parallelism) metrics
+//!   per workload per translation configuration;
+//! * `BENCH_executor.json` — wall-clock scaling and scheduler counters
+//!   of the threaded executor.
+//!
+//! Both are emitted through [`crate::json`] and checked by the
+//! [`validate_artifact`] schema validator: every required field must be
+//! present and every numeric field finite (a non-finite float renders as
+//! `null` and is rejected), so a bench regression can never hide behind
+//! a malformed artifact. These artifacts are the repo's performance
+//! trajectory: every perf PR regenerates them and is judged against the
+//! committed baseline.
+
+use crate::harness::{measure, measure_baseline, Measurement};
+use crate::json::{self, Json, Obj};
+use crate::timing::{Stats, Timer};
+use crate::workloads;
+use cf2df_cfg::MemLayout;
+use cf2df_core::pipeline::{translate, TranslateOptions};
+use cf2df_machine::{run, run_threaded, MachineConfig};
+use std::time::Duration;
+
+/// Worker counts the executor artifact sweeps.
+pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The canonical workload suite, sized for `quick` (CI smoke) or full
+/// (trajectory baseline) mode.
+pub fn suite(quick: bool) -> Vec<(&'static str, String)> {
+    if quick {
+        vec![
+            ("independent_updates", workloads::independent_updates(6)),
+            ("dependence_chain", workloads::dependence_chain(8)),
+            ("diamond_ladder", workloads::diamond_ladder(3)),
+            ("loop_bystanders", workloads::loop_with_bystanders(6, 2, 4)),
+            ("array_store_loop", workloads::array_store_loop(8)),
+            ("read_fanout", workloads::read_fanout(6)),
+            ("loop_nest", workloads::loop_nest(2, 3)),
+        ]
+    } else {
+        vec![
+            ("independent_updates", workloads::independent_updates(16)),
+            ("dependence_chain", workloads::dependence_chain(64)),
+            ("diamond_ladder", workloads::diamond_ladder(8)),
+            ("loop_bystanders", workloads::loop_with_bystanders(12, 4, 16)),
+            ("array_store_loop", workloads::array_store_loop(48)),
+            ("read_fanout", workloads::read_fanout(16)),
+            ("loop_nest", workloads::loop_nest(3, 6)),
+        ]
+    }
+}
+
+/// Workloads used for wall-clock executor timing (a subset: timing wants
+/// fewer, heavier programs).
+fn executor_suite(quick: bool) -> Vec<(&'static str, String)> {
+    if quick {
+        vec![
+            ("loop_nest", workloads::loop_nest(2, 4)),
+            ("independent_updates", workloads::independent_updates(8)),
+        ]
+    } else {
+        vec![
+            ("loop_nest", workloads::loop_nest(3, 6)),
+            ("independent_updates", workloads::independent_updates(24)),
+            ("array_store_loop", workloads::array_store_loop(64)),
+        ]
+    }
+}
+
+fn timer(quick: bool) -> Timer {
+    if quick {
+        Timer::with_budgets(Duration::from_millis(5), Duration::from_millis(20)).quiet()
+    } else {
+        Timer::with_budgets(Duration::from_millis(100), Duration::from_millis(400)).quiet()
+    }
+}
+
+fn stats_json(s: &Stats) -> String {
+    let mut o = Obj::new();
+    o.float("mean_ns", s.mean_ns)
+        .float("median_ns", s.median_ns)
+        .float("min_ns", s.min_ns)
+        .float("max_ns", s.max_ns)
+        .num("iters", s.iters);
+    o.finish()
+}
+
+// ---------------------------------------------------------------------
+// BENCH_pipeline.json
+// ---------------------------------------------------------------------
+
+/// Render the pipeline artifact: every suite workload through the
+/// baseline interpreter and three translation configurations on the
+/// simulator.
+pub fn pipeline_artifact(quick: bool) -> Result<String, String> {
+    let mc = MachineConfig::unbounded();
+    let mut entries = Vec::new();
+    for (name, src) in suite(quick) {
+        let parsed = cf2df_lang::parse_to_cfg(&src)
+            .map_err(|e| format!("workload {name} failed to parse: {e}"))?;
+        let rows: Vec<Measurement> = vec![
+            measure_baseline(&parsed, &mc),
+            measure(&parsed, &TranslateOptions::schema1(), &mc, "schema1"),
+            measure(&parsed, &TranslateOptions::schema2(), &mc, "schema2"),
+            measure(&parsed, &TranslateOptions::optimized(), &mc, "optimized"),
+        ];
+        for pair in rows.windows(2) {
+            if pair[0].memory != pair[1].memory {
+                return Err(format!(
+                    "workload {name}: {} and {} disagree on final memory",
+                    pair[0].label, pair[1].label
+                ));
+            }
+        }
+        let mut o = Obj::new();
+        o.str("name", name)
+            .raw("measurements", &json::array(rows.iter().map(|r| r.to_json())));
+        entries.push(o.finish());
+    }
+    let mut doc = Obj::new();
+    doc.str("artifact", "pipeline")
+        .num("schema_version", 1u64)
+        .bool("quick", quick)
+        .raw("workloads", &json::array(entries));
+    let text = doc.finish();
+    validate_artifact(&text)?;
+    Ok(text)
+}
+
+// ---------------------------------------------------------------------
+// BENCH_executor.json
+// ---------------------------------------------------------------------
+
+/// Render the executor artifact: wall-clock timings of the simulator and
+/// the threaded executor at [`WORKER_COUNTS`], plus the executor's
+/// scheduler/rendezvous metrics, per workload.
+pub fn executor_artifact(quick: bool) -> Result<String, String> {
+    let mut t = timer(quick);
+    let mut entries = Vec::new();
+    for (name, src) in executor_suite(quick) {
+        let parsed = cf2df_lang::parse_to_cfg(&src)
+            .map_err(|e| format!("workload {name} failed to parse: {e}"))?;
+        let tr = translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2())
+            .map_err(|e| format!("workload {name} failed to translate: {e}"))?;
+        let layout = MemLayout::distinct(&tr.cfg.vars);
+        let sim = run(&tr.dfg, &layout, MachineConfig::unbounded())
+            .map_err(|e| format!("workload {name}: simulator fault: {e}"))?;
+        let sim_wall = stats_json(t.bench(&format!("{name}/simulator"), || {
+            std::hint::black_box(run(&tr.dfg, &layout, MachineConfig::unbounded()).unwrap().stats.fired)
+        }));
+
+        let mut threads = Vec::new();
+        for workers in WORKER_COUNTS {
+            let out = run_threaded(&tr.dfg, &layout, workers)
+                .map_err(|e| format!("workload {name} at {workers} workers: {e}"))?;
+            if out.memory != sim.memory {
+                return Err(format!(
+                    "workload {name} at {workers} workers: memory diverges from simulator"
+                ));
+            }
+            let wall = stats_json(t.bench(&format!("{name}/threaded/{workers}"), || {
+                std::hint::black_box(run_threaded(&tr.dfg, &layout, workers).unwrap().fired)
+            }));
+            let m = &out.metrics;
+            let per_worker = json::array(m.workers.iter().enumerate().map(|(i, w)| {
+                let mut o = Obj::new();
+                o.num("worker", i as u64)
+                    .num("processed", w.processed)
+                    .num("local_pops", w.local_pops)
+                    .num("injector_hits", w.injector_hits)
+                    .num("steals", w.steals)
+                    .num("parks", w.parks)
+                    .num("unparks", w.unparks);
+                o.finish()
+            }));
+            let mut o = Obj::new();
+            o.num("workers", workers as u64)
+                .raw("wall_ns", &wall)
+                .num("fired", out.fired)
+                .num("tokens_processed", m.tokens_processed)
+                .num("merged", m.merged)
+                .num("max_pending_slots", m.max_pending_slots)
+                .num("tags_created", m.tags_created)
+                .num("deferred_reads", m.deferred_reads)
+                .num("deferred_read_peak", m.deferred_read_peak)
+                .raw("per_worker", &per_worker);
+            threads.push(o.finish());
+        }
+
+        let mut o = Obj::new();
+        o.str("name", name)
+            .num("fired", sim.stats.fired)
+            .raw("simulator_wall_ns", &sim_wall)
+            .raw("threads", &json::array(threads));
+        entries.push(o.finish());
+    }
+    let mut doc = Obj::new();
+    doc.str("artifact", "executor")
+        .num("schema_version", 1u64)
+        .bool("quick", quick)
+        .raw(
+            "worker_counts",
+            &json::array(WORKER_COUNTS.iter().map(|w| w.to_string())),
+        )
+        .raw("workloads", &json::array(entries));
+    let text = doc.finish();
+    validate_artifact(&text)?;
+    Ok(text)
+}
+
+// ---------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------
+
+fn req<'a>(v: &'a Json, ctx: &str, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("{ctx}: missing field '{key}'"))
+}
+
+fn req_num(v: &Json, ctx: &str, key: &str) -> Result<f64, String> {
+    req(v, ctx, key)?
+        .as_num()
+        .ok_or_else(|| format!("{ctx}: field '{key}' is not a finite number"))
+}
+
+fn req_str<'a>(v: &'a Json, ctx: &str, key: &str) -> Result<&'a str, String> {
+    req(v, ctx, key)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: field '{key}' is not a string"))
+}
+
+fn req_arr<'a>(v: &'a Json, ctx: &str, key: &str) -> Result<&'a [Json], String> {
+    let a = req(v, ctx, key)?
+        .as_arr()
+        .ok_or_else(|| format!("{ctx}: field '{key}' is not an array"))?;
+    if a.is_empty() {
+        return Err(format!("{ctx}: array '{key}' is empty"));
+    }
+    Ok(a)
+}
+
+fn check_stats(v: &Json, ctx: &str) -> Result<(), String> {
+    for key in ["mean_ns", "median_ns", "min_ns", "max_ns", "iters"] {
+        req_num(v, ctx, key)?;
+    }
+    if req_num(v, ctx, "iters")? < 1.0 {
+        return Err(format!("{ctx}: zero iterations measured"));
+    }
+    Ok(())
+}
+
+fn validate_pipeline_value(doc: &Json) -> Result<(), String> {
+    for (wi, w) in req_arr(doc, "pipeline", "workloads")?.iter().enumerate() {
+        let name = req_str(w, &format!("workloads[{wi}]"), "name")?.to_owned();
+        for (mi, m) in req_arr(w, &name, "measurements")?.iter().enumerate() {
+            let ctx = format!("{name}.measurements[{mi}]");
+            req_str(m, &ctx, "label")?;
+            for key in [
+                "ops",
+                "arcs",
+                "switches",
+                "merges",
+                "fired",
+                "makespan",
+                "avg_parallelism",
+                "max_parallelism",
+                "mem_ops",
+            ] {
+                req_num(m, &ctx, key)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_executor_value(doc: &Json) -> Result<(), String> {
+    let counts: Vec<f64> = req_arr(doc, "executor", "worker_counts")?
+        .iter()
+        .map(|c| c.as_num().ok_or("worker_counts entry is not a number".to_owned()))
+        .collect::<Result<_, _>>()?;
+    for (wi, w) in req_arr(doc, "executor", "workloads")?.iter().enumerate() {
+        let name = req_str(w, &format!("workloads[{wi}]"), "name")?.to_owned();
+        req_num(w, &name, "fired")?;
+        check_stats(req(w, &name, "simulator_wall_ns")?, &format!("{name}.simulator_wall_ns"))?;
+        let threads = req_arr(w, &name, "threads")?;
+        for c in &counts {
+            if !threads
+                .iter()
+                .any(|t| t.get("workers").and_then(Json::as_num) == Some(*c))
+            {
+                return Err(format!("{name}: no thread entry for {c} workers"));
+            }
+        }
+        for t in threads {
+            let workers = req_num(t, &name, "workers")?;
+            let ctx = format!("{name}.threads[workers={workers}]");
+            check_stats(req(t, &ctx, "wall_ns")?, &format!("{ctx}.wall_ns"))?;
+            for key in [
+                "fired",
+                "tokens_processed",
+                "merged",
+                "max_pending_slots",
+                "tags_created",
+                "deferred_reads",
+                "deferred_read_peak",
+            ] {
+                req_num(t, &ctx, key)?;
+            }
+            let per_worker = req_arr(t, &ctx, "per_worker")?;
+            if per_worker.len() != workers as usize {
+                return Err(format!(
+                    "{ctx}: per_worker has {} entries, expected {workers}",
+                    per_worker.len()
+                ));
+            }
+            for (i, pw) in per_worker.iter().enumerate() {
+                let pctx = format!("{ctx}.per_worker[{i}]");
+                for key in [
+                    "worker",
+                    "processed",
+                    "local_pops",
+                    "injector_hits",
+                    "steals",
+                    "parks",
+                    "unparks",
+                ] {
+                    req_num(pw, &pctx, key)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate a bench artifact: well-formed JSON, a recognized `artifact`
+/// kind, every required field present, every numeric field finite.
+pub fn validate_artifact(text: &str) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    match doc.get("artifact").and_then(Json::as_str) {
+        Some("pipeline") => validate_pipeline_value(&doc),
+        Some("executor") => validate_executor_value(&doc),
+        other => Err(format!("unrecognized artifact kind {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_pipeline_artifact_validates() {
+        let doc = pipeline_artifact(true).unwrap();
+        validate_artifact(&doc).unwrap();
+        let v = json::parse(&doc).unwrap();
+        assert_eq!(v.get("artifact").unwrap().as_str(), Some("pipeline"));
+        let names: Vec<&str> = v
+            .get("workloads")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|w| w.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"loop_nest"), "{names:?}");
+    }
+
+    #[test]
+    fn quick_executor_artifact_validates_and_sweeps_workers() {
+        let doc = executor_artifact(true).unwrap();
+        validate_artifact(&doc).unwrap();
+        let v = json::parse(&doc).unwrap();
+        let w0 = &v.get("workloads").unwrap().as_arr().unwrap()[0];
+        let threads = w0.get("threads").unwrap().as_arr().unwrap();
+        let counts: Vec<f64> = threads
+            .iter()
+            .map(|t| t.get("workers").unwrap().as_num().unwrap())
+            .collect();
+        assert_eq!(counts, vec![1.0, 2.0, 4.0, 8.0]);
+        // Per-worker steal/park counters are present and self-consistent.
+        for t in threads {
+            let fired = t.get("fired").unwrap().as_num().unwrap();
+            let merged = t.get("merged").unwrap().as_num().unwrap();
+            let processed = t.get("tokens_processed").unwrap().as_num().unwrap();
+            assert_eq!(processed, fired + merged);
+            let by_worker: f64 = t
+                .get("per_worker")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|pw| pw.get("processed").unwrap().as_num().unwrap())
+                .sum();
+            assert_eq!(by_worker, processed);
+        }
+    }
+
+    #[test]
+    fn validator_rejects_missing_and_nonfinite_fields() {
+        assert!(validate_artifact("{}").is_err());
+        assert!(validate_artifact("{\"artifact\":\"nope\"}").is_err());
+        // A null (= non-finite) required field fails.
+        let bad = r#"{"artifact":"pipeline","workloads":[{"name":"w","measurements":[
+            {"label":"l","ops":1,"arcs":1,"switches":0,"merges":0,"fired":1,
+             "makespan":0,"avg_parallelism":null,"max_parallelism":1,"mem_ops":0}]}]}"#;
+        let err = validate_artifact(bad).unwrap_err();
+        assert!(err.contains("avg_parallelism"), "{err}");
+        // A missing field fails.
+        let missing = r#"{"artifact":"pipeline","workloads":[{"name":"w","measurements":[
+            {"label":"l"}]}]}"#;
+        let err = validate_artifact(missing).unwrap_err();
+        assert!(err.contains("missing field"), "{err}");
+    }
+}

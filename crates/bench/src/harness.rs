@@ -36,28 +36,24 @@ pub struct Measurement {
 }
 
 impl Measurement {
-    /// Machine-readable JSON rendering (hand-rolled; the workspace builds
-    /// without serde). `memory` is omitted, mirroring the old
-    /// `#[serde(skip)]` behavior — it is an equivalence-check artifact,
-    /// not a metric.
+    /// Machine-readable JSON rendering via the shared [`crate::json`]
+    /// writer: string escapes are JSON-conformant (`\uXXXX`, not Rust's
+    /// `\u{..}`) and a non-finite `avg_parallelism` renders as `null`
+    /// rather than the invalid tokens `NaN`/`inf`. `memory` is omitted —
+    /// it is an equivalence-check artifact, not a metric.
     pub fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"label\":\"{}\",\"ops\":{},\"arcs\":{},\"switches\":{},",
-                "\"merges\":{},\"fired\":{},\"makespan\":{},",
-                "\"avg_parallelism\":{},\"max_parallelism\":{},\"mem_ops\":{}}}"
-            ),
-            self.label.escape_default(),
-            self.ops,
-            self.arcs,
-            self.switches,
-            self.merges,
-            self.fired,
-            self.makespan,
-            self.avg_parallelism,
-            self.max_parallelism,
-            self.mem_ops
-        )
+        let mut o = crate::json::Obj::new();
+        o.str("label", &self.label)
+            .num("ops", self.ops as u64)
+            .num("arcs", self.arcs as u64)
+            .num("switches", self.switches as u64)
+            .num("merges", self.merges as u64)
+            .num("fired", self.fired)
+            .num("makespan", self.makespan)
+            .float("avg_parallelism", self.avg_parallelism)
+            .num("max_parallelism", self.max_parallelism)
+            .num("mem_ops", self.mem_ops);
+        o.finish()
     }
 }
 
@@ -171,5 +167,40 @@ mod tests {
         let t = table("running example", &rows);
         assert!(t.contains("schema2"));
         assert_eq!(t.lines().count(), 2 + rows.len());
+        // Every emitted measurement is well-formed JSON.
+        for r in &rows {
+            crate::json::parse(&r.to_json()).unwrap_or_else(|e| panic!("{e}: {}", r.to_json()));
+        }
+    }
+
+    /// The two historical `to_json` bugs: Rust-style `\u{..}` escapes and
+    /// `NaN`/`inf` from a zero-makespan measurement — both invalid JSON.
+    #[test]
+    fn to_json_is_well_formed_on_hostile_measurements() {
+        let m = Measurement {
+            label: "quotes \" back\\slash \n ctrl\u{1} bell\u{7}".to_owned(),
+            ops: 1,
+            arcs: 2,
+            switches: 0,
+            merges: 0,
+            fired: 5,
+            makespan: 0,
+            avg_parallelism: f64::INFINITY, // what fired/makespan gives at makespan == 0
+            max_parallelism: 1,
+            mem_ops: 0,
+            memory: Vec::new(),
+        };
+        let doc = m.to_json();
+        let v = crate::json::parse(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        assert_eq!(
+            v.get("label").unwrap().as_str().unwrap(),
+            m.label,
+            "label round-trips through escaping"
+        );
+        assert_eq!(v.get("avg_parallelism"), Some(&crate::json::Json::Null));
+        assert_eq!(v.get("fired").unwrap().as_num(), Some(5.0));
+
+        let nan = Measurement { avg_parallelism: f64::NAN, ..m };
+        crate::json::parse(&nan.to_json()).expect("NaN renders as null");
     }
 }

@@ -9,13 +9,19 @@
 //!   the machine, collecting comparable metrics;
 //! * [`figures`] — one reproduction function per paper figure/claim,
 //!   printed by the `figures` binary and recorded in `EXPERIMENTS.md`;
+//! * [`artifacts`] — the `cf2df bench` engine: render and validate the
+//!   `BENCH_pipeline.json` / `BENCH_executor.json` artifacts;
+//! * [`json`] — a hand-rolled RFC 8259 writer and validator (in-tree
+//!   replacement for `serde_json`, per the offline/no-deps build policy);
 //! * [`prng`] — a seedable xorshift64* generator (in-tree replacement for
 //!   the `rand` crate, per the offline/no-deps build policy);
 //! * [`timing`] — a minimal wall-clock micro-benchmark harness (in-tree
 //!   replacement for `criterion`) driving the `benches/` targets.
 
+pub mod artifacts;
 pub mod figures;
 pub mod harness;
+pub mod json;
 pub mod prng;
 pub mod timing;
 pub mod workloads;

@@ -141,6 +141,14 @@ pub enum MachineError {
     },
     /// A memory fault (bounds, I-structure rewrite).
     Memory(MemError),
+    /// The run finished with tokens unprocessed but no failure recorded —
+    /// an executor invariant violation. Debug builds assert before this
+    /// can be returned; release builds report it instead of silently
+    /// dropping tokens.
+    TokenLeak {
+        /// Tokens left in run queues when the workers exited.
+        leftover: u64,
+    },
 }
 
 impl std::fmt::Display for MachineError {
@@ -157,6 +165,11 @@ impl std::fmt::Display for MachineError {
                 write!(f, "tag mismatch at {op:?}: {detail}")
             }
             MachineError::Memory(e) => write!(f, "memory fault: {e}"),
+            MachineError::TokenLeak { leftover } => write!(
+                f,
+                "executor invariant violation: {leftover} tokens left unprocessed \
+                 without a recorded error"
+            ),
         }
     }
 }

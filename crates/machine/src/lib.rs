@@ -38,5 +38,6 @@ pub mod trace;
 pub mod vonneumann;
 
 pub use exec::{run, run_traced, MachineConfig, MachineError, Outcome};
-pub use metrics::ExecStats;
+pub use metrics::{ExecStats, ParMetrics, WorkerStats};
+pub use parallel::{run_threaded, run_threaded_traced, FireEvent, ParOutcome};
 pub use tag::{TagId, TagTable};

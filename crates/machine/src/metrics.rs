@@ -64,9 +64,92 @@ impl ExecStats {
     }
 }
 
+/// Per-worker scheduler counters, collected by [`crate::scheduler`] with
+/// plain (thread-local) arithmetic — always on, no atomics on the hot
+/// path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks this worker fully processed.
+    pub processed: u64,
+    /// Pops from the worker's own run queue (the fast path).
+    pub local_pops: u64,
+    /// Tasks taken from the global injector.
+    pub injector_hits: u64,
+    /// Tasks stolen from a sibling's queue.
+    pub steals: u64,
+    /// Idle episodes in which the worker blocked on the condvar.
+    pub parks: u64,
+    /// Parked episodes that ended because work appeared (as opposed to
+    /// shutdown).
+    pub unparks: u64,
+}
+
+/// Metrics of one threaded-executor run ([`crate::parallel::run_threaded`]),
+/// surfaced in [`crate::parallel::ParOutcome`]. All counters are cheap
+/// relaxed atomics or thread-local tallies — they are always on.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParMetrics {
+    /// Per-worker scheduler counters, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+    /// Total tokens processed (sum of the per-worker `processed`).
+    pub tokens_processed: u64,
+    /// Tokens that rendezvoused into a partially-filled slot without
+    /// completing it. On a clean run,
+    /// `tokens_processed == fired + merged`.
+    pub merged: u64,
+    /// High-water mark of simultaneously occupied rendezvous slots across
+    /// the whole table — the waiting-matching (frame memory) pressure,
+    /// the parallel analogue of [`ExecStats::max_pending_slots`].
+    pub max_pending_slots: u64,
+    /// Per-shard high-water marks of the rendezvous-slot table.
+    pub slot_shard_high_water: Vec<u64>,
+    /// Distinct iteration tags interned (tag-interner occupancy).
+    pub tags_created: u64,
+    /// I-structure reads that arrived before their write and were
+    /// deferred.
+    pub deferred_reads: u64,
+    /// Peak number of simultaneously outstanding deferred reads.
+    pub deferred_read_peak: u64,
+}
+
+impl ParMetrics {
+    /// One-line summary.
+    pub fn summary(&self) -> String {
+        let steals: u64 = self.workers.iter().map(|w| w.steals).sum();
+        let parks: u64 = self.workers.iter().map(|w| w.parks).sum();
+        format!(
+            "processed={} merged={} steals={} parks={} max_slots={} tags={} deferred={}",
+            self.tokens_processed,
+            self.merged,
+            steals,
+            parks,
+            self.max_pending_slots,
+            self.tags_created,
+            self.deferred_reads
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn par_metrics_summary_sums_workers() {
+        let m = ParMetrics {
+            workers: vec![
+                WorkerStats { steals: 2, parks: 1, ..Default::default() },
+                WorkerStats { steals: 3, parks: 4, ..Default::default() },
+            ],
+            tokens_processed: 10,
+            merged: 4,
+            ..Default::default()
+        };
+        let s = m.summary();
+        assert!(s.contains("steals=5"), "{s}");
+        assert!(s.contains("parks=5"), "{s}");
+        assert!(s.contains("processed=10"), "{s}");
+    }
 
     #[test]
     fn avg_parallelism_guards_zero_makespan() {

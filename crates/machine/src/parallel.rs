@@ -34,11 +34,12 @@
 
 use crate::exec::MachineError;
 use crate::memory::{DeferredRead, MemError};
+use crate::metrics::ParMetrics;
 use crate::scheduler::{Ctx, Scheduler};
 use crate::tag::TagId;
 use cf2df_cfg::{LoopId, MemLayout, VarId};
 use cf2df_dfg::{Dfg, OpId, OpKind, Port};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
@@ -51,6 +52,55 @@ pub struct ParOutcome {
     pub ist_memory: Vec<i64>,
     /// Operators fired.
     pub fired: u64,
+    /// Executor metrics: per-worker scheduler counters, rendezvous
+    /// pressure, tag occupancy, deferred-read peaks. Always collected —
+    /// the counters are relaxed atomics and thread-local tallies.
+    pub metrics: ParMetrics,
+}
+
+/// One operator firing captured by the optional trace ring
+/// ([`run_threaded_traced`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FireEvent {
+    /// Global firing sequence number (total order across workers).
+    pub seq: u64,
+    /// Worker that fired the operator.
+    pub worker: usize,
+    /// The operator.
+    pub op: OpId,
+    /// The iteration tag, rendered (e.g. `root.L0[3]`).
+    pub tag: String,
+}
+
+/// Bounded ring of fire events for post-mortem debugging of deadlocks
+/// and tag mismatches. Keeps the *last* `cap` firings. Absent (and
+/// therefore allocation-free) on ordinary [`run_threaded`] runs.
+struct TraceRing {
+    cap: usize,
+    seq: AtomicU64,
+    buf: Mutex<VecDeque<(u64, usize, OpId, TagId)>>,
+}
+
+impl TraceRing {
+    fn new(cap: usize) -> TraceRing {
+        let cap = cap.max(1);
+        TraceRing {
+            cap,
+            seq: AtomicU64::new(0),
+            // Preallocation is bounded: callers may ask for an effectively
+            // unbounded ring (cap = usize::MAX) and let it grow on demand.
+            buf: Mutex::new(VecDeque::with_capacity(cap.min(4096))),
+        }
+    }
+
+    fn push(&self, worker: usize, op: OpId, tag: TagId) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut buf = lock(&self.buf);
+        if buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back((seq, worker, op, tag));
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -98,6 +148,11 @@ struct ParMemory {
     ist: Vec<Mutex<Vec<IstSlot>>>,
     reads: AtomicU64,
     writes: AtomicU64,
+    /// Total I-structure reads deferred (arrived before their write).
+    deferred_reads: AtomicU64,
+    /// Currently outstanding deferred reads, and the observed peak.
+    deferred_now: AtomicU64,
+    deferred_peak: AtomicU64,
 }
 
 impl ParMemory {
@@ -117,7 +172,17 @@ impl ParMemory {
                 .collect(),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            deferred_reads: AtomicU64::new(0),
+            deferred_now: AtomicU64::new(0),
+            deferred_peak: AtomicU64::new(0),
         }
+    }
+
+    /// Record `n` newly deferred reads and update the peak.
+    fn note_deferred(&self, n: u64) {
+        self.deferred_reads.fetch_add(n, Ordering::Relaxed);
+        let now = self.deferred_now.fetch_add(n, Ordering::Relaxed) + n;
+        self.deferred_peak.fetch_max(now, Ordering::Relaxed);
     }
 
     fn read_scalar(&self, layout: &MemLayout, var: VarId) -> i64 {
@@ -170,10 +235,14 @@ impl ParMemory {
             IstSlot::Full(v) => Ok(Some(*v)),
             IstSlot::Empty => {
                 *slot = IstSlot::Deferred(vec![DeferredRead { ctx }]);
+                drop(stripe);
+                self.note_deferred(1);
                 Ok(None)
             }
             IstSlot::Deferred(q) => {
                 q.push(DeferredRead { ctx });
+                drop(stripe);
+                self.note_deferred(1);
                 Ok(None)
             }
         }
@@ -200,6 +269,9 @@ impl ParMemory {
             }
             IstSlot::Deferred(q) => {
                 *slot = IstSlot::Full(value);
+                drop(stripe);
+                self.deferred_now
+                    .fetch_sub(q.len() as u64, Ordering::Relaxed);
                 Ok(q)
             }
         }
@@ -305,6 +377,12 @@ impl ParTagTable {
             Some((p, l, i)) => format!("{}.{:?}[{}]", self.render(p), l, i),
         }
     }
+
+    /// Interner occupancy: distinct tags created, excluding the root.
+    fn created(&self) -> u64 {
+        let total: u64 = self.shards.iter().map(|s| lock(s).ctxs.len() as u64).sum();
+        total - 1
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -322,6 +400,16 @@ struct Shared {
     end_seen: AtomicBool,
     failed: Mutex<Option<MachineError>>,
     fired: AtomicU64,
+    /// Tokens that rendezvoused into a slot without completing it.
+    merged: AtomicU64,
+    /// Currently occupied rendezvous slots (whole table) and the peak.
+    slots_occupied: AtomicU64,
+    slots_peak: AtomicU64,
+    /// Per-shard high-water marks of the slot table.
+    slot_high: Vec<AtomicU64>,
+    /// Optional bounded fire-event ring; `None` (zero allocation, one
+    /// branch per firing) on ordinary runs.
+    trace: Option<TraceRing>,
 }
 
 impl Shared {
@@ -343,6 +431,37 @@ impl Shared {
         drop(f);
         ctx.halt();
     }
+
+    /// Describe every partially-filled rendezvous slot — operator, tag,
+    /// and which input ports are filled — mirroring the simulator's
+    /// deadlock report. Sorted for determinism, truncated to 10.
+    fn describe_pending(&self, g: &Dfg) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for shard in &self.slots {
+            for (&(op, tag), vals) in lock(shard).iter() {
+                let filled: Vec<usize> = vals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.is_some())
+                    .map(|(i, _)| i)
+                    .collect();
+                out.push(format!(
+                    "{} {op:?} tag {} waiting (filled ports {filled:?})",
+                    g.kind(op).mnemonic(),
+                    self.tags.render(tag),
+                ));
+            }
+        }
+        out.sort();
+        out.truncate(10);
+        if out.is_empty() {
+            out.push(
+                "no partially-filled rendezvous slots: tokens drained without reaching End"
+                    .to_owned(),
+            );
+        }
+        out
+    }
 }
 
 /// Execute a dataflow graph on `n_threads` worker threads.
@@ -351,6 +470,28 @@ pub fn run_threaded(
     layout: &MemLayout,
     n_threads: usize,
 ) -> Result<ParOutcome, MachineError> {
+    run_inner(g, layout, n_threads, None).0
+}
+
+/// As [`run_threaded`], additionally capturing the last `capacity` fire
+/// events in a bounded ring for post-mortem analysis. The trace is
+/// returned on *both* the success and the failure path — the failure
+/// path (deadlock, tag mismatch) is what it is for.
+pub fn run_threaded_traced(
+    g: &Dfg,
+    layout: &MemLayout,
+    n_threads: usize,
+    capacity: usize,
+) -> (Result<ParOutcome, MachineError>, Vec<FireEvent>) {
+    run_inner(g, layout, n_threads, Some(capacity))
+}
+
+fn run_inner(
+    g: &Dfg,
+    layout: &MemLayout,
+    n_threads: usize,
+    trace_capacity: Option<usize>,
+) -> (Result<ParOutcome, MachineError>, Vec<FireEvent>) {
     let n_threads = n_threads.max(1);
     let mut dests: Vec<Vec<Vec<Port>>> = g
         .op_ids()
@@ -380,6 +521,11 @@ pub fn run_threaded(
         end_seen: AtomicBool::new(false),
         failed: Mutex::new(None),
         fired: AtomicU64::new(0),
+        merged: AtomicU64::new(0),
+        slots_occupied: AtomicU64::new(0),
+        slots_peak: AtomicU64::new(0),
+        slot_high: (0..SLOT_SHARDS).map(|_| AtomicU64::new(0)).collect(),
+        trace: trace_capacity.map(TraceRing::new),
     };
 
     let sched: Scheduler<Token> = Scheduler::new(n_threads);
@@ -395,22 +541,64 @@ pub fn run_threaded(
 
     let outcome = sched.run(|ctx, t| process(g, &shared, ctx, t));
 
+    let metrics = ParMetrics {
+        workers: outcome.workers,
+        tokens_processed: outcome.processed,
+        merged: shared.merged.load(Ordering::Relaxed),
+        max_pending_slots: shared.slots_peak.load(Ordering::Relaxed),
+        slot_shard_high_water: shared
+            .slot_high
+            .iter()
+            .map(|h| h.load(Ordering::Relaxed))
+            .collect(),
+        tags_created: shared.tags.created(),
+        deferred_reads: shared.mem.deferred_reads.load(Ordering::Relaxed),
+        deferred_read_peak: shared.mem.deferred_peak.load(Ordering::Relaxed),
+    };
+    let trace: Vec<FireEvent> = match &shared.trace {
+        None => Vec::new(),
+        Some(ring) => lock(&ring.buf)
+            .iter()
+            .map(|&(seq, worker, op, tag)| FireEvent {
+                seq,
+                worker,
+                op,
+                tag: shared.tags.render(tag),
+            })
+            .collect(),
+    };
+
     if let Some(e) = lock(&shared.failed).take() {
-        return Err(e);
+        return (Err(e), trace);
     }
-    // No failure recorded: the scheduler drained — every sent token was
-    // processed (the scheduler debug-asserts this too).
-    debug_assert_eq!(outcome.leftover, 0, "token dropped without an error");
+    // No failure recorded, yet tokens were left in queues: an executor
+    // invariant violation. Report it as a hard error — never let a
+    // dropped token pass silently, in release builds included.
+    if outcome.leftover != 0 {
+        return (
+            Err(MachineError::TokenLeak {
+                leftover: outcome.leftover,
+            }),
+            trace,
+        );
+    }
     if !shared.end_seen.load(Ordering::SeqCst) {
-        return Err(MachineError::Deadlock {
-            pending: vec!["threaded executor quiesced without End".into()],
-        });
+        return (
+            Err(MachineError::Deadlock {
+                pending: shared.describe_pending(g),
+            }),
+            trace,
+        );
     }
-    Ok(ParOutcome {
-        memory: shared.mem.cells_snapshot(),
-        ist_memory: shared.mem.ist_snapshot(),
-        fired: shared.fired.load(Ordering::SeqCst),
-    })
+    (
+        Ok(ParOutcome {
+            memory: shared.mem.cells_snapshot(),
+            ist_memory: shared.mem.ist_snapshot(),
+            fired: shared.fired.load(Ordering::SeqCst),
+            metrics,
+        }),
+        trace,
+    )
 }
 
 fn process(g: &Dfg, sh: &Shared, ctx: &Ctx<'_, Token>, t: Token) {
@@ -435,10 +623,13 @@ fn process(g: &Dfg, sh: &Shared, ctx: &Ctx<'_, Token>, t: Token) {
                 return;
             }
             let complete = {
-                let mut shard = lock(&sh.slots[sh.shard(op, t.tag)]);
-                let slot = shard
-                    .entry((op, t.tag))
-                    .or_insert_with(|| (0..n_in).map(|p| g.imm(op, p)).collect::<Vec<_>>());
+                let shard_idx = sh.shard(op, t.tag);
+                let mut shard = lock(&sh.slots[shard_idx]);
+                let mut inserted = false;
+                let slot = shard.entry((op, t.tag)).or_insert_with(|| {
+                    inserted = true;
+                    (0..n_in).map(|p| g.imm(op, p)).collect::<Vec<_>>()
+                });
                 if slot[port].is_some() {
                     drop(shard);
                     let tag = sh.tags.render(t.tag);
@@ -446,15 +637,28 @@ fn process(g: &Dfg, sh: &Shared, ctx: &Ctx<'_, Token>, t: Token) {
                     return;
                 }
                 slot[port] = Some(t.value);
-                if slot.iter().all(|v| v.is_some()) {
+                let complete = slot.iter().all(|v| v.is_some());
+                if inserted {
+                    // Waiting-matching pressure: whole-table peak plus a
+                    // per-shard high-water mark (the shard length is
+                    // exact under its lock).
+                    let occupied = sh.slots_occupied.fetch_add(1, Ordering::Relaxed) + 1;
+                    sh.slots_peak.fetch_max(occupied, Ordering::Relaxed);
+                    sh.slot_high[shard_idx].fetch_max(shard.len() as u64, Ordering::Relaxed);
+                }
+                if complete {
                     let vals = shard
                         .remove(&(op, t.tag))
                         .expect("present")
                         .into_iter()
                         .map(|v| v.expect("full"))
                         .collect::<Vec<_>>();
+                    drop(shard);
+                    sh.slots_occupied.fetch_sub(1, Ordering::Relaxed);
                     Some(vals)
                 } else {
+                    drop(shard);
+                    sh.merged.fetch_add(1, Ordering::Relaxed);
                     None
                 }
             };
@@ -481,6 +685,9 @@ fn fire_single(
     value: i64,
 ) {
     sh.fired.fetch_add(1, Ordering::Relaxed);
+    if let Some(ring) = &sh.trace {
+        ring.push(ctx.worker(), op, tag);
+    }
     match g.kind(op) {
         OpKind::Merge => emit(sh, ctx, op, 0, value, tag),
         OpKind::LoopEntry { loop_id } => {
@@ -516,6 +723,9 @@ fn fire_full(
     vals: Vec<i64>,
 ) {
     sh.fired.fetch_add(1, Ordering::Relaxed);
+    if let Some(ring) = &sh.trace {
+        ring.push(ctx.worker(), op, tag);
+    }
     match g.kind(op) {
         OpKind::Start => unreachable!("Start never fires"),
         OpKind::End { .. } => {
@@ -650,11 +860,25 @@ mod tests {
             let par = run_threaded(&g, &layout, threads).unwrap();
             assert_eq!(par.memory, sim.memory, "threads={threads}");
             assert_eq!(par.fired, sim.stats.fired);
+            // Metrics self-consistency: every processed token either
+            // fired an operator or merged into a rendezvous slot, and
+            // each worker accounts for its own tokens.
+            let m = &par.metrics;
+            assert_eq!(m.workers.len(), threads);
+            let per_worker: u64 = m.workers.iter().map(|w| w.processed).sum();
+            assert_eq!(per_worker, m.tokens_processed);
+            assert_eq!(m.tokens_processed, par.fired + m.merged, "threads={threads}");
+            let shard_max = m.slot_shard_high_water.iter().copied().max().unwrap_or(0);
+            let shard_sum: u64 = m.slot_shard_high_water.iter().sum();
+            assert!(m.max_pending_slots >= shard_max);
+            assert!(m.max_pending_slots <= shard_sum.max(shard_max));
         }
     }
 
+    /// The deadlock report must name the partially-filled slot: which
+    /// operator, which tag, which ports are filled — not a fixed string.
     #[test]
-    fn threaded_detects_deadlock() {
+    fn threaded_detects_deadlock_and_names_pending_slots() {
         let mut t = VarTable::new();
         t.scalar("x");
         let layout = MemLayout::distinct(&t);
@@ -665,7 +889,62 @@ mod tests {
         g.connect(Port::new(s, 0), Port::new(sy, 0), ArcKind::Access);
         g.connect(Port::new(sy, 0), Port::new(e, 0), ArcKind::Access);
         let err = run_threaded(&g, &layout, 2).unwrap_err();
-        assert!(matches!(err, MachineError::Deadlock { .. }));
+        let MachineError::Deadlock { pending } = err else {
+            panic!("expected deadlock")
+        };
+        assert_eq!(pending.len(), 1, "{pending:?}");
+        assert!(pending[0].contains("synch2"), "{pending:?}");
+        assert!(pending[0].contains("root"), "{pending:?}");
+        assert!(pending[0].contains("filled ports [0]"), "{pending:?}");
+    }
+
+    /// The trace ring is bounded, keeps the most recent firings, and is
+    /// returned on the failure path too (its whole purpose).
+    #[test]
+    fn trace_ring_captures_recent_firings() {
+        let mut t = VarTable::new();
+        t.scalar("x");
+        let layout = MemLayout::distinct(&t);
+        let mut g = Dfg::new();
+        let s = g.add(OpKind::Start);
+        let ld = g.add(OpKind::Load { var: VarId(0) });
+        let add = g.add(OpKind::Binary { op: BinOp::Add });
+        g.set_imm(add, 1, 1);
+        let st = g.add(OpKind::Store { var: VarId(0) });
+        let e = g.add(OpKind::End { inputs: 1 });
+        g.connect(Port::new(s, 0), Port::new(ld, 0), ArcKind::Access);
+        g.connect(Port::new(ld, 0), Port::new(add, 0), ArcKind::Value);
+        g.connect(Port::new(add, 0), Port::new(st, 0), ArcKind::Value);
+        g.connect(Port::new(ld, 1), Port::new(st, 1), ArcKind::Access);
+        g.connect(Port::new(st, 0), Port::new(e, 0), ArcKind::Access);
+
+        // Full capacity: one event per firing, in sequence order.
+        let (out, trace) = run_threaded_traced(&g, &layout, 1, 64);
+        let out = out.unwrap();
+        assert_eq!(trace.len() as u64, out.fired);
+        for (i, ev) in trace.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64);
+            assert_eq!(ev.tag, "root");
+        }
+        // Bounded: capacity 2 keeps only the last two firings.
+        let (out, tail) = run_threaded_traced(&g, &layout, 1, 2);
+        let out = out.unwrap();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail.last().unwrap().seq, out.fired - 1);
+
+        // Failure path: a deadlocked graph still yields its trace.
+        let mut g2 = Dfg::new();
+        let s2 = g2.add(OpKind::Start);
+        let id = g2.add(OpKind::Identity);
+        let sy = g2.add(OpKind::Synch { inputs: 2 });
+        let e2 = g2.add(OpKind::End { inputs: 1 });
+        g2.connect(Port::new(s2, 0), Port::new(id, 0), ArcKind::Access);
+        g2.connect(Port::new(id, 0), Port::new(sy, 0), ArcKind::Access);
+        g2.connect(Port::new(sy, 0), Port::new(e2, 0), ArcKind::Access);
+        let (res, trace) = run_threaded_traced(&g2, &layout, 2, 8);
+        assert!(matches!(res, Err(MachineError::Deadlock { .. })));
+        assert_eq!(trace.len(), 1, "the identity fired before the stall");
+        assert_eq!(trace[0].op, id);
     }
 
     /// The satellite invariant: a token can only go unprocessed when a

@@ -25,6 +25,7 @@
 //! machine semantics (rendezvous, firing, memory) live in
 //! [`crate::parallel`].
 
+use crate::metrics::WorkerStats;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -36,7 +37,7 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// What `run` observed by the time every worker exited.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Outcome {
     /// Tasks fully processed.
     pub processed: u64,
@@ -45,6 +46,10 @@ pub struct Outcome {
     pub leftover: u64,
     /// Whether [`Ctx::halt`] was called.
     pub halted: bool,
+    /// Per-worker counters (pops, steals, parks, …), indexed by worker.
+    /// Tallied thread-locally — the counters cost nothing on the shared
+    /// structures.
+    pub workers: Vec<WorkerStats>,
 }
 
 struct Park {
@@ -124,14 +129,17 @@ impl<T: Send> Scheduler<T> {
 
     /// Pop for worker `w`: own queue first (newest — LIFO, the tokens it
     /// just produced are hottest), then the injector, then steal the
-    /// oldest task of each sibling.
-    fn find_task(&self, w: usize) -> Option<T> {
+    /// oldest task of each sibling. Tallies which source supplied the
+    /// task into `stats`.
+    fn find_task(&self, w: usize, stats: &mut WorkerStats) -> Option<T> {
         if let Some(t) = lock(&self.queues[w]).pop_back() {
             self.queued.fetch_sub(1, Ordering::SeqCst);
+            stats.local_pops += 1;
             return Some(t);
         }
         if let Some(t) = lock(&self.inject).pop_front() {
             self.queued.fetch_sub(1, Ordering::SeqCst);
+            stats.injector_hits += 1;
             return Some(t);
         }
         let n = self.queues.len();
@@ -139,6 +147,7 @@ impl<T: Send> Scheduler<T> {
             let victim = (w + i) % n;
             if let Some(t) = lock(&self.queues[victim]).pop_front() {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
+                stats.steals += 1;
                 return Some(t);
             }
         }
@@ -157,11 +166,17 @@ impl<T: Send> Scheduler<T> {
         T: Send,
     {
         let body = &body;
-        std::thread::scope(|scope| {
-            for w in 0..self.queues.len() {
-                let sched = &*self;
-                scope.spawn(move || sched.worker_loop(w, body));
-            }
+        let workers: Vec<WorkerStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.queues.len())
+                .map(|w| {
+                    let sched = &*self;
+                    scope.spawn(move || sched.worker_loop(w, body))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
         let leftover = self.drain_count();
         let halted = self.stop.load(Ordering::SeqCst);
@@ -174,20 +189,23 @@ impl<T: Send> Scheduler<T> {
             processed: self.processed.load(Ordering::SeqCst),
             leftover,
             halted,
+            workers,
         }
     }
 
-    fn worker_loop<F>(&self, w: usize, body: &F)
+    fn worker_loop<F>(&self, w: usize, body: &F) -> WorkerStats
     where
         F: Fn(&Ctx<'_, T>, T) + Sync,
     {
         let ctx = Ctx { sched: self, worker: w };
+        let mut stats = WorkerStats::default();
         loop {
             if self.stop.load(Ordering::SeqCst) {
-                return;
+                return stats;
             }
-            if let Some(t) = self.find_task(w) {
+            if let Some(t) = self.find_task(w, &mut stats) {
                 body(&ctx, t);
+                stats.processed += 1;
                 self.processed.fetch_add(1, Ordering::SeqCst);
                 if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
                     // Last in-flight task: nothing can create work any
@@ -200,16 +218,24 @@ impl<T: Send> Scheduler<T> {
             // is still running a task that may push more — park.
             let mut sleepers = lock(&self.park.sleepers);
             *sleepers += 1;
+            let mut blocked = false;
             loop {
                 if self.stop.load(Ordering::SeqCst)
                     || self.pending.load(Ordering::SeqCst) == 0
                 {
                     *sleepers -= 1;
-                    return;
+                    return stats;
                 }
                 if self.queued.load(Ordering::SeqCst) > 0 {
                     *sleepers -= 1;
+                    if blocked {
+                        stats.unparks += 1;
+                    }
                     break; // work appeared — go take it
+                }
+                if !blocked {
+                    blocked = true;
+                    stats.parks += 1;
                 }
                 sleepers = self
                     .park
@@ -328,10 +354,34 @@ mod tests {
     fn no_work_at_all_returns_immediately() {
         let sched: Scheduler<()> = Scheduler::new(4);
         let out = sched.run(|_, ()| {});
-        assert_eq!(
-            out,
-            Outcome { processed: 0, leftover: 0, halted: false }
-        );
+        assert_eq!(out.processed, 0);
+        assert_eq!(out.leftover, 0);
+        assert!(!out.halted);
+        assert_eq!(out.workers.len(), 4);
+    }
+
+    #[test]
+    fn worker_stats_account_for_every_task() {
+        for workers in [1, 2, 4] {
+            let (_, out) = tree_sum(workers, 8);
+            assert_eq!(out.workers.len(), workers);
+            let by_worker: u64 = out.workers.iter().map(|w| w.processed).sum();
+            assert_eq!(by_worker, out.processed, "workers={workers}");
+            // Every processed task came from exactly one source.
+            let sourced: u64 = out
+                .workers
+                .iter()
+                .map(|w| w.local_pops + w.injector_hits + w.steals)
+                .sum();
+            assert_eq!(sourced, out.processed, "workers={workers}");
+            // The single injected seed was an injector hit.
+            let injected: u64 = out.workers.iter().map(|w| w.injector_hits).sum();
+            assert!(injected >= 1);
+            // Every park that ended with work is an unpark.
+            for w in &out.workers {
+                assert!(w.unparks <= w.parks);
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,12 @@ cargo test -q --offline
 echo "==> default features must be warning-free"
 RUSTFLAGS="-Dwarnings" cargo check --workspace --all-targets --offline
 
+echo "==> bench smoke: cf2df bench --quick + artifact validation"
+target/release/cf2df bench --quick --out-dir target/bench-smoke
+target/release/cf2df check-bench \
+    target/bench-smoke/BENCH_pipeline.json \
+    target/bench-smoke/BENCH_executor.json
+
 echo "==> best-effort: --all-features (proptest = 8x heavy property mode)"
 if cargo build --workspace --all-features --offline; then
     echo "    all-features build: ok"

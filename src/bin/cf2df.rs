@@ -7,6 +7,8 @@
 //! cf2df run-graph  <file.dfg> [MACHINE]
 //! cf2df run        <file.imp> [SCHEMA] [TRANSFORMS] [MACHINE] [--trace]
 //! cf2df compare    <file.imp> [MACHINE]
+//! cf2df bench      [--quick] [--out-dir <dir>]
+//! cf2df check-bench <artifact.json> [<artifact.json>…]
 //!
 //! SCHEMA:     --schema1 | --schema2 (default) | --schema3 | --optimized | --full
 //! TRANSFORMS: --memelim --readpar --arraypar --forward --no-loop-control
@@ -16,6 +18,12 @@
 //!
 //! `<file.imp>` may be `-` for stdin, or the name of a built-in corpus
 //! program (e.g. `running_example`, `stencil`).
+//!
+//! `bench` runs the canonical workloads through the simulator and the
+//! threaded executor at 1/2/4/8 workers and writes `BENCH_pipeline.json`
+//! and `BENCH_executor.json` (`--quick` shrinks workloads and timing
+//! budgets for CI smoke runs). `check-bench` validates artifact files
+//! against the schema and exits non-zero on the first invalid one.
 
 use cf2df::cfg::{CoverStrategy, MemLayout};
 use cf2df::core::pipeline::{translate, TranslateOptions};
@@ -122,12 +130,70 @@ fn parse_machine(args: &mut Args) -> MachineConfig {
     mc
 }
 
+/// `cf2df bench`: render both artifacts into `out_dir`.
+fn run_bench(quick: bool, out_dir: &str) {
+    std::fs::create_dir_all(out_dir).unwrap_or_else(|e| {
+        eprintln!("cannot create {out_dir}: {e}");
+        exit(2)
+    });
+    type Render = fn(bool) -> Result<String, String>;
+    let artifacts: [(&str, Render); 2] = [
+        ("BENCH_pipeline.json", cf2df::bench::artifacts::pipeline_artifact),
+        ("BENCH_executor.json", cf2df::bench::artifacts::executor_artifact),
+    ];
+    for (name, render) in artifacts {
+        let doc = render(quick).unwrap_or_else(|e| {
+            eprintln!("bench failed rendering {name}: {e}");
+            exit(1)
+        });
+        let path = std::path::Path::new(out_dir).join(name);
+        std::fs::write(&path, doc + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            exit(2)
+        });
+        eprintln!("wrote {}", path.display());
+    }
+}
+
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.len() < 2 {
+    if argv.is_empty() {
         usage();
     }
     let cmd = argv.remove(0);
+    if cmd == "bench" {
+        let mut args = Args { rest: argv };
+        let quick = args.flag("--quick");
+        let out_dir = args.value("--out-dir").unwrap_or_else(|| ".".to_owned());
+        if !args.rest.is_empty() {
+            eprintln!("bench: unrecognized arguments {:?}", args.rest);
+            usage();
+        }
+        run_bench(quick, &out_dir);
+        return;
+    }
+    if cmd == "check-bench" {
+        if argv.is_empty() {
+            usage();
+        }
+        for path in &argv {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(2)
+            });
+            match cf2df::bench::artifacts::validate_artifact(&text) {
+                Ok(()) => println!("{path}: ok"),
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    exit(1)
+                }
+            }
+        }
+        return;
+    }
+    if argv.is_empty() {
+        usage();
+    }
     let file = argv.remove(0);
     let mut args = Args { rest: argv };
     if cmd == "run-graph" {

@@ -124,6 +124,37 @@ fn parse_errors_are_reported_with_lines() {
 }
 
 #[test]
+fn bench_writes_valid_artifacts_and_check_bench_verifies_them() {
+    let dir = std::env::temp_dir().join("cf2df_cli_bench_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_s = dir.to_str().unwrap();
+    let (_, stderr, ok) = cf2df(&["bench", "--quick", "--out-dir", dir_s]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("BENCH_pipeline.json"), "{stderr}");
+    assert!(stderr.contains("BENCH_executor.json"), "{stderr}");
+
+    let pipeline = dir.join("BENCH_pipeline.json");
+    let executor = dir.join("BENCH_executor.json");
+    let (stdout, stderr, ok) =
+        cf2df(&["check-bench", pipeline.to_str().unwrap(), executor.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.matches(": ok").count() == 2, "{stdout}");
+
+    // The executor artifact sweeps 1/2/4/8 workers with per-worker counters.
+    let doc = std::fs::read_to_string(&executor).unwrap();
+    for probe in ["\"workers\":1", "\"workers\":2", "\"workers\":4", "\"workers\":8", "\"steals\"", "\"parks\""] {
+        assert!(doc.contains(probe), "missing {probe}");
+    }
+
+    // check-bench rejects a corrupted artifact.
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"artifact\":\"pipeline\",\"workloads\":[]}").unwrap();
+    let (_, stderr, ok) = cf2df(&["check-bench", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("INVALID"), "{stderr}");
+}
+
+#[test]
 fn istructure_flag_applies() {
     let (stdout, stderr, ok) = cf2df(&[
         "run",
