@@ -1,0 +1,310 @@
+//! Artifact-to-artifact regression comparison: the engine behind
+//! `cf2df check-bench --compare OLD.json`.
+//!
+//! Wall-clock comparisons use the *median* of the per-batch samples (the
+//! mean is still poisoned by outlier batches on noisy machines) and flag
+//! a regression only when the new median exceeds the old by more than a
+//! relative tolerance **and** an absolute floor — a 25% swing on a 2 µs
+//! workload is scheduler jitter, not a regression. Deterministic
+//! quantities (operators fired, simulated makespan) are compared
+//! exactly: they may improve, but a silent increase fails the gate.
+//!
+//! Both documents must individually pass
+//! [`crate::artifacts::validate_artifact`] first, and may be of
+//! different schema versions — comparing a new version-2 artifact
+//! against an old committed version-1 baseline is the expected upgrade
+//! path.
+
+use crate::artifacts::validate_artifact;
+use crate::json::{self, Json};
+
+/// Default relative tolerance for wall-clock comparisons (25%).
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Absolute slack added on top of the relative tolerance: medians within
+/// this many nanoseconds of each other never count as regressions,
+/// whatever the ratio. Guards the short workloads, whose medians sit
+/// well inside scheduler jitter.
+pub const ABSOLUTE_FLOOR_NS: f64 = 10_000.0;
+
+/// Outcome of comparing one measured quantity across two artifacts.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// What was compared, e.g. `loop_nest/threaded/4 wall_ns`.
+    pub what: String,
+    /// Baseline (old artifact) value.
+    pub old: f64,
+    /// Candidate (new artifact) value.
+    pub new: f64,
+    /// Whether this delta breaches the gate.
+    pub regressed: bool,
+}
+
+impl Delta {
+    /// One aligned report line, flagging regressions.
+    pub fn line(&self) -> String {
+        let ratio = if self.old > 0.0 { self.new / self.old } else { f64::NAN };
+        format!(
+            "{:<52} {:>12.1} -> {:>12.1}  ({:>6.2}x){}",
+            self.what,
+            self.old,
+            self.new,
+            ratio,
+            if self.regressed { "  REGRESSED" } else { "" }
+        )
+    }
+}
+
+/// Full result of an artifact comparison.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// Every quantity compared, in document order.
+    pub deltas: Vec<Delta>,
+    /// Workloads present in only one of the two artifacts (reported,
+    /// not fatal: suites evolve).
+    pub unmatched: Vec<String>,
+}
+
+impl Comparison {
+    /// Deltas that breached the gate.
+    pub fn regressions(&self) -> Vec<&Delta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+}
+
+fn wall_median(v: &Json, ctx: &str) -> Result<f64, String> {
+    v.get("median_ns")
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{ctx}: missing median_ns"))
+}
+
+/// A wall-clock delta regresses when the new median exceeds the old by
+/// both the relative tolerance and the absolute floor.
+fn wall_regressed(old: f64, new: f64, tolerance: f64) -> bool {
+    new > old * (1.0 + tolerance) + ABSOLUTE_FLOOR_NS
+}
+
+fn by_name<'a>(doc: &'a Json, ctx: &str) -> Result<Vec<(&'a str, &'a Json)>, String> {
+    Ok(doc
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{ctx}: missing workloads array"))?
+        .iter()
+        .filter_map(|w| w.get("name").and_then(Json::as_str).map(|n| (n, w)))
+        .collect())
+}
+
+fn lookup<'a>(rows: &[(&'a str, &'a Json)], name: &str) -> Option<&'a Json> {
+    rows.iter().find(|(n, _)| *n == name).map(|(_, w)| *w)
+}
+
+fn compare_pipeline(
+    old: &Json,
+    new: &Json,
+    out: &mut Comparison,
+) -> Result<(), String> {
+    let old_rows = by_name(old, "old pipeline")?;
+    let new_rows = by_name(new, "new pipeline")?;
+    for (name, nw) in &new_rows {
+        let Some(ow) = lookup(&old_rows, name) else {
+            out.unmatched.push(format!("{name} (new only)"));
+            continue;
+        };
+        let olds = ow.get("measurements").and_then(Json::as_arr).unwrap_or(&[]);
+        let news = nw.get("measurements").and_then(Json::as_arr).unwrap_or(&[]);
+        for nm in news {
+            let label = nm.get("label").and_then(Json::as_str).unwrap_or("?");
+            let Some(om) = olds
+                .iter()
+                .find(|m| m.get("label").and_then(Json::as_str) == Some(label))
+            else {
+                continue;
+            };
+            // Deterministic simulator quantities: a larger makespan or
+            // firing count is a real translation/scheduling regression,
+            // no tolerance applies.
+            for key in ["fired", "makespan"] {
+                let (Some(o), Some(n)) = (
+                    om.get(key).and_then(Json::as_num),
+                    nm.get(key).and_then(Json::as_num),
+                ) else {
+                    continue;
+                };
+                out.deltas.push(Delta {
+                    what: format!("{name}/{label} {key}"),
+                    old: o,
+                    new: n,
+                    regressed: n > o,
+                });
+            }
+        }
+    }
+    for (name, _) in &old_rows {
+        if lookup(&new_rows, name).is_none() {
+            out.unmatched.push(format!("{name} (old only)"));
+        }
+    }
+    Ok(())
+}
+
+fn compare_executor(
+    old: &Json,
+    new: &Json,
+    tolerance: f64,
+    out: &mut Comparison,
+) -> Result<(), String> {
+    let old_rows = by_name(old, "old executor")?;
+    let new_rows = by_name(new, "new executor")?;
+    for (name, nw) in &new_rows {
+        let Some(ow) = lookup(&old_rows, name) else {
+            out.unmatched.push(format!("{name} (new only)"));
+            continue;
+        };
+        if let (Some(osim), Some(nsim)) = (ow.get("simulator_wall_ns"), nw.get("simulator_wall_ns"))
+        {
+            let o = wall_median(osim, &format!("old {name}.simulator_wall_ns"))?;
+            let n = wall_median(nsim, &format!("new {name}.simulator_wall_ns"))?;
+            out.deltas.push(Delta {
+                what: format!("{name}/simulator wall_ns"),
+                old: o,
+                new: n,
+                regressed: wall_regressed(o, n, tolerance),
+            });
+        }
+        let olds = ow.get("threads").and_then(Json::as_arr).unwrap_or(&[]);
+        let news = nw.get("threads").and_then(Json::as_arr).unwrap_or(&[]);
+        for nt in news {
+            let workers = nt.get("workers").and_then(Json::as_num).unwrap_or(-1.0);
+            let Some(ot) = olds
+                .iter()
+                .find(|t| t.get("workers").and_then(Json::as_num) == Some(workers))
+            else {
+                continue;
+            };
+            let ctx = format!("{name}/threaded/{workers}");
+            let o = wall_median(
+                ot.get("wall_ns").ok_or_else(|| format!("old {ctx}: no wall_ns"))?,
+                &format!("old {ctx}"),
+            )?;
+            let n = wall_median(
+                nt.get("wall_ns").ok_or_else(|| format!("new {ctx}: no wall_ns"))?,
+                &format!("new {ctx}"),
+            )?;
+            out.deltas.push(Delta {
+                what: format!("{ctx} wall_ns"),
+                old: o,
+                new: n,
+                regressed: wall_regressed(o, n, tolerance),
+            });
+        }
+    }
+    for (name, _) in &old_rows {
+        if lookup(&new_rows, name).is_none() {
+            out.unmatched.push(format!("{name} (old only)"));
+        }
+    }
+    Ok(())
+}
+
+/// Compare a new artifact against an old baseline of the same kind.
+///
+/// Both documents must validate on their own. Wall-clock medians are
+/// gated by `tolerance` (relative) plus [`ABSOLUTE_FLOOR_NS`];
+/// deterministic counters are gated exactly. The two documents must
+/// agree on `quick` — quick and full runs use differently sized
+/// workloads under the same names, so comparing them would be
+/// meaningless.
+pub fn compare_artifacts(
+    old_text: &str,
+    new_text: &str,
+    tolerance: f64,
+) -> Result<Comparison, String> {
+    validate_artifact(old_text).map_err(|e| format!("old artifact invalid: {e}"))?;
+    validate_artifact(new_text).map_err(|e| format!("new artifact invalid: {e}"))?;
+    let old = json::parse(old_text)?;
+    let new = json::parse(new_text)?;
+    let kind = |d: &Json| d.get("artifact").and_then(Json::as_str).map(str::to_owned);
+    let (ok, nk) = (kind(&old), kind(&new));
+    if ok != nk {
+        return Err(format!("artifact kinds differ: old {ok:?} vs new {nk:?}"));
+    }
+    let quick = |d: &Json| matches!(d.get("quick"), Some(Json::Bool(true)));
+    if quick(&old) != quick(&new) {
+        return Err("cannot compare a quick artifact against a full one".to_owned());
+    }
+    let mut out = Comparison::default();
+    match ok.as_deref() {
+        Some("pipeline") => compare_pipeline(&old, &new, &mut out)?,
+        Some("executor") => compare_executor(&old, &new, tolerance, &mut out)?,
+        other => return Err(format!("unrecognized artifact kind {other:?}")),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifacts::{executor_artifact, pipeline_artifact};
+
+    #[test]
+    fn identical_artifacts_never_regress() {
+        for doc in [pipeline_artifact(true).unwrap(), executor_artifact(true).unwrap()] {
+            let cmp = compare_artifacts(&doc, &doc, DEFAULT_TOLERANCE).unwrap();
+            assert!(!cmp.deltas.is_empty());
+            assert!(cmp.regressions().is_empty(), "{:?}", cmp.regressions());
+            assert!(cmp.unmatched.is_empty());
+        }
+    }
+
+    #[test]
+    fn wall_clock_gate_has_relative_and_absolute_components() {
+        // Under the floor: a 10x swing on a 500 ns median is jitter.
+        assert!(!wall_regressed(500.0, 5_000.0, 0.25));
+        // Over the floor and over the tolerance: regression.
+        assert!(wall_regressed(100_000.0, 200_000.0, 0.25));
+        // Over the floor but within tolerance: fine.
+        assert!(!wall_regressed(100_000.0, 120_000.0, 0.25));
+        // Exactly at the boundary is not a regression (strict >).
+        assert!(!wall_regressed(100_000.0, 125_000.0 + ABSOLUTE_FLOOR_NS, 0.25));
+    }
+
+    #[test]
+    fn deterministic_pipeline_counters_gate_exactly() {
+        let doc = pipeline_artifact(true).unwrap();
+        // Inflate every fired count in the "new" artifact by editing the
+        // JSON: any increase must be flagged.
+        // Prepending a digit makes every count strictly larger.
+        let inflated = doc.replace("\"fired\":", "\"fired\":1");
+        let cmp = compare_artifacts(&doc, &inflated, DEFAULT_TOLERANCE).unwrap();
+        assert!(
+            cmp.regressions().iter().any(|d| d.what.contains("fired")),
+            "inflated fired counts must regress: {:?}",
+            cmp.deltas
+        );
+        // And the reverse direction (a decrease) is an improvement.
+        let cmp = compare_artifacts(&inflated, &doc, DEFAULT_TOLERANCE).unwrap();
+        assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn mismatched_kinds_and_modes_are_rejected() {
+        let p = pipeline_artifact(true).unwrap();
+        let e = executor_artifact(true).unwrap();
+        assert!(compare_artifacts(&p, &e, DEFAULT_TOLERANCE)
+            .unwrap_err()
+            .contains("kinds differ"));
+        let full_claimed = p.replace("\"quick\":true", "\"quick\":false");
+        assert!(compare_artifacts(&p, &full_claimed, DEFAULT_TOLERANCE)
+            .unwrap_err()
+            .contains("quick"));
+    }
+
+    #[test]
+    fn suite_changes_surface_as_unmatched_not_errors() {
+        let doc = pipeline_artifact(true).unwrap();
+        let renamed = doc.replace("\"name\":\"loop_nest\"", "\"name\":\"loop_nest_v2\"");
+        let cmp = compare_artifacts(&doc, &renamed, DEFAULT_TOLERANCE).unwrap();
+        assert!(cmp.unmatched.iter().any(|u| u.contains("new only")), "{:?}", cmp.unmatched);
+        assert!(cmp.unmatched.iter().any(|u| u.contains("old only")), "{:?}", cmp.unmatched);
+    }
+}

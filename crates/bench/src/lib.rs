@@ -19,6 +19,7 @@
 //!   replacement for `criterion`) driving the `benches/` targets.
 
 pub mod artifacts;
+pub mod compare;
 pub mod figures;
 pub mod harness;
 pub mod json;

@@ -26,6 +26,10 @@ pub struct Stats {
     pub mean_ns: f64,
     /// Median of the per-batch means, ns/iter (robust to scheduler noise).
     pub median_ns: f64,
+    /// 95th percentile of the per-batch means, ns/iter. The honest tail
+    /// number: `max_ns` is routinely 4–12× the median from one unlucky
+    /// batch, which would make regression comparisons flaky.
+    pub p95_ns: f64,
     /// Fastest batch, ns/iter.
     pub min_ns: f64,
     /// Slowest batch, ns/iter.
@@ -48,10 +52,11 @@ impl Stats {
     /// One aligned report line.
     pub fn line(&self) -> String {
         format!(
-            "{:<44} {} /iter  (median {}, min {}, max {}, {} iters)",
+            "{:<44} {} /iter  (median {}, p95 {}, min {}, max {}, {} iters)",
             self.name,
             human(self.mean_ns),
             human(self.median_ns),
+            human(self.p95_ns),
             human(self.min_ns),
             human(self.max_ns),
             self.iters
@@ -134,15 +139,28 @@ impl Timer {
             total_iters += batch;
         }
 
+        // Even after the warm-up loop, the first *measured* batch is
+        // routinely several times slower than the rest (page faults,
+        // frequency ramp, cold branch predictors); with enough samples
+        // it is discarded so one cold batch cannot poison the mean.
+        if per_iter.len() >= 8 {
+            let dropped = per_iter.remove(0);
+            total_iters -= batch;
+            debug_assert!(dropped >= 0.0);
+        }
+
         let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
         let mut sorted = per_iter.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
         let median = sorted[sorted.len() / 2];
+        // Nearest-rank p95 (clamped to the last sample).
+        let p95 = sorted[((sorted.len() * 95).div_ceil(100)).saturating_sub(1)];
         let stats = Stats {
             name: name.to_owned(),
             iters: total_iters,
             mean_ns: mean,
             median_ns: median,
+            p95_ns: p95,
             min_ns: sorted[0],
             max_ns: sorted[sorted.len() - 1],
         };
@@ -151,6 +169,90 @@ impl Timer {
         }
         self.results.push(stats);
         self.results.last().expect("just pushed")
+    }
+
+    /// Measure several alternatives *paired*: cycle through the arms in
+    /// `slice`-long contiguous chunks until every arm has spent the full
+    /// measure budget. Sequential [`Timer::bench`] calls give each arm a
+    /// different stretch of wall-clock time, so slow machine-speed drift
+    /// (thermal, background load) shows up as a phantom difference
+    /// between arms; interleaving spreads the drift over all of them, so
+    /// the *comparison* is honest even when the absolute numbers wander.
+    /// Chunks (rather than strict alternation) keep each arm's runs
+    /// back-to-back and warm.
+    ///
+    /// Returns one [`Stats`] per arm, in order; all are also appended to
+    /// [`Timer::results`].
+    pub fn bench_paired(
+        &mut self,
+        arms: &mut [(&str, &mut dyn FnMut())],
+        slice: Duration,
+    ) -> Vec<Stats> {
+        let n = arms.len();
+        assert!(n > 0, "bench_paired needs at least one arm");
+        // Warm up each arm and size its batch, as in `bench`.
+        let mut batches = Vec::with_capacity(n);
+        for (_, f) in arms.iter_mut() {
+            let warm_start = Instant::now();
+            let mut warm_iters = 0u64;
+            while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+                f();
+                warm_iters += 1;
+            }
+            let est = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+            batches.push(((100_000.0 / est.max(1.0)).ceil() as u64).clamp(1, 1 << 20));
+        }
+
+        let mut samples: Vec<Vec<f64>> = vec![Vec::new(); n];
+        let mut spent = vec![Duration::ZERO; n];
+        while spent.iter().any(|s| *s < self.measure) {
+            for (i, (_, f)) in arms.iter_mut().enumerate() {
+                if spent[i] >= self.measure && !samples[i].is_empty() {
+                    continue;
+                }
+                let slice_start = Instant::now();
+                loop {
+                    let t0 = Instant::now();
+                    for _ in 0..batches[i] {
+                        f();
+                    }
+                    samples[i].push(t0.elapsed().as_nanos() as f64 / batches[i] as f64);
+                    if slice_start.elapsed() >= slice || spent[i] + slice_start.elapsed() >= self.measure
+                    {
+                        break;
+                    }
+                }
+                spent[i] += slice_start.elapsed();
+            }
+        }
+
+        let mut out = Vec::with_capacity(n);
+        for (i, (name, _)) in arms.iter().enumerate() {
+            let mut per_iter = std::mem::take(&mut samples[i]);
+            let mut total_iters = per_iter.len() as u64 * batches[i];
+            if per_iter.len() >= 8 {
+                per_iter.remove(0);
+                total_iters -= batches[i];
+            }
+            let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+            let mut sorted = per_iter;
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            let stats = Stats {
+                name: (*name).to_owned(),
+                iters: total_iters,
+                mean_ns: mean,
+                median_ns: sorted[sorted.len() / 2],
+                p95_ns: sorted[((sorted.len() * 95).div_ceil(100)).saturating_sub(1)],
+                min_ns: sorted[0],
+                max_ns: sorted[sorted.len() - 1],
+            };
+            if !self.quiet {
+                println!("{}", stats.line());
+            }
+            self.results.push(stats.clone());
+            out.push(stats);
+        }
+        out
     }
 }
 
@@ -172,7 +274,40 @@ mod tests {
         assert!(s.iters > 0);
         assert!(s.mean_ns > 0.0);
         assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        assert!(s.median_ns <= s.p95_ns && s.p95_ns <= s.max_ns);
+        assert!(s.line().contains("p95"));
         assert_eq!(t.results.len(), 1);
+    }
+
+    #[test]
+    fn paired_measurement_compares_arms_fairly() {
+        let mut t =
+            Timer::with_budgets(Duration::from_millis(5), Duration::from_millis(30)).quiet();
+        let spin = |turns: u64| {
+            move || {
+                let mut acc = 0u64;
+                for i in 0..turns {
+                    acc = acc.wrapping_add(i * i);
+                }
+                std::hint::black_box(acc);
+            }
+        };
+        let mut fast = spin(100);
+        let mut slow = spin(10_000);
+        let stats = t.bench_paired(
+            &mut [("fast", &mut fast), ("slow", &mut slow)],
+            Duration::from_millis(5),
+        );
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "fast");
+        assert_eq!(stats[1].name, "slow");
+        for s in &stats {
+            assert!(s.iters > 0);
+            assert!(s.min_ns <= s.median_ns && s.median_ns <= s.p95_ns && s.p95_ns <= s.max_ns);
+        }
+        // A 100x bigger workload cannot measure faster than the small one.
+        assert!(stats[1].mean_ns > stats[0].mean_ns);
+        assert_eq!(t.results.len(), 2);
     }
 
     #[test]

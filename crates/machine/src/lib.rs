@@ -39,5 +39,7 @@ pub mod vonneumann;
 
 pub use exec::{run, run_traced, MachineConfig, MachineError, Outcome};
 pub use metrics::{ExecStats, ParMetrics, WorkerStats};
-pub use parallel::{run_threaded, run_threaded_traced, FireEvent, ParOutcome};
+pub use parallel::{
+    run_threaded, run_threaded_pooled, run_threaded_traced, ExecutorPool, FireEvent, ParOutcome,
+};
 pub use tag::{TagId, TagTable};

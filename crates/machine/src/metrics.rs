@@ -69,19 +69,31 @@ impl ExecStats {
 /// path.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct WorkerStats {
-    /// Tasks this worker fully processed.
+    /// Tasks this worker fully processed. For the threaded executor this
+    /// includes tokens consumed by the worker-local rendezvous fast path
+    /// (two per [`WorkerStats::fast_path`] join), which never transit a
+    /// run queue.
     pub processed: u64,
     /// Pops from the worker's own run queue (the fast path).
     pub local_pops: u64,
     /// Tasks taken from the global injector.
     pub injector_hits: u64,
-    /// Tasks stolen from a sibling's queue.
+    /// Tasks stolen from a sibling's queue (tasks, not steal operations —
+    /// a single steal-half grabs many).
     pub steals: u64,
     /// Idle episodes in which the worker blocked on the condvar.
     pub parks: u64,
     /// Parked episodes that ended because work appeared (as opposed to
     /// shutdown).
     pub unparks: u64,
+    /// Batches of tasks taken from the queues (each batch is one
+    /// synchronization, covering up to the scheduler's batch size in
+    /// tasks).
+    pub batches: u64,
+    /// Two-input operator firings completed through the worker-local
+    /// same-batch rendezvous fast path, bypassing the sharded global
+    /// slot table. Filled in by the executor, not the scheduler.
+    pub fast_path: u64,
 }
 
 /// Metrics of one threaded-executor run ([`crate::parallel::run_threaded`]),
@@ -94,9 +106,17 @@ pub struct ParMetrics {
     /// Total tokens processed (sum of the per-worker `processed`).
     pub tokens_processed: u64,
     /// Tokens that rendezvoused into a partially-filled slot without
-    /// completing it. On a clean run,
+    /// completing it — in the sharded global table or in a worker-local
+    /// fast-path pair (one per fast-path join). On a clean run,
     /// `tokens_processed == fired + merged`.
     pub merged: u64,
+    /// Two-input operator firings completed entirely inside one worker's
+    /// batch: both input tokens were produced by the same worker in the
+    /// same batch and were joined locally, never touching a run queue or
+    /// the sharded rendezvous table. Each such join counts two tokens
+    /// into [`ParMetrics::tokens_processed`] and one into
+    /// [`ParMetrics::merged`], so the accounting invariant holds.
+    pub fast_path_fires: u64,
     /// High-water mark of simultaneously occupied rendezvous slots across
     /// the whole table — the waiting-matching (frame memory) pressure,
     /// the parallel analogue of [`ExecStats::max_pending_slots`].
@@ -118,9 +138,10 @@ impl ParMetrics {
         let steals: u64 = self.workers.iter().map(|w| w.steals).sum();
         let parks: u64 = self.workers.iter().map(|w| w.parks).sum();
         format!(
-            "processed={} merged={} steals={} parks={} max_slots={} tags={} deferred={}",
+            "processed={} merged={} fastpath={} steals={} parks={} max_slots={} tags={} deferred={}",
             self.tokens_processed,
             self.merged,
+            self.fast_path_fires,
             steals,
             parks,
             self.max_pending_slots,

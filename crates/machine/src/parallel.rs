@@ -20,7 +20,13 @@
 //! * the tag (iteration-context) interner is sharded by
 //!   `(parent, loop, iteration)`, each shard allocating `TagId`s from a
 //!   disjoint arithmetic progression;
-//! * rendezvous slots are sharded by `(operator, tag)` hash, as before.
+//! * rendezvous slots are sharded by `(operator, tag)` hash, as before;
+//! * two-input operators whose partner token is produced by the *same
+//!   worker in the same batch* rendezvous in a worker-local pair map and
+//!   never touch the sharded table at all (the fast path, visible as
+//!   [`ParMetrics::fast_path_fires`]); unpaired entries are flushed back
+//!   to the ordinary queue at the end of every batch, so the global
+//!   table remains the single point of truth between batches.
 //!
 //! Shutdown is explicit: a sent token is never dropped. Workers drain
 //! until the token population hits zero (clean completion after `End`,
@@ -35,7 +41,7 @@
 use crate::exec::MachineError;
 use crate::memory::{DeferredRead, MemError};
 use crate::metrics::ParMetrics;
-use crate::scheduler::{Ctx, Scheduler};
+use crate::scheduler::{Ctx, Scheduler, WorkerPool};
 use crate::tag::TagId;
 use cf2df_cfg::{LoopId, MemLayout, VarId};
 use cf2df_dfg::{Dfg, OpId, OpKind, Port};
@@ -389,10 +395,31 @@ impl ParTagTable {
 // The executor
 // ---------------------------------------------------------------------
 
+/// Per-worker rendezvous state for the same-batch fast path. Only ever
+/// locked by its owning worker (and once more at the end of the run to
+/// collect counters), so the mutex is effectively uncontended.
+#[derive(Default)]
+struct WorkerLocal {
+    /// Half-filled two-input rendezvous, keyed like the global table.
+    /// Drained back to the run queue at the end of every batch.
+    pairs: HashMap<(OpId, TagId), [Option<i64>; 2]>,
+    /// Locally completed joins awaiting firing, drained after each
+    /// token (firing can complete further joins).
+    ready: Vec<(OpId, TagId, [i64; 2])>,
+    /// Joins completed through this fast path.
+    fast_path: u64,
+}
+
 struct Shared {
     layout: MemLayout,
     dests: Vec<Vec<Vec<Port>>>,
     live: Vec<usize>,
+    /// `fast_ok[op]` — the op is a plain two-input rendezvous (both
+    /// ports token-fed, not merge-like) and eligible for the
+    /// worker-local fast path.
+    fast_ok: Vec<bool>,
+    /// Worker-local fast-path state, indexed by worker.
+    locals: Vec<Mutex<WorkerLocal>>,
     /// Rendezvous slots, sharded by (op, tag) hash.
     slots: Vec<SlotShard>,
     tags: ParTagTable,
@@ -464,13 +491,47 @@ impl Shared {
     }
 }
 
+/// A persistent set of executor worker threads, reusable across
+/// [`run_threaded_pooled`] calls. Spawning OS threads costs tens of
+/// microseconds — comparable to an entire corpus-program execution — so
+/// repeated runs (benchmarks, servers) should spawn a pool once and
+/// park it between runs rather than pay that price inside every run.
+pub struct ExecutorPool {
+    pool: WorkerPool,
+}
+
+impl ExecutorPool {
+    /// Spawn a pool of `n_threads` executor workers (`n_threads >= 1`).
+    pub fn new(n_threads: usize) -> ExecutorPool {
+        ExecutorPool {
+            pool: WorkerPool::new(n_threads),
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+}
+
 /// Execute a dataflow graph on `n_threads` worker threads.
 pub fn run_threaded(
     g: &Dfg,
     layout: &MemLayout,
     n_threads: usize,
 ) -> Result<ParOutcome, MachineError> {
-    run_inner(g, layout, n_threads, None).0
+    run_inner(g, layout, n_threads, None, None).0
+}
+
+/// As [`run_threaded`], but on a pre-spawned [`ExecutorPool`] — the
+/// worker count is the pool's width and no threads are created or torn
+/// down inside the call.
+pub fn run_threaded_pooled(
+    g: &Dfg,
+    layout: &MemLayout,
+    pool: &ExecutorPool,
+) -> Result<ParOutcome, MachineError> {
+    run_inner(g, layout, pool.workers(), None, Some(pool)).0
 }
 
 /// As [`run_threaded`], additionally capturing the last `capacity` fire
@@ -483,7 +544,7 @@ pub fn run_threaded_traced(
     n_threads: usize,
     capacity: usize,
 ) -> (Result<ParOutcome, MachineError>, Vec<FireEvent>) {
-    run_inner(g, layout, n_threads, Some(capacity))
+    run_inner(g, layout, n_threads, Some(capacity), None)
 }
 
 fn run_inner(
@@ -491,6 +552,7 @@ fn run_inner(
     layout: &MemLayout,
     n_threads: usize,
     trace_capacity: Option<usize>,
+    pool: Option<&ExecutorPool>,
 ) -> (Result<ParOutcome, MachineError>, Vec<FireEvent>) {
     let n_threads = n_threads.max(1);
     let mut dests: Vec<Vec<Vec<Port>>> = g
@@ -508,11 +570,24 @@ fn run_inner(
                 .count()
         })
         .collect();
+    let fast_ok: Vec<bool> = g
+        .op_ids()
+        .map(|o| {
+            let k = g.kind(o);
+            !matches!(k, OpKind::Merge | OpKind::LoopEntry { .. })
+                && k.n_inputs() == 2
+                && live[o.index()] == 2
+        })
+        .collect();
 
     let shared = Shared {
         layout: layout.clone(),
         dests,
         live,
+        fast_ok,
+        locals: (0..n_threads)
+            .map(|_| Mutex::new(WorkerLocal::default()))
+            .collect(),
         slots: std::iter::repeat_with(|| Mutex::new(HashMap::new()))
             .take(SLOT_SHARDS)
             .collect(),
@@ -529,22 +604,51 @@ fn run_inner(
     };
 
     let sched: Scheduler<Token> = Scheduler::new(n_threads);
-    // Seed initial tokens.
+    // Seed initial tokens round-robin across the worker queues, so every
+    // worker starts with work instead of all seeds funnelling through
+    // the injector into whichever worker looks first.
     let start = g.start();
-    for &to in &shared.dests[start.index()][0] {
-        sched.inject(Token {
-            to,
-            tag: TagId::ROOT,
-            value: 0,
-        });
+    sched.seed(shared.dests[start.index()][0].iter().map(|&to| Token {
+        to,
+        tag: TagId::ROOT,
+        value: 0,
+    }));
+
+    let body = |ctx: &Ctx<'_, Token>, batch: &mut Vec<Token>| {
+        let local = &shared.locals[ctx.worker()];
+        for t in batch.drain(..) {
+            process(g, &shared, ctx, t);
+            drain_ready(g, &shared, local, ctx);
+        }
+        // End of batch: the fast-path window closes. Unpaired halves go
+        // back through the ordinary queue (and, from there, the global
+        // rendezvous table), so nothing is held across a park.
+        flush_local_pairs(local, ctx);
+    };
+    let outcome = match pool {
+        Some(p) => sched.run_in(&p.pool, body),
+        None => sched.run(body),
+    };
+
+    // Fold the fast-path joins into the per-worker and global tallies:
+    // each join consumed two tokens that never transited a run queue
+    // (2 × processed), fired one operator and merged one half-pair, so
+    // `tokens_processed == fired + merged` keeps holding.
+    let mut workers = outcome.workers;
+    let mut total_fast = 0u64;
+    for (w, local) in shared.locals.iter().enumerate() {
+        let l = lock(local);
+        debug_assert!(l.pairs.is_empty() && l.ready.is_empty());
+        workers[w].fast_path = l.fast_path;
+        workers[w].processed += 2 * l.fast_path;
+        total_fast += l.fast_path;
     }
 
-    let outcome = sched.run(|ctx, t| process(g, &shared, ctx, t));
-
     let metrics = ParMetrics {
-        workers: outcome.workers,
-        tokens_processed: outcome.processed,
+        workers,
+        tokens_processed: outcome.processed + 2 * total_fast,
         merged: shared.merged.load(Ordering::Relaxed),
+        fast_path_fires: total_fast,
         max_pending_slots: shared.slots_peak.load(Ordering::Relaxed),
         slot_shard_high_water: shared
             .slot_high
@@ -669,9 +773,75 @@ fn process(g: &Dfg, sh: &Shared, ctx: &Ctx<'_, Token>, t: Token) {
     }
 }
 
+/// Send an output token to every destination of `(op, out_port)`.
+///
+/// Destinations that are plain two-input rendezvous go through the
+/// *worker-local* pair map first: if this worker produced the partner
+/// token earlier in the same batch, the two join right here — no run
+/// queue, no sharded table, no cross-worker synchronization — and the
+/// completed firing is parked on the worker's ready stack. Unpaired
+/// halves wait in the map until the end of the batch, then rejoin the
+/// ordinary path.
 fn emit(sh: &Shared, ctx: &Ctx<'_, Token>, op: OpId, out_port: usize, value: i64, tag: TagId) {
     for &to in &sh.dests[op.index()][out_port] {
+        let dst = to.op;
+        if sh.fast_ok[dst.index()] {
+            let port = to.port as usize;
+            let mut l = lock(&sh.locals[ctx.worker()]);
+            let slot = l.pairs.entry((dst, tag)).or_insert([None, None]);
+            if slot[port].is_some() {
+                drop(l);
+                let tag = sh.tags.render(tag);
+                sh.fail(ctx, MachineError::TokenCollision { op: dst, port, tag });
+                continue;
+            }
+            slot[port] = Some(value);
+            if let [Some(a), Some(b)] = *slot {
+                l.pairs.remove(&(dst, tag));
+                l.ready.push((dst, tag, [a, b]));
+                l.fast_path += 1;
+                drop(l);
+                sh.merged.fetch_add(1, Ordering::Relaxed);
+            }
+            continue;
+        }
         ctx.push(Token { to, tag, value });
+    }
+}
+
+/// Fire every locally-completed join on worker's ready stack; firing can
+/// complete further joins, so loop until the stack is empty. The lock is
+/// released around each firing (firing re-enters [`emit`]).
+fn drain_ready(g: &Dfg, sh: &Shared, local: &Mutex<WorkerLocal>, ctx: &Ctx<'_, Token>) {
+    loop {
+        let next = lock(local).ready.pop();
+        match next {
+            Some((op, tag, [a, b])) => fire_full(g, sh, ctx, op, tag, vec![a, b]),
+            None => return,
+        }
+    }
+}
+
+/// End-of-batch: push every unpaired fast-path half back onto the run
+/// queue as an ordinary token. It will rendezvous in the sharded global
+/// table like any cross-worker token — the fast path is only ever a
+/// same-batch shortcut, never a place where a token can be stranded.
+fn flush_local_pairs(local: &Mutex<WorkerLocal>, ctx: &Ctx<'_, Token>) {
+    let leftovers: Vec<((OpId, TagId), [Option<i64>; 2])> = {
+        let mut l = lock(local);
+        debug_assert!(l.ready.is_empty(), "ready drained after every token");
+        l.pairs.drain().collect()
+    };
+    for ((op, tag), slot) in leftovers {
+        for (port, v) in slot.into_iter().enumerate() {
+            if let Some(value) = v {
+                ctx.push(Token {
+                    to: Port::new(op, port),
+                    tag,
+                    value,
+                });
+            }
+        }
     }
 }
 

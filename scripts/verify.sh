@@ -22,6 +22,16 @@ target/release/cf2df check-bench \
     target/bench-smoke/BENCH_pipeline.json \
     target/bench-smoke/BENCH_executor.json
 
+echo "==> bench regression gate: compare against committed quick baselines"
+# Fails on schema errors, >25% wall-clock regression (median, with a
+# 10 µs absolute floor), or any increase in deterministic counters.
+target/release/cf2df check-bench \
+    target/bench-smoke/BENCH_pipeline.json \
+    --compare BENCH_pipeline.quick.json
+target/release/cf2df check-bench \
+    target/bench-smoke/BENCH_executor.json \
+    --compare BENCH_executor.quick.json
+
 echo "==> best-effort: --all-features (proptest = 8x heavy property mode)"
 if cargo build --workspace --all-features --offline; then
     echo "    all-features build: ok"

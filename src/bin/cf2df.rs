@@ -9,6 +9,7 @@
 //! cf2df compare    <file.imp> [MACHINE]
 //! cf2df bench      [--quick] [--out-dir <dir>]
 //! cf2df check-bench <artifact.json> [<artifact.json>…]
+//!                   [--compare <old.json>] [--tolerance <frac>]
 //!
 //! SCHEMA:     --schema1 | --schema2 (default) | --schema3 | --optimized | --full
 //! TRANSFORMS: --memelim --readpar --arraypar --forward --no-loop-control
@@ -23,7 +24,11 @@
 //! threaded executor at 1/2/4/8 workers and writes `BENCH_pipeline.json`
 //! and `BENCH_executor.json` (`--quick` shrinks workloads and timing
 //! budgets for CI smoke runs). `check-bench` validates artifact files
-//! against the schema and exits non-zero on the first invalid one.
+//! against the schema and exits non-zero on the first invalid one; with
+//! `--compare OLD.json` it additionally diffs the (single) artifact
+//! against the old baseline and fails on wall-clock regressions beyond
+//! the tolerance (default 0.25 = 25%, plus a 10 µs absolute floor) or on
+//! any increase in deterministic counters (fired, makespan).
 
 use cf2df::cfg::{CoverStrategy, MemLayout};
 use cf2df::core::pipeline::{translate, TranslateOptions};
@@ -173,10 +178,59 @@ fn main() {
         return;
     }
     if cmd == "check-bench" {
-        if argv.is_empty() {
+        let mut args = Args { rest: argv };
+        let compare_against = args.value("--compare");
+        let tolerance = match args.value("--tolerance") {
+            Some(t) => t.parse::<f64>().unwrap_or_else(|_| {
+                eprintln!("--tolerance needs a numeric fraction, e.g. 0.25");
+                exit(2)
+            }),
+            None => cf2df::bench::compare::DEFAULT_TOLERANCE,
+        };
+        if args.rest.is_empty() {
             usage();
         }
-        for path in &argv {
+        if let Some(old_path) = compare_against {
+            if args.rest.len() != 1 {
+                eprintln!("check-bench --compare takes exactly one new artifact");
+                exit(2)
+            }
+            let read = |p: &str| {
+                std::fs::read_to_string(p).unwrap_or_else(|e| {
+                    eprintln!("cannot read {p}: {e}");
+                    exit(2)
+                })
+            };
+            let (old_text, new_text) = (read(&old_path), read(&args.rest[0]));
+            let cmp = cf2df::bench::compare::compare_artifacts(&old_text, &new_text, tolerance)
+                .unwrap_or_else(|e| {
+                    eprintln!("compare failed: {e}");
+                    exit(1)
+                });
+            for d in &cmp.deltas {
+                println!("{}", d.line());
+            }
+            for u in &cmp.unmatched {
+                println!("unmatched workload: {u}");
+            }
+            let regressions = cmp.regressions();
+            if regressions.is_empty() {
+                println!(
+                    "{}: ok vs {old_path} ({} quantities compared, tolerance {tolerance})",
+                    args.rest[0],
+                    cmp.deltas.len()
+                );
+            } else {
+                eprintln!(
+                    "{}: {} REGRESSION(S) vs {old_path}",
+                    args.rest[0],
+                    regressions.len()
+                );
+                exit(1)
+            }
+            return;
+        }
+        for path in &args.rest {
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
                 eprintln!("cannot read {path}: {e}");
                 exit(2)

@@ -155,6 +155,51 @@ fn bench_writes_valid_artifacts_and_check_bench_verifies_them() {
 }
 
 #[test]
+fn check_bench_compare_gates_regressions() {
+    let dir = std::env::temp_dir().join("cf2df_cli_compare_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_s = dir.to_str().unwrap();
+    let (_, stderr, ok) = cf2df(&["bench", "--quick", "--out-dir", dir_s]);
+    assert!(ok, "{stderr}");
+    let pipeline = dir.join("BENCH_pipeline.json");
+    let pipeline_s = pipeline.to_str().unwrap();
+
+    // An artifact compared against itself passes and reports deltas.
+    let (stdout, stderr, ok) =
+        cf2df(&["check-bench", pipeline_s, "--compare", pipeline_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("quantities compared"), "{stdout}");
+
+    // Inflating deterministic counters in the new artifact fails the gate.
+    let doc = std::fs::read_to_string(&pipeline).unwrap();
+    let worse = dir.join("worse.json");
+    std::fs::write(&worse, doc.replace("\"fired\":", "\"fired\":1")).unwrap();
+    let (stdout, stderr, ok) = cf2df(&[
+        "check-bench",
+        worse.to_str().unwrap(),
+        "--compare",
+        pipeline_s,
+    ]);
+    assert!(!ok, "{stdout}");
+    assert!(stderr.contains("REGRESSION"), "{stderr}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+
+    // Executor artifacts compare too (same artifact: no regression).
+    let executor = dir.join("BENCH_executor.json");
+    let executor_s = executor.to_str().unwrap();
+    let (stdout, stderr, ok) = cf2df(&[
+        "check-bench",
+        executor_s,
+        "--compare",
+        executor_s,
+        "--tolerance",
+        "0.25",
+    ]);
+    assert!(ok, "{stdout} {stderr}");
+    assert!(stdout.contains("wall_ns"), "{stdout}");
+}
+
+#[test]
 fn istructure_flag_applies() {
     let (stdout, stderr, ok) = cf2df(&[
         "run",

@@ -40,14 +40,22 @@ fn metrics_are_self_consistent_across_the_corpus() {
                 by_worker, m.tokens_processed,
                 "{name} at {workers} workers: per-worker tallies account for all tokens"
             );
+            // Every token either came off a queue (popped, injected or
+            // stolen) or was one of the two halves of a worker-local
+            // fast-path join, which never transits a queue.
             let sourced: u64 = m
                 .workers
                 .iter()
-                .map(|w| w.local_pops + w.injector_hits + w.steals)
+                .map(|w| w.local_pops + w.injector_hits + w.steals + 2 * w.fast_path)
                 .sum();
             assert_eq!(
                 sourced, m.tokens_processed,
                 "{name} at {workers} workers: every token came from somewhere"
+            );
+            let fast: u64 = m.workers.iter().map(|w| w.fast_path).sum();
+            assert_eq!(
+                fast, m.fast_path_fires,
+                "{name} at {workers} workers: fast-path total matches per-worker tallies"
             );
             let shard_max = m.slot_shard_high_water.iter().copied().max().unwrap_or(0);
             let shard_sum: u64 = m.slot_shard_high_water.iter().sum();
@@ -67,6 +75,29 @@ fn metrics_are_self_consistent_across_the_corpus() {
                     "{name}: a lone worker has nobody to steal from"
                 );
             }
+        }
+    }
+}
+
+/// The no-steal pathology regression test: on the largest bench
+/// workload, round-robin seeding plus steal-half must give *every*
+/// worker real work. (BENCH_executor.json once showed siblings with
+/// `processed: 0, steals: 0, parks: 0` at 2–8 workers because the lone
+/// injector queue fed only worker 0.)
+#[test]
+fn every_worker_processes_tokens_on_loop_nest() {
+    let src = cf2df::bench::workloads::loop_nest(3, 6);
+    let parsed = parse_to_cfg(&src).unwrap();
+    let t = translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2()).unwrap();
+    let layout = MemLayout::distinct(&t.cfg.vars);
+    for workers in [2, 4] {
+        let out = run_threaded(&t.dfg, &layout, workers).unwrap();
+        for (i, w) in out.metrics.workers.iter().enumerate() {
+            assert!(
+                w.processed > 0,
+                "worker {i}/{workers} processed nothing: {:?}",
+                out.metrics.workers
+            );
         }
     }
 }
