@@ -9,9 +9,13 @@
 //! * `BENCH_pipeline.json` — simulated (idealized-parallelism) metrics
 //!   per workload per translation configuration;
 //! * `BENCH_executor.json` — wall-clock scaling and scheduler counters
-//!   of the threaded executor.
+//!   of the threaded executor;
+//! * `BENCH_translate.json` — wall-clock time of the translation
+//!   pipeline itself per workload per configuration, plus the pass
+//!   manager's deterministic counters (passes run, CFG revisions,
+//!   analyses computed vs. cache hits, output graph size).
 //!
-//! Both are emitted through [`crate::json`] and checked by the
+//! All are emitted through [`crate::json`] and checked by the
 //! [`validate_artifact`] schema validator: every required field must be
 //! present and every numeric field finite (a non-finite float renders as
 //! `null` and is rejected), so a bench regression can never hide behind
@@ -270,6 +274,68 @@ pub fn executor_artifact(quick: bool) -> Result<String, String> {
 }
 
 // ---------------------------------------------------------------------
+// BENCH_translate.json
+// ---------------------------------------------------------------------
+
+/// Translation configurations the translate artifact sweeps, labeled as
+/// in `cf2df compare`.
+fn translate_configs() -> [(&'static str, TranslateOptions); 4] {
+    [
+        ("schema1", TranslateOptions::schema1()),
+        ("schema2", TranslateOptions::schema2()),
+        ("optimized", TranslateOptions::optimized()),
+        ("full", TranslateOptions::full_parallel_schema3()),
+    ]
+}
+
+/// Render the translate artifact: wall-clock timings of the translation
+/// pipeline per suite workload per configuration, alongside the pass
+/// manager's deterministic counters. The wall medians gate pipeline
+/// performance; `analyses_computed` gates the cache discipline — any
+/// increase means a stage started recomputing an analysis it used to
+/// share.
+pub fn translate_artifact(quick: bool) -> Result<String, String> {
+    let mut t = timer(quick);
+    let mut entries = Vec::new();
+    for (name, src) in suite(quick) {
+        let parsed = cf2df_lang::parse_to_cfg(&src)
+            .map_err(|e| format!("workload {name} failed to parse: {e}"))?;
+        let mut rows = Vec::new();
+        for (label, opts) in translate_configs() {
+            let tr = translate(&parsed.cfg, &parsed.alias, &opts)
+                .map_err(|e| format!("workload {name}/{label} failed to translate: {e}"))?;
+            let wall = stats_json(t.bench(&format!("{name}/translate/{label}"), || {
+                std::hint::black_box(
+                    translate(&parsed.cfg, &parsed.alias, &opts).unwrap().stats.ops,
+                )
+            }));
+            let mut o = Obj::new();
+            o.str("label", label)
+                .raw("wall_ns", &wall)
+                .num("passes", tr.passes.len() as u64)
+                .num("revisions", tr.revisions)
+                .num("analyses_computed", tr.cache_stats.total_computed())
+                .num("cache_hits", tr.cache_stats.total_hits())
+                .num("ops", tr.stats.ops as u64)
+                .num("arcs", tr.stats.arcs as u64)
+                .num("switches", tr.stats.switches as u64);
+            rows.push(o.finish());
+        }
+        let mut o = Obj::new();
+        o.str("name", name).raw("configs", &json::array(rows));
+        entries.push(o.finish());
+    }
+    let mut doc = Obj::new();
+    doc.str("artifact", "translate")
+        .num("schema_version", SCHEMA_VERSION)
+        .bool("quick", quick)
+        .raw("workloads", &json::array(entries));
+    let text = doc.finish();
+    validate_artifact(&text)?;
+    Ok(text)
+}
+
+// ---------------------------------------------------------------------
 // Validation
 // ---------------------------------------------------------------------
 
@@ -425,6 +491,33 @@ fn validate_executor_value(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn validate_translate_value(doc: &Json) -> Result<(), String> {
+    let version = schema_version(doc, "translate")?;
+    for (wi, w) in req_arr(doc, "translate", "workloads")?.iter().enumerate() {
+        let name = req_str(w, &format!("workloads[{wi}]"), "name")?.to_owned();
+        for (ci, c) in req_arr(w, &name, "configs")?.iter().enumerate() {
+            let ctx = format!("{name}.configs[{ci}]");
+            req_str(c, &ctx, "label")?;
+            check_stats(req(c, &ctx, "wall_ns")?, &format!("{ctx}.wall_ns"), version)?;
+            for key in [
+                "passes",
+                "revisions",
+                "analyses_computed",
+                "cache_hits",
+                "ops",
+                "arcs",
+                "switches",
+            ] {
+                req_num(c, &ctx, key)?;
+            }
+            if req_num(c, &ctx, "passes")? < 1.0 {
+                return Err(format!("{ctx}: no passes recorded"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Validate a bench artifact: well-formed JSON, a recognized `artifact`
 /// kind, every required field present, every numeric field finite.
 pub fn validate_artifact(text: &str) -> Result<(), String> {
@@ -432,6 +525,7 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
     match doc.get("artifact").and_then(Json::as_str) {
         Some("pipeline") => validate_pipeline_value(&doc),
         Some("executor") => validate_executor_value(&doc),
+        Some("translate") => validate_translate_value(&doc),
         other => Err(format!("unrecognized artifact kind {other:?}")),
     }
 }
@@ -486,6 +580,31 @@ mod tests {
                 .map(|pw| pw.get("processed").unwrap().as_num().unwrap())
                 .sum();
             assert_eq!(by_worker, processed);
+        }
+    }
+
+    #[test]
+    fn quick_translate_artifact_validates_and_counts_passes() {
+        let doc = translate_artifact(true).unwrap();
+        validate_artifact(&doc).unwrap();
+        let v = json::parse(&doc).unwrap();
+        assert_eq!(v.get("artifact").unwrap().as_str(), Some("translate"));
+        for w in v.get("workloads").unwrap().as_arr().unwrap() {
+            for c in w.get("configs").unwrap().as_arr().unwrap() {
+                let passes = c.get("passes").unwrap().as_num().unwrap();
+                let computed = c.get("analyses_computed").unwrap().as_num().unwrap();
+                assert!(passes >= 5.0, "every config runs the core stages");
+                assert!(computed >= 1.0, "something must be analyzed");
+                // The optimized/full pipelines share analyses between
+                // stages, so cache hits must appear.
+                let label = c.get("label").unwrap().as_str().unwrap();
+                if label == "optimized" || label == "full" {
+                    assert!(
+                        c.get("cache_hits").unwrap().as_num().unwrap() >= 1.0,
+                        "{label} must hit the analysis cache"
+                    );
+                }
+            }
         }
     }
 

@@ -206,6 +206,67 @@ fn compare_executor(
     Ok(())
 }
 
+fn compare_translate(
+    old: &Json,
+    new: &Json,
+    tolerance: f64,
+    out: &mut Comparison,
+) -> Result<(), String> {
+    let old_rows = by_name(old, "old translate")?;
+    let new_rows = by_name(new, "new translate")?;
+    for (name, nw) in &new_rows {
+        let Some(ow) = lookup(&old_rows, name) else {
+            out.unmatched.push(format!("{name} (new only)"));
+            continue;
+        };
+        let olds = ow.get("configs").and_then(Json::as_arr).unwrap_or(&[]);
+        let news = nw.get("configs").and_then(Json::as_arr).unwrap_or(&[]);
+        for nc in news {
+            let label = nc.get("label").and_then(Json::as_str).unwrap_or("?");
+            let Some(oc) = olds
+                .iter()
+                .find(|c| c.get("label").and_then(Json::as_str) == Some(label))
+            else {
+                continue;
+            };
+            let ctx = format!("{name}/{label}");
+            let o = wall_median(
+                oc.get("wall_ns").ok_or_else(|| format!("old {ctx}: no wall_ns"))?,
+                &format!("old {ctx}"),
+            )?;
+            let n = wall_median(
+                nc.get("wall_ns").ok_or_else(|| format!("new {ctx}: no wall_ns"))?,
+                &format!("new {ctx}"),
+            )?;
+            out.deltas.push(Delta {
+                what: format!("{ctx} wall_ns"),
+                old: o,
+                new: n,
+                regressed: wall_regressed(o, n, tolerance),
+            });
+            // The cache discipline gates exactly: computing an analysis
+            // more often than the baseline means a stage stopped sharing.
+            if let (Some(o), Some(n)) = (
+                oc.get("analyses_computed").and_then(Json::as_num),
+                nc.get("analyses_computed").and_then(Json::as_num),
+            ) {
+                out.deltas.push(Delta {
+                    what: format!("{ctx} analyses_computed"),
+                    old: o,
+                    new: n,
+                    regressed: n > o,
+                });
+            }
+        }
+    }
+    for (name, _) in &old_rows {
+        if lookup(&new_rows, name).is_none() {
+            out.unmatched.push(format!("{name} (old only)"));
+        }
+    }
+    Ok(())
+}
+
 /// Compare a new artifact against an old baseline of the same kind.
 ///
 /// Both documents must validate on their own. Wall-clock medians are
@@ -236,6 +297,7 @@ pub fn compare_artifacts(
     match ok.as_deref() {
         Some("pipeline") => compare_pipeline(&old, &new, &mut out)?,
         Some("executor") => compare_executor(&old, &new, tolerance, &mut out)?,
+        Some("translate") => compare_translate(&old, &new, tolerance, &mut out)?,
         other => return Err(format!("unrecognized artifact kind {other:?}")),
     }
     Ok(out)
@@ -244,11 +306,15 @@ pub fn compare_artifacts(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::artifacts::{executor_artifact, pipeline_artifact};
+    use crate::artifacts::{executor_artifact, pipeline_artifact, translate_artifact};
 
     #[test]
     fn identical_artifacts_never_regress() {
-        for doc in [pipeline_artifact(true).unwrap(), executor_artifact(true).unwrap()] {
+        for doc in [
+            pipeline_artifact(true).unwrap(),
+            executor_artifact(true).unwrap(),
+            translate_artifact(true).unwrap(),
+        ] {
             let cmp = compare_artifacts(&doc, &doc, DEFAULT_TOLERANCE).unwrap();
             assert!(!cmp.deltas.is_empty());
             assert!(cmp.regressions().is_empty(), "{:?}", cmp.regressions());
@@ -282,6 +348,23 @@ mod tests {
             cmp.deltas
         );
         // And the reverse direction (a decrease) is an improvement.
+        let cmp = compare_artifacts(&inflated, &doc, DEFAULT_TOLERANCE).unwrap();
+        assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn translate_cache_counters_gate_exactly() {
+        let doc = translate_artifact(true).unwrap();
+        let inflated = doc.replace("\"analyses_computed\":", "\"analyses_computed\":1");
+        let cmp = compare_artifacts(&doc, &inflated, DEFAULT_TOLERANCE).unwrap();
+        assert!(
+            cmp.regressions()
+                .iter()
+                .any(|d| d.what.contains("analyses_computed")),
+            "recomputing analyses must regress: {:?}",
+            cmp.deltas
+        );
+        // Fewer computations (better caching) is an improvement.
         let cmp = compare_artifacts(&inflated, &doc, DEFAULT_TOLERANCE).unwrap();
         assert!(cmp.regressions().is_empty());
     }

@@ -15,11 +15,15 @@
 //! * interval (loop) decomposition and loop-control insertion
 //!   ([`intervals`], [`loop_control`]) required by translation Schema 2 (§3);
 //! * alias structures and covers ([`alias`]) required by Schema 3 (§5);
+//! * a per-function [`context::FunctionContext`] owning the CFG behind a
+//!   revision-stamped, compute-once [`context`] analysis cache — the
+//!   substrate of the translation pass manager;
 //! * memory layouts binding variable names to locations ([`layout`]),
 //!   including layouts that realize a particular aliasing;
 //! * graph utilities ([`reach`]) and DOT export ([`dot`]).
 
 pub mod alias;
+pub mod context;
 pub mod control_dep;
 pub mod dot;
 pub mod expr;
@@ -33,6 +37,7 @@ pub mod stmt;
 pub mod var;
 
 pub use alias::{AliasStructure, Cover, CoverStrategy};
+pub use context::{AnalysisKind, CacheStats, FunctionContext, Preserved};
 pub use control_dep::{between, ControlDeps};
 pub use expr::{BinOp, Expr, UnOp};
 pub use graph::{Cfg, CfgError, EdgeRef, NodeId, OutDir};

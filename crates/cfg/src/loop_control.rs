@@ -14,15 +14,15 @@
 //! [`split_irreducible`] duplicates multi-entry cycle nodes until the graph
 //! becomes reducible.
 
+use crate::context::{FunctionContext, Preserved};
 use crate::graph::{Cfg, EdgeRef, NodeId};
 use crate::intervals::{Irreducible, LoopForest, LoopId};
 use crate::stmt::Stmt;
 
-/// The result of loop-control insertion.
+/// What loop-control insertion learned and added, independent of which
+/// CFG copy it was applied to.
 #[derive(Clone, Debug)]
-pub struct LoopControlled {
-    /// The transformed CFG, containing `LoopEntry`/`LoopExit` statements.
-    pub cfg: Cfg,
+pub struct LoopControlMeta {
     /// The loop forest of the *original* CFG. Node ids of original nodes
     /// are unchanged by the transformation, so its bodies remain valid.
     pub forest: LoopForest,
@@ -32,19 +32,68 @@ pub struct LoopControlled {
     pub exit_nodes: Vec<Vec<NodeId>>,
 }
 
+/// The result of [`insert_loop_control`]: a transformed CFG copy plus its
+/// [`LoopControlMeta`]. Derefs to the meta, so `lc.forest` etc. work.
+#[derive(Clone, Debug)]
+pub struct LoopControlled {
+    /// The transformed CFG, containing `LoopEntry`/`LoopExit` statements.
+    pub cfg: Cfg,
+    /// Forest and inserted-node bookkeeping.
+    pub meta: LoopControlMeta,
+}
+
+impl std::ops::Deref for LoopControlled {
+    type Target = LoopControlMeta;
+    fn deref(&self) -> &LoopControlMeta {
+        &self.meta
+    }
+}
+
 /// Insert loop-entry and loop-exit statements for every cyclic interval.
 ///
 /// Fails with [`Irreducible`] if the CFG has a multi-entry cycle; call
 /// [`split_irreducible`] first in that case.
+///
+/// This convenience form leaves the caller's CFG untouched, so the clone
+/// is inherent to its signature; the translation pipeline uses
+/// [`insert_loop_control_in_place`] and pays no copy.
 pub fn insert_loop_control(cfg: &Cfg) -> Result<LoopControlled, Irreducible> {
     let forest = LoopForest::compute(cfg)?;
     let mut out = cfg.clone();
+    let (entry_node, exit_nodes) = insert_loop_control_body(&mut out, &forest);
+    debug_assert!(out.validate().is_ok(), "loop control broke CFG invariants");
+    Ok(LoopControlled { cfg: out, meta: LoopControlMeta { forest, entry_node, exit_nodes } })
+}
 
-    // Step 1: place loop-exit chains. For every edge, collect the loops it
+/// [`insert_loop_control`] applied to a [`FunctionContext`]'s CFG in
+/// place. Takes the loop forest from the analysis cache (a reducibility
+/// check earlier in the pipeline already computed it), mutates the graph
+/// under [`Preserved::VALIDITY`] — insertion keeps the CFG well-formed,
+/// everything else is invalidated — and skips the revision bump entirely
+/// on loop-free graphs, where it would change nothing.
+pub fn insert_loop_control_in_place(
+    fctx: &mut FunctionContext,
+) -> Result<LoopControlMeta, Irreducible> {
+    let forest: LoopForest = (*fctx.loop_forest()?).clone();
+    if forest.is_empty() {
+        return Ok(LoopControlMeta { forest, entry_node: Vec::new(), exit_nodes: Vec::new() });
+    }
+    let (entry_node, exit_nodes) =
+        fctx.mutate(Preserved::VALIDITY, |cfg| insert_loop_control_body(cfg, &forest));
+    debug_assert!(fctx.cfg().validate().is_ok(), "loop control broke CFG invariants");
+    Ok(LoopControlMeta { forest, entry_node, exit_nodes })
+}
+
+/// The insertion itself, applied in place. `out` must be the graph the
+/// forest was computed on.
+fn insert_loop_control_body(out: &mut Cfg, forest: &LoopForest) -> (Vec<NodeId>, Vec<Vec<NodeId>>) {
+    // Step 1: place loop-exit chains. For every edge of the *original*
+    // graph (snapshotted before any splitting), collect the loops it
     // exits (from innermost to outermost) and split the edge with one
     // loop-exit node per level.
+    let original_edges: Vec<(NodeId, usize, NodeId)> = out.edges().collect();
     let mut exit_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); forest.len()];
-    for (from, idx, to) in cfg.edges() {
+    for (from, idx, to) in original_edges {
         // Loops exited: loops containing `from` but not `to`. `forest.iter()`
         // yields innermost (smallest) loops first, which is the order the
         // exits must be chained in.
@@ -90,13 +139,7 @@ pub fn insert_loop_control(cfg: &Cfg) -> Result<LoopControlled, Irreducible> {
         entry_node.push(le);
     }
 
-    debug_assert!(out.validate().is_ok(), "loop control broke CFG invariants");
-    Ok(LoopControlled {
-        cfg: out,
-        forest,
-        entry_node,
-        exit_nodes,
-    })
+    (entry_node, exit_nodes)
 }
 
 /// Make an irreducible CFG reducible by node splitting ("code copying"),

@@ -39,6 +39,7 @@
 
 pub mod lines;
 pub mod optimized;
+pub mod pass;
 pub mod pipeline;
 pub mod source_vec;
 pub mod stmt_tr;
@@ -47,5 +48,8 @@ pub mod transform;
 pub mod translator;
 
 pub use lines::{LineId, LineMode, Lines};
-pub use pipeline::{translate, Schema, TranslateError, TranslateOptions, Translated};
+pub use pass::{render_pass_table, Pass, PassCtx, PassManager, PassRecord};
+pub use pipeline::{
+    translate, translate_cfg, Schema, TranslateError, TranslateOptions, Translated,
+};
 pub use switch_place::SwitchPlacement;

@@ -7,9 +7,10 @@ use crate::source_vec::{SourceVectors, SvSrc};
 use crate::stmt_tr::{translate_fork, StmtCtx};
 use crate::switch_place::SwitchPlacement;
 use crate::translator::{Built, LineOps};
+use cf2df_cfg::intervals::Irreducible;
 use cf2df_cfg::loop_control::LoopControlled;
 use cf2df_cfg::reach::topo_order_ignoring_backedges;
-use cf2df_cfg::{LoopForest, NodeId, OutDir, Stmt};
+use cf2df_cfg::{Cfg, FunctionContext, LoopForest, NodeId, OutDir, Stmt};
 use cf2df_dfg::build::merge as merge_build;
 use cf2df_dfg::{ArcKind, Dfg, OpKind, Port};
 use std::collections::HashMap;
@@ -22,18 +23,50 @@ fn arc_kind(lines: &Lines, l: LineId) -> ArcKind {
 }
 
 /// Build the optimized dataflow graph for a loop-controlled CFG.
-pub fn construct(lc: &LoopControlled, lines: &Lines) -> Built {
+///
+/// An irreducible CFG is a diagnosable input error, not a programming
+/// error, so it surfaces as `Err` rather than a panic.
+pub fn construct(lc: &LoopControlled, lines: &Lines) -> Result<Built, Irreducible> {
     let sp = SwitchPlacement::compute(lc, lines);
     construct_with(lc, lines, &sp)
 }
 
 /// As [`construct`], reusing a precomputed switch placement.
-pub fn construct_with(lc: &LoopControlled, lines: &Lines, sp: &SwitchPlacement) -> Built {
-    let sv = SourceVectors::compute(lc, lines, sp);
+pub fn construct_with(
+    lc: &LoopControlled,
+    lines: &Lines,
+    sp: &SwitchPlacement,
+) -> Result<Built, Irreducible> {
+    let sv = SourceVectors::compute(lc, lines, sp)?;
     let cfg = &lc.cfg;
-    let forest = LoopForest::compute(cfg).expect("reducible");
+    let forest = LoopForest::compute(cfg)?;
     let backedges = forest.backedge_indices(cfg);
     let order = topo_order_ignoring_backedges(cfg, &backedges);
+    Ok(construct_body(cfg, lines, sp, &sv, &order))
+}
+
+/// [`construct`] drawing the topological order from a
+/// [`FunctionContext`]'s cache and reusing precomputed switch placement
+/// and source vectors (the pass manager computes those as their own
+/// stages).
+pub fn construct_cached(
+    fctx: &mut FunctionContext,
+    lines: &Lines,
+    sp: &SwitchPlacement,
+    sv: &SourceVectors,
+) -> Result<Built, Irreducible> {
+    let order = fctx.topo_order()?;
+    Ok(construct_body(fctx.cfg(), lines, sp, sv, &order))
+}
+
+/// The §4.2 construction core, parameterized over precomputed analyses.
+fn construct_body(
+    cfg: &Cfg,
+    lines: &Lines,
+    sp: &SwitchPlacement,
+    sv: &SourceVectors,
+    order: &[NodeId],
+) -> Built {
     let n_lines = lines.n();
 
     let mut g = Dfg::new();
@@ -51,7 +84,7 @@ pub fn construct_with(lc: &LoopControlled, lines: &Lines, sp: &SwitchPlacement) 
             .unwrap_or_else(|| panic!("unresolved source {s:?} for {l:?}"))
     };
 
-    for &n in &order {
+    for &n in order {
         match cfg.stmt(n) {
             Stmt::Start => {
                 for l in lines.ids() {
@@ -221,7 +254,7 @@ mod tests {
         let lc = insert_loop_control(&parsed.cfg).unwrap();
         let cover = Cover::build(&CoverStrategy::Singletons, &parsed.alias);
         let lines = Lines::new(&lc.cfg.vars, &parsed.alias, &cover, elim);
-        construct(&lc, &lines)
+        construct(&lc, &lines).unwrap()
     }
 
     #[test]
@@ -250,8 +283,8 @@ mod tests {
         let lc = insert_loop_control(&parsed.cfg).unwrap();
         let cover = Cover::build(&CoverStrategy::Singletons, &parsed.alias);
         let lines = Lines::new(&lc.cfg.vars, &parsed.alias, &cover, false);
-        let full = crate::translator::translate_full(&lc.cfg, &lines);
-        let opt = construct(&lc, &lines);
+        let full = crate::translator::translate_full(&lc.cfg, &lines).unwrap();
+        let opt = construct(&lc, &lines).unwrap();
         let s_full = cf2df_dfg::DfgStats::of(&full.dfg).switches;
         let s_opt = cf2df_dfg::DfgStats::of(&opt.dfg).switches;
         assert_eq!(s_full, 4, "Schema 2 switches all four variables");

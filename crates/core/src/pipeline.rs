@@ -1,11 +1,28 @@
 //! One-call translation pipeline: CFG → (node splitting) → loop control →
 //! schema translation → §6 transforms.
+//!
+//! The pipeline is a sequence of named [`Pass`] stages run by a
+//! [`PassManager`] over a single [`PassCtx`]: the CFG is owned by a
+//! [`FunctionContext`] whose analysis cache memoizes dominators,
+//! postdominators, control dependence, the loop forest, topological
+//! order, predecessor lists, validity, and alias covers. Stages that
+//! mutate the CFG (node splitting, loop-control insertion) bump its
+//! revision and invalidate only what they can change; every other stage
+//! reads analyses through the cache, so one full translation computes
+//! each analysis at most once per CFG revision.
 
 use crate::lines::Lines;
-use crate::translator::{translate_full, Built};
+use crate::pass::{Pass, PassCtx, PassManager, PassRecord};
+use crate::source_vec::SourceVectors;
+use crate::switch_place::SwitchPlacement;
+use crate::translator::translate_full_cached;
 use cf2df_cfg::intervals::Irreducible;
-use cf2df_cfg::loop_control::{insert_loop_control, split_irreducible, LoopControlled};
-use cf2df_cfg::{AliasStructure, Cfg, CfgError, Cover, CoverStrategy, LoopForest};
+use cf2df_cfg::loop_control::{
+    insert_loop_control_in_place, split_irreducible, LoopControlMeta,
+};
+use cf2df_cfg::{
+    AliasStructure, CacheStats, Cfg, CfgError, CoverStrategy, FunctionContext, Preserved,
+};
 use cf2df_dfg::{Dfg, DfgStats};
 use std::fmt;
 
@@ -110,6 +127,15 @@ impl TranslateOptions {
             forward_stores: true,
             cleanup: true,
             ..Self::schema2()
+        }
+    }
+
+    /// `full_parallel` but over Schema 3 singleton covers (works with
+    /// aliasing).
+    pub fn full_parallel_schema3() -> Self {
+        TranslateOptions {
+            schema: Schema::Three(CoverStrategy::Singletons),
+            ..Self::full_parallel()
         }
     }
 
@@ -218,13 +244,20 @@ pub struct Translated {
     /// insertion).
     pub cfg: Cfg,
     /// Loop-control metadata, when loop control was inserted.
-    pub loop_controlled: Option<LoopControlled>,
+    pub loop_control: Option<LoopControlMeta>,
     /// The token-line structure used.
     pub lines: Lines,
     /// Operator bookkeeping from the construction.
     pub ops: crate::translator::LineOps,
     /// Graph statistics.
     pub stats: DfgStats,
+    /// Per-pass instrumentation (always on): name, wall time, analyses
+    /// computed vs. served from cache, CFG/DFG sizes in and out.
+    pub passes: Vec<PassRecord>,
+    /// Cumulative analysis-cache counters for the whole translation.
+    pub cache_stats: CacheStats,
+    /// How many times the CFG was mutated (its final revision stamp).
+    pub revisions: u64,
     /// Number of §6.2 load chains parallelized.
     pub read_chains_parallelized: usize,
     /// §6.3 sites rewritten.
@@ -237,91 +270,299 @@ pub struct Translated {
     pub ops_cleaned: usize,
 }
 
+// ---------------------------------------------------------------------------
+// The passes.
+
+/// Checks the §2.1 CFG invariants (memoized as the `validity` analysis).
+struct ValidatePass;
+impl Pass for ValidatePass {
+    fn name(&self) -> &'static str {
+        "validate"
+    }
+    fn run(&mut self, ctx: &mut PassCtx) -> Result<(), TranslateError> {
+        ctx.fctx.validate().map_err(TranslateError::Cfg)
+    }
+}
+
+/// Resolves the schema to a cover strategy, rejects inconsistent options,
+/// and builds the token-line structure.
+struct BuildLinesPass;
+impl Pass for BuildLinesPass {
+    fn name(&self) -> &'static str {
+        "lines"
+    }
+    fn run(&mut self, ctx: &mut PassCtx) -> Result<(), TranslateError> {
+        let strategy = match &ctx.opts.schema {
+            Schema::One => CoverStrategy::SingleToken,
+            Schema::Two => {
+                if !ctx.fctx.alias().is_identity() {
+                    return Err(TranslateError::AliasingRequiresSchema3);
+                }
+                CoverStrategy::Singletons
+            }
+            Schema::Three(c) => c.clone(),
+        };
+        if ctx.opts.optimized && !ctx.opts.loop_control {
+            return Err(TranslateError::OptimizedNeedsLoopControl);
+        }
+        let cover = ctx.fctx.cover(&strategy);
+        let lines = Lines::new(
+            &ctx.fctx.cfg().vars,
+            ctx.fctx.alias(),
+            &cover,
+            ctx.opts.eliminate_memory,
+        )
+        .with_flat_synch(ctx.opts.flat_synch);
+        ctx.lines = Some(lines);
+        Ok(())
+    }
+}
+
+/// Ensures the CFG is reducible, node-splitting it if allowed. The loop
+/// forest computed for the test stays in the cache for every later stage.
+struct ReducibilityPass;
+impl Pass for ReducibilityPass {
+    fn name(&self) -> &'static str {
+        "reducibility"
+    }
+    fn run(&mut self, ctx: &mut PassCtx) -> Result<(), TranslateError> {
+        if let Err(e) = ctx.fctx.loop_forest() {
+            if !ctx.opts.split_irreducible {
+                return Err(TranslateError::Irreducible(e));
+            }
+            let split = split_irreducible(ctx.fctx.cfg()).map_err(TranslateError::Irreducible)?;
+            ctx.fctx.replace_cfg(split, Preserved::VALIDITY);
+        }
+        Ok(())
+    }
+}
+
+/// Inserts §3 loop-control statements in place, bumping the CFG revision.
+struct LoopControlPass;
+impl Pass for LoopControlPass {
+    fn name(&self) -> &'static str {
+        "loop-control"
+    }
+    fn run(&mut self, ctx: &mut PassCtx) -> Result<(), TranslateError> {
+        let meta =
+            insert_loop_control_in_place(&mut ctx.fctx).map_err(TranslateError::Irreducible)?;
+        ctx.loop_control = Some(meta);
+        Ok(())
+    }
+}
+
+/// Computes the §4 switch placement (Theorem 1 / Fig 10).
+struct SwitchPlacementPass;
+impl Pass for SwitchPlacementPass {
+    fn name(&self) -> &'static str {
+        "switch-placement"
+    }
+    fn run(&mut self, ctx: &mut PassCtx) -> Result<(), TranslateError> {
+        let sp = SwitchPlacement::compute_cached(
+            &mut ctx.fctx,
+            ctx.loop_control.as_ref().expect("loop-control pass ran"),
+            ctx.lines.as_ref().expect("lines pass ran"),
+        );
+        ctx.switch_placement = Some(sp);
+        Ok(())
+    }
+}
+
+/// Computes the §4 source vectors (Fig 11).
+struct SourceVectorsPass;
+impl Pass for SourceVectorsPass {
+    fn name(&self) -> &'static str {
+        "source-vectors"
+    }
+    fn run(&mut self, ctx: &mut PassCtx) -> Result<(), TranslateError> {
+        let sv = SourceVectors::compute_cached(
+            &mut ctx.fctx,
+            ctx.loop_control.as_ref().expect("loop-control pass ran"),
+            ctx.lines.as_ref().expect("lines pass ran"),
+            ctx.switch_placement.as_ref().expect("switch-placement pass ran"),
+        )
+        .map_err(TranslateError::Irreducible)?;
+        ctx.source_vectors = Some(sv);
+        Ok(())
+    }
+}
+
+/// The §4.2 optimized direct construction.
+struct ConstructOptimizedPass;
+impl Pass for ConstructOptimizedPass {
+    fn name(&self) -> &'static str {
+        "construct-optimized"
+    }
+    fn run(&mut self, ctx: &mut PassCtx) -> Result<(), TranslateError> {
+        let built = crate::optimized::construct_cached(
+            &mut ctx.fctx,
+            ctx.lines.as_ref().expect("lines pass ran"),
+            ctx.switch_placement.as_ref().expect("switch-placement pass ran"),
+            ctx.source_vectors.as_ref().expect("source-vectors pass ran"),
+        )
+        .map_err(TranslateError::Irreducible)?;
+        ctx.built = Some(built);
+        Ok(())
+    }
+}
+
+/// The straightforward schema translation (§2.3/§3/§5).
+struct TranslateFullPass;
+impl Pass for TranslateFullPass {
+    fn name(&self) -> &'static str {
+        "translate-full"
+    }
+    fn run(&mut self, ctx: &mut PassCtx) -> Result<(), TranslateError> {
+        let built =
+            translate_full_cached(&mut ctx.fctx, ctx.lines.as_ref().expect("lines pass ran"))
+                .map_err(TranslateError::Irreducible)?;
+        ctx.built = Some(built);
+        Ok(())
+    }
+}
+
+/// §6.3 / Fig 14 array-store parallelization.
+struct ArrayParallelizePass;
+impl Pass for ArrayParallelizePass {
+    fn name(&self) -> &'static str {
+        "array-parallelize"
+    }
+    fn run(&mut self, ctx: &mut PassCtx) -> Result<(), TranslateError> {
+        let applied = crate::transform::parallelize_array_stores(
+            ctx.built.as_mut().expect("construction pass ran"),
+            ctx.fctx.cfg(),
+            ctx.loop_control.as_ref().expect("loop-control pass ran"),
+            ctx.lines.as_ref().expect("lines pass ran"),
+        );
+        ctx.array_sites_parallelized = applied.len();
+        Ok(())
+    }
+}
+
+/// §6.2 read parallelization.
+struct ReadParallelizePass;
+impl Pass for ReadParallelizePass {
+    fn name(&self) -> &'static str {
+        "read-parallelize"
+    }
+    fn run(&mut self, ctx: &mut PassCtx) -> Result<(), TranslateError> {
+        ctx.read_chains_parallelized =
+            crate::transform::parallelize_reads(&mut ctx.built_mut().dfg);
+        Ok(())
+    }
+}
+
+/// §6.2 store-to-load forwarding.
+struct ForwardStoresPass;
+impl Pass for ForwardStoresPass {
+    fn name(&self) -> &'static str {
+        "forward-stores"
+    }
+    fn run(&mut self, ctx: &mut PassCtx) -> Result<(), TranslateError> {
+        let built = ctx.built_mut();
+        let (n, map) = crate::transform::forward_stores(&mut built.dfg);
+        built.ops.remap(&map);
+        ctx.stores_forwarded = n;
+        Ok(())
+    }
+}
+
+/// Dataflow-IR cleanup: common-subexpression then dead-code elimination.
+struct CleanupPass;
+impl Pass for CleanupPass {
+    fn name(&self) -> &'static str {
+        "cleanup"
+    }
+    fn run(&mut self, ctx: &mut PassCtx) -> Result<(), TranslateError> {
+        let built = ctx.built_mut();
+        let (c, map) = crate::transform::eliminate_common_subexpressions(&mut built.dfg);
+        built.ops.remap(&map);
+        let (d, map) = crate::transform::eliminate_dead_code(&mut built.dfg);
+        built.ops.remap(&map);
+        ctx.ops_cleaned = c + d;
+        Ok(())
+    }
+}
+
+/// §6.3 I-structure conversion for the opted-in arrays.
+struct IStructurePass;
+impl Pass for IStructurePass {
+    fn name(&self) -> &'static str {
+        "istructure"
+    }
+    fn run(&mut self, ctx: &mut PassCtx) -> Result<(), TranslateError> {
+        let ids: Vec<cf2df_cfg::VarId> = ctx
+            .opts
+            .istructure_arrays
+            .iter()
+            .filter_map(|name| ctx.fctx.cfg().vars.lookup(name))
+            .collect();
+        let built = ctx.built.as_mut().expect("construction pass ran");
+        let (n, map) = crate::transform::convert_arrays(&mut built.dfg, &ids);
+        built.ops.remap(&map);
+        ctx.istructure_ops = n;
+        Ok(())
+    }
+}
+
+/// Assemble the pass schedule for `opts`. Disabled stages are simply not
+/// scheduled, so the record list names exactly the stages that ran.
+fn schedule(opts: &TranslateOptions) -> PassManager {
+    let mut pm = PassManager::new();
+    pm.add(ValidatePass).add(BuildLinesPass).add(ReducibilityPass);
+    if opts.loop_control {
+        pm.add(LoopControlPass);
+    }
+    if opts.optimized {
+        pm.add(SwitchPlacementPass)
+            .add(SourceVectorsPass)
+            .add(ConstructOptimizedPass);
+    } else {
+        pm.add(TranslateFullPass);
+    }
+    if opts.parallelize_array_stores && opts.loop_control {
+        pm.add(ArrayParallelizePass);
+    }
+    if opts.parallelize_reads {
+        pm.add(ReadParallelizePass);
+    }
+    if opts.forward_stores {
+        pm.add(ForwardStoresPass);
+    }
+    if opts.cleanup {
+        pm.add(CleanupPass);
+    }
+    if !opts.istructure_arrays.is_empty() {
+        pm.add(IStructurePass);
+    }
+    pm
+}
+
 /// Translate a control-flow graph into a dataflow graph.
+///
+/// Borrowed-input convenience over [`translate_cfg`]: the caller keeps
+/// their graph, so this copies it once at the API boundary — the only
+/// CFG copy in the whole pipeline.
 pub fn translate(
     cfg: &Cfg,
     alias: &AliasStructure,
     opts: &TranslateOptions,
 ) -> Result<Translated, TranslateError> {
-    cfg.validate().map_err(TranslateError::Cfg)?;
-    let cover_strategy = match &opts.schema {
-        Schema::One => CoverStrategy::SingleToken,
-        Schema::Two => {
-            if !alias.is_identity() {
-                return Err(TranslateError::AliasingRequiresSchema3);
-            }
-            CoverStrategy::Singletons
-        }
-        Schema::Three(c) => c.clone(),
-    };
-    if opts.optimized && !opts.loop_control {
-        return Err(TranslateError::OptimizedNeedsLoopControl);
-    }
+    translate_cfg(cfg.clone(), alias.clone(), opts)
+}
 
-    // Reducibility (with optional node splitting).
-    let working: Cfg = if LoopForest::compute(cfg).is_ok() {
-        cfg.clone()
-    } else if opts.split_irreducible {
-        split_irreducible(cfg).map_err(TranslateError::Irreducible)?
-    } else {
-        return Err(TranslateError::Irreducible(
-            LoopForest::compute(cfg).unwrap_err(),
-        ));
-    };
+/// Translate an owned control-flow graph into a dataflow graph without
+/// copying it: the pass manager mutates it in place (node splitting,
+/// loop-control insertion) and returns it in [`Translated::cfg`].
+pub fn translate_cfg(
+    cfg: Cfg,
+    alias: AliasStructure,
+    opts: &TranslateOptions,
+) -> Result<Translated, TranslateError> {
+    let mut ctx = PassCtx::new(FunctionContext::new(cfg, alias), opts);
+    let passes = schedule(opts).run(&mut ctx)?;
 
-    let cover = Cover::build(&cover_strategy, alias);
-    let lines = Lines::new(&working.vars, alias, &cover, opts.eliminate_memory)
-        .with_flat_synch(opts.flat_synch);
-
-    let (built, final_cfg, lc): (Built, Cfg, Option<LoopControlled>) = if opts.loop_control {
-        let lc = insert_loop_control(&working).map_err(TranslateError::Irreducible)?;
-        let built = if opts.optimized {
-            crate::optimized::construct(&lc, &lines)
-        } else {
-            translate_full(&lc.cfg, &lines)
-        };
-        (built, lc.cfg.clone(), Some(lc))
-    } else {
-        (translate_full(&working, &lines), working, None)
-    };
-
-    let mut built = built;
-    let mut array_sites = 0;
-    if opts.parallelize_array_stores {
-        if let Some(lc) = &lc {
-            array_sites = crate::transform::parallelize_array_stores(&mut built, lc, &lines).len();
-        }
-    }
-    let mut read_chains = 0;
-    if opts.parallelize_reads {
-        read_chains = crate::transform::parallelize_reads(&mut built.dfg);
-    }
-    let mut stores_forwarded = 0;
-    if opts.forward_stores {
-        let (n, map) = crate::transform::forward_stores(&mut built.dfg);
-        stores_forwarded = n;
-        built.ops.remap(&map);
-    }
-    let mut ops_cleaned = 0;
-    if opts.cleanup {
-        let (c, map) = crate::transform::eliminate_common_subexpressions(&mut built.dfg);
-        built.ops.remap(&map);
-        let (d, map) = crate::transform::eliminate_dead_code(&mut built.dfg);
-        built.ops.remap(&map);
-        ops_cleaned = c + d;
-    }
-    let mut istructure_ops = 0;
-    if !opts.istructure_arrays.is_empty() {
-        let ids: Vec<cf2df_cfg::VarId> = opts
-            .istructure_arrays
-            .iter()
-            .filter_map(|name| final_cfg.vars.lookup(name))
-            .collect();
-        let (n, map) = crate::transform::convert_arrays(&mut built.dfg, &ids);
-        istructure_ops = n;
-        built.ops.remap(&map);
-    }
-
+    let built = ctx.built.take().expect("a construction pass always runs");
     let stats = DfgStats::of(&built.dfg);
     debug_assert!(
         cf2df_dfg::validate(&built.dfg).is_ok(),
@@ -330,28 +571,20 @@ pub fn translate(
     );
     Ok(Translated {
         dfg: built.dfg,
-        cfg: final_cfg,
-        loop_controlled: lc,
-        lines,
+        loop_control: ctx.loop_control,
+        lines: ctx.lines.take().expect("the lines pass always runs"),
         ops: built.ops,
         stats,
-        read_chains_parallelized: read_chains,
-        array_sites_parallelized: array_sites,
-        stores_forwarded,
-        istructure_ops,
-        ops_cleaned,
+        passes,
+        cache_stats: ctx.fctx.stats(),
+        revisions: ctx.fctx.revision(),
+        cfg: ctx.fctx.into_cfg(),
+        read_chains_parallelized: ctx.read_chains_parallelized,
+        array_sites_parallelized: ctx.array_sites_parallelized,
+        stores_forwarded: ctx.stores_forwarded,
+        istructure_ops: ctx.istructure_ops,
+        ops_cleaned: ctx.ops_cleaned,
     })
-}
-
-impl TranslateOptions {
-    /// `full_parallel` but over Schema 3 singleton covers (works with
-    /// aliasing).
-    pub fn full_parallel_schema3() -> Self {
-        TranslateOptions {
-            schema: Schema::Three(CoverStrategy::Singletons),
-            ..Self::full_parallel()
-        }
-    }
 }
 
 #[cfg(test)]
@@ -471,6 +704,72 @@ mod tests {
         let t = translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2()).unwrap();
         assert!(t.stats.ops > 0);
         assert!(t.stats.switches >= 2);
-        assert!(t.loop_controlled.is_some());
+        assert!(t.loop_control.is_some());
+    }
+
+    #[test]
+    fn pass_records_name_exactly_the_stages_that_ran() {
+        let parsed = parse_to_cfg(cf2df_lang::corpus::RUNNING_EXAMPLE).unwrap();
+        let t = translate(
+            &parsed.cfg,
+            &parsed.alias,
+            &TranslateOptions::full_parallel_schema3(),
+        )
+        .unwrap();
+        let names: Vec<_> = t.passes.iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            [
+                "validate",
+                "lines",
+                "reducibility",
+                "loop-control",
+                "switch-placement",
+                "source-vectors",
+                "construct-optimized",
+                "array-parallelize",
+                "read-parallelize",
+                "forward-stores",
+                "cleanup",
+            ]
+        );
+        // The schedule shrinks with the options.
+        let t = translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2()).unwrap();
+        let names: Vec<_> = t.passes.iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            ["validate", "lines", "reducibility", "loop-control", "translate-full"]
+        );
+    }
+
+    #[test]
+    fn analyses_are_shared_across_passes() {
+        // Loop control inserts nodes (revision 0 → 1); afterwards every
+        // analysis is computed at most once, and the construction stages
+        // hit the cache instead of recomputing.
+        let parsed = parse_to_cfg(cf2df_lang::corpus::RUNNING_EXAMPLE).unwrap();
+        let t = translate(
+            &parsed.cfg,
+            &parsed.alias,
+            &TranslateOptions::full_parallel_schema3(),
+        )
+        .unwrap();
+        assert_eq!(t.revisions, 1, "only loop control mutates this CFG");
+        assert!(t.cache_stats.total_hits() > 0, "stages share analyses");
+        use cf2df_cfg::AnalysisKind::*;
+        for k in [Dominators, Postdominators, ControlDeps, LoopForest, TopoOrder, Preds] {
+            assert!(
+                t.cache_stats.computed_of(k) <= t.revisions + 1,
+                "{}: computed {} times across {} revisions",
+                k.name(),
+                t.cache_stats.computed_of(k),
+                t.revisions
+            );
+        }
+        // The §4 analyses are needed only after loop control, so exactly
+        // once each.
+        assert_eq!(t.cache_stats.computed_of(Postdominators), 1);
+        assert_eq!(t.cache_stats.computed_of(ControlDeps), 1);
+        assert_eq!(t.cache_stats.computed_of(TopoOrder), 1);
     }
 }

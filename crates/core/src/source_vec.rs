@@ -18,9 +18,10 @@
 
 use crate::lines::{LineId, Lines};
 use crate::switch_place::SwitchPlacement;
-use cf2df_cfg::loop_control::LoopControlled;
+use cf2df_cfg::intervals::Irreducible;
+use cf2df_cfg::loop_control::{LoopControlMeta, LoopControlled};
 use cf2df_cfg::reach::topo_order_ignoring_backedges;
-use cf2df_cfg::{DomTree, NodeId, OutDir, Stmt};
+use cf2df_cfg::{Cfg, DomTree, FunctionContext, LoopForest, NodeId, OutDir, Stmt};
 use std::collections::HashMap;
 
 /// One source of a token: a node and the out-direction it leaves along.
@@ -74,14 +75,50 @@ impl SourceVectors {
 
     /// Compute source vectors for a loop-controlled CFG under a switch
     /// placement.
-    pub fn compute(lc: &LoopControlled, lines: &Lines, sp: &SwitchPlacement) -> SourceVectors {
+    ///
+    /// An irreducible CFG is a diagnosable input error, not a programming
+    /// error, so it surfaces as `Err` rather than a panic.
+    pub fn compute(
+        lc: &LoopControlled,
+        lines: &Lines,
+        sp: &SwitchPlacement,
+    ) -> Result<SourceVectors, Irreducible> {
         let cfg = &lc.cfg;
         let pd = DomTree::postdominators(cfg);
-        let forest_backedges = {
-            let forest = cf2df_cfg::LoopForest::compute(cfg).expect("reducible");
-            forest.backedge_indices(cfg)
-        };
-        let order = topo_order_ignoring_backedges(cfg, &forest_backedges);
+        let forest = LoopForest::compute(cfg)?;
+        let backedges = forest.backedge_indices(cfg);
+        let order = topo_order_ignoring_backedges(cfg, &backedges);
+        Ok(Self::compute_with(cfg, &pd, &backedges, &order, &lc.meta, lines, sp))
+    }
+
+    /// [`Self::compute`] drawing postdominators, the loop forest, and the
+    /// topological order from a [`FunctionContext`]'s cache.
+    pub fn compute_cached(
+        fctx: &mut FunctionContext,
+        meta: &LoopControlMeta,
+        lines: &Lines,
+        sp: &SwitchPlacement,
+    ) -> Result<SourceVectors, Irreducible> {
+        let pd = fctx.postdominators();
+        let forest = fctx.loop_forest()?;
+        let order = fctx.topo_order()?;
+        let backedges = forest.backedge_indices(fctx.cfg());
+        Ok(Self::compute_with(fctx.cfg(), &pd, &backedges, &order, meta, lines, sp))
+    }
+
+    /// The Fig 11 forward pass, parameterized over precomputed analyses.
+    /// `backedges` are the backedge indices of the *current* (loop-
+    /// controlled) graph; `meta.forest` is the loop forest of the original
+    /// graph, used for containment queries on original node ids.
+    fn compute_with(
+        cfg: &Cfg,
+        pd: &DomTree,
+        forest_backedges: &[Vec<usize>],
+        order: &[NodeId],
+        meta: &LoopControlMeta,
+        lines: &Lines,
+        sp: &SwitchPlacement,
+    ) -> SourceVectors {
         let mut out = SourceVectors::default();
 
         // Route a source to a successor along a concrete out-edge,
@@ -90,7 +127,7 @@ impl SourceVectors {
         let is_back =
             |n: NodeId, idx: usize, be: &[Vec<usize>]| be[n.index()].contains(&idx);
 
-        for &n in &order {
+        for &n in order {
             match cfg.stmt(n) {
                 Stmt::Start => {
                     let s = cfg.succs(n)[0];
@@ -111,7 +148,7 @@ impl SourceVectors {
                 | Stmt::LoopEntry { .. }
                 | Stmt::Join => {
                     let s = cfg.succs(n)[0];
-                    let back = is_back(n, 0, &forest_backedges);
+                    let back = is_back(n, 0, forest_backedges);
                     let refs = sp.refs(n);
                     for l in lines.ids() {
                         let produced: Vec<SvSrc> = if refs.contains(&l) {
@@ -155,7 +192,7 @@ impl SourceVectors {
                     // at the loop; its tokens arrive from outside and take
                     // the forward port.)
                     let bypass_is_back = match cfg.stmt(p) {
-                        Stmt::LoopEntry { loop_id } => lc.forest.info(*loop_id).contains(n),
+                        Stmt::LoopEntry { loop_id } => meta.forest.info(*loop_id).contains(n),
                         _ => false,
                     };
                     let pred_lines: Vec<LineId> = {
@@ -175,7 +212,7 @@ impl SourceVectors {
                             for (i, &s) in cfg.succs(n).iter().enumerate() {
                                 let dir = OutDir::from_edge_index(i);
                                 let src = SvSrc { node: n, dir };
-                                if is_back(n, i, &forest_backedges) {
+                                if is_back(n, i, forest_backedges) {
                                     out.add_back(s, l, src);
                                 } else {
                                     out.add(s, l, src);
@@ -234,7 +271,7 @@ mod tests {
     #[test]
     fn fig9_x_token_bypasses_conditional() {
         let (lc, lines, sp) = setup(cf2df_lang::corpus::FIG9);
-        let sv = SourceVectors::compute(&lc, &lines, &sp);
+        let sv = SourceVectors::compute(&lc, &lines, &sp).unwrap();
         let cfg = &lc.cfg;
         let x = line_of(cfg, &lines, "x");
         // Find the second assignment to x (x := 0) and the first
@@ -258,7 +295,7 @@ mod tests {
     #[test]
     fn switched_lines_source_from_the_fork() {
         let (lc, lines, sp) = setup(cf2df_lang::corpus::FIG9);
-        let sv = SourceVectors::compute(&lc, &lines, &sp);
+        let sv = SourceVectors::compute(&lc, &lines, &sp).unwrap();
         let cfg = &lc.cfg;
         let y = line_of(cfg, &lines, "y");
         let fork = cfg
@@ -275,7 +312,7 @@ mod tests {
     #[test]
     fn loop_backedges_separated_from_entries() {
         let (lc, lines, sp) = setup(cf2df_lang::corpus::RUNNING_EXAMPLE);
-        let sv = SourceVectors::compute(&lc, &lines, &sp);
+        let sv = SourceVectors::compute(&lc, &lines, &sp).unwrap();
         let cfg = &lc.cfg;
         let le = lc.entry_node[0];
         let x = line_of(cfg, &lines, "x");
@@ -293,7 +330,7 @@ mod tests {
     fn every_line_reaches_end() {
         for (name, src) in cf2df_lang::corpus::all() {
             let (lc, lines, sp) = setup(src);
-            let sv = SourceVectors::compute(&lc, &lines, &sp);
+            let sv = SourceVectors::compute(&lc, &lines, &sp).unwrap();
             for l in lines.ids() {
                 assert!(
                     !sv.at(lc.cfg.end(), l).is_empty(),
@@ -310,7 +347,7 @@ mod tests {
         // element."
         for (name, src) in cf2df_lang::corpus::all() {
             let (lc, lines, sp) = setup(src);
-            let sv = SourceVectors::compute(&lc, &lines, &sp);
+            let sv = SourceVectors::compute(&lc, &lines, &sp).unwrap();
             let cfg = &lc.cfg;
             for n in cfg.node_ids() {
                 match cfg.stmt(n) {
@@ -339,7 +376,7 @@ mod tests {
     #[test]
     fn unreferenced_line_goes_straight_to_end() {
         let (lc, lines, sp) = setup("alias q ~ q; x := 1; if x < 2 then { y := 1; } else { y := 2; }");
-        let sv = SourceVectors::compute(&lc, &lines, &sp);
+        let sv = SourceVectors::compute(&lc, &lines, &sp).unwrap();
         let cfg = &lc.cfg;
         let q = line_of(cfg, &lines, "q");
         let srcs = sv.at(cfg.end(), q);

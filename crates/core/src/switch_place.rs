@@ -14,8 +14,8 @@
 //! monotone fixpoint, computed here.
 
 use crate::lines::{LineId, Lines};
-use cf2df_cfg::loop_control::LoopControlled;
-use cf2df_cfg::{between, Cfg, ControlDeps, DomTree, NodeId, Stmt};
+use cf2df_cfg::loop_control::{LoopControlMeta, LoopControlled};
+use cf2df_cfg::{between, Cfg, ControlDeps, DomTree, FunctionContext, NodeId, Stmt};
 
 /// The per-line switch-placement and circulation solution.
 #[derive(Clone, Debug)]
@@ -73,10 +73,30 @@ impl SwitchPlacement {
 
     /// Compute switch placement and circulation for a loop-controlled CFG.
     pub fn compute(lc: &LoopControlled, lines: &Lines) -> SwitchPlacement {
-        let cfg = &lc.cfg;
-        let pd = DomTree::postdominators(cfg);
-        let cd = ControlDeps::compute(cfg, &pd);
-        let n_loops = lc.forest.len();
+        let pd = DomTree::postdominators(&lc.cfg);
+        let cd = ControlDeps::compute(&lc.cfg, &pd);
+        Self::compute_with(&lc.cfg, &cd, &lc.meta, lines)
+    }
+
+    /// [`Self::compute`] drawing control dependence (and its
+    /// postdominator input) from a [`FunctionContext`]'s cache.
+    pub fn compute_cached(
+        fctx: &mut FunctionContext,
+        meta: &LoopControlMeta,
+        lines: &Lines,
+    ) -> SwitchPlacement {
+        let cd = fctx.control_deps();
+        Self::compute_with(fctx.cfg(), &cd, meta, lines)
+    }
+
+    /// The Fig 10 fixpoint, parameterized over precomputed analyses.
+    fn compute_with(
+        cfg: &Cfg,
+        cd: &ControlDeps,
+        meta: &LoopControlMeta,
+        lines: &Lines,
+    ) -> SwitchPlacement {
+        let n_loops = meta.forest.len();
         let n_lines = lines.n();
 
         // Base references: statements' access-set lines.
@@ -87,7 +107,7 @@ impl SwitchPlacement {
 
         // circ starts as "referenced in the original loop body".
         let mut circ = vec![vec![false; n_lines]; n_loops];
-        for (lid, info) in lc.forest.iter() {
+        for (lid, info) in meta.forest.iter() {
             for &b in &info.body {
                 for &l in &base_refs[b.index()] {
                     circ[lid.index()][l.index()] = true;
@@ -105,6 +125,8 @@ impl SwitchPlacement {
                         .ids()
                         .filter(|l| circ[loop_id.index()][l.index()])
                         .collect(),
+                    // Owned copy: the table mixes these static entries
+                    // with per-iteration computed ones above.
                     _ => base_refs[n.index()].clone(),
                 })
                 .collect();
@@ -131,7 +153,7 @@ impl SwitchPlacement {
             // upward closure (a line circulating in an inner loop must
             // circulate in every enclosing loop).
             let mut changed = false;
-            for (lid, info) in lc.forest.iter() {
+            for (lid, info) in meta.forest.iter() {
                 for &b in &info.body {
                     if !cfg.stmt(b).is_fork() || b == cfg.start() {
                         continue;
@@ -144,8 +166,10 @@ impl SwitchPlacement {
                     }
                 }
             }
-            for (lid, info) in lc.forest.iter() {
+            for (lid, info) in meta.forest.iter() {
                 if let Some(parent) = info.parent {
+                    // Snapshot the inner loop's row: the parent's row in
+                    // the same table is mutated below.
                     let inner = circ[lid.index()].clone();
                     for (li, inner_has) in inner.iter().enumerate() {
                         if *inner_has && !circ[parent.index()][li] {
@@ -284,7 +308,7 @@ mod tests {
         for (name, src) in cf2df_lang::corpus::all() {
             let (lc, lines) = setup(src);
             let sp = SwitchPlacement::compute(&lc, &lines);
-            let cfg = lc.cfg.clone();
+            let cfg = &lc.cfg;
             // Oracle uses the *fixpoint* reference sets (so circulation is
             // taken as given) — this checks the CD⁺ computation itself.
             let refs = |n: NodeId| sp.refs(n).to_vec();

@@ -16,8 +16,8 @@
 
 use crate::lines::{LineId, Lines};
 use crate::translator::Built;
-use cf2df_cfg::loop_control::LoopControlled;
-use cf2df_cfg::{BinOp, Expr, LValue, LoopId, NodeId, Stmt, VarId};
+use cf2df_cfg::loop_control::LoopControlMeta;
+use cf2df_cfg::{BinOp, Cfg, Expr, LValue, LoopId, NodeId, Stmt, VarId};
 use cf2df_dfg::{ArcKind, Dfg, OpId, OpKind, Port};
 
 /// An array-store site eligible for the Fig 14 rewrite.
@@ -50,10 +50,9 @@ fn is_affine_in(e: &Expr, i: VarId) -> bool {
 /// incremented by a nonzero constant exactly once per iteration — the body
 /// never loads `a`, the body is a single straight path (so the store runs
 /// on every iteration), and `a` is unaliased.
-pub fn find_eligible(lc: &LoopControlled, lines: &Lines) -> Vec<EligibleStore> {
-    let cfg = &lc.cfg;
+pub fn find_eligible(cfg: &Cfg, meta: &LoopControlMeta, lines: &Lines) -> Vec<EligibleStore> {
     let mut out = Vec::new();
-    for (loop_id, info) in lc.forest.iter() {
+    for (loop_id, info) in meta.forest.iter() {
         // Body must be a straight path: every non-fork body node has one
         // successor, and exactly one fork (the exit branch).
         let forks = info
@@ -65,7 +64,7 @@ pub fn find_eligible(lc: &LoopControlled, lines: &Lines) -> Vec<EligibleStore> {
             continue;
         }
         // No inner loops (keep the canonical Fig 14 shape).
-        if lc
+        if meta
             .forest
             .iter()
             .any(|(other, oi)| other != loop_id && info.body.contains(&oi.header))
@@ -173,8 +172,8 @@ struct Shape {
     lx: OpId,
 }
 
-fn match_shape(g: &Dfg, built: &Built, lc: &LoopControlled, site: &EligibleStore) -> Option<Shape> {
-    let le_node = lc.entry_node[site.loop_id.index()];
+fn match_shape(g: &Dfg, built: &Built, meta: &LoopControlMeta, site: &EligibleStore) -> Option<Shape> {
+    let le_node = meta.entry_node[site.loop_id.index()];
     let le = *built.ops.loop_entries.get(&(le_node, site.line))?;
     let outs = g.out_arcs();
     // LE.0 must feed exactly the store's access port.
@@ -224,13 +223,14 @@ fn match_shape(g: &Dfg, built: &Built, lc: &LoopControlled, site: &EligibleStore
 /// rewritten.
 pub fn parallelize_array_stores(
     built: &mut Built,
-    lc: &LoopControlled,
+    cfg: &Cfg,
+    meta: &LoopControlMeta,
     lines: &Lines,
 ) -> Vec<EligibleStore> {
-    let sites = find_eligible(lc, lines);
+    let sites = find_eligible(cfg, meta, lines);
     let mut applied = Vec::new();
     for site in sites {
-        let Some(shape) = match_shape(&built.dfg, built, lc, &site) else {
+        let Some(shape) = match_shape(&built.dfg, built, meta, &site) else {
             continue;
         };
         let g = &mut built.dfg;
@@ -280,7 +280,7 @@ mod tests {
     use cf2df_lang::parse_to_cfg;
     use cf2df_machine::{run, vonneumann, MachineConfig};
 
-    fn setup(src: &str) -> (LoopControlled, Lines, AliasStructure) {
+    fn setup(src: &str) -> (cf2df_cfg::loop_control::LoopControlled, Lines, AliasStructure) {
         let parsed = parse_to_cfg(src).unwrap();
         let lc = insert_loop_control(&parsed.cfg).unwrap();
         let cover = Cover::build(&CoverStrategy::Singletons, &parsed.alias);
@@ -291,7 +291,7 @@ mod tests {
     #[test]
     fn array_loop_is_eligible() {
         let (lc, lines, _) = setup(cf2df_lang::corpus::ARRAY_LOOP);
-        let sites = find_eligible(&lc, &lines);
+        let sites = find_eligible(&lc.cfg, &lc.meta, &lines);
         assert_eq!(sites.len(), 1);
         assert_eq!(
             lc.cfg.vars.name(sites[0].array),
@@ -311,7 +311,7 @@ mod tests {
               if i < 10 then { goto l; } else { goto end; }
         ";
         let (lc, lines, _) = setup(src);
-        assert!(find_eligible(&lc, &lines).is_empty());
+        assert!(find_eligible(&lc.cfg, &lc.meta, &lines).is_empty());
     }
 
     #[test]
@@ -325,7 +325,7 @@ mod tests {
               if i < 10 then { goto l; } else { goto end; }
         ";
         let (lc, lines, _) = setup(src);
-        assert!(find_eligible(&lc, &lines).is_empty());
+        assert!(find_eligible(&lc.cfg, &lc.meta, &lines).is_empty());
     }
 
     #[test]
@@ -339,7 +339,7 @@ mod tests {
               if i < 10 then { goto l; } else { goto end; }
         ";
         let (lc, lines, _) = setup(src);
-        assert!(find_eligible(&lc, &lines).is_empty());
+        assert!(find_eligible(&lc.cfg, &lc.meta, &lines).is_empty());
     }
 
     #[test]
@@ -351,12 +351,12 @@ mod tests {
         let lc = insert_loop_control(&parsed.cfg).unwrap();
         let cover = Cover::build(&CoverStrategy::Singletons, &parsed.alias);
         let lines = Lines::new(&lc.cfg.vars, &parsed.alias, &cover, true);
-        let mut built = crate::optimized::construct(&lc, &lines);
+        let mut built = crate::optimized::construct(&lc, &lines).unwrap();
         let layout = MemLayout::distinct(&lc.cfg.vars);
         let slow = MachineConfig::unbounded().mem_latency(40);
         let before = run(&built.dfg, &layout, slow.clone()).unwrap();
 
-        let applied = parallelize_array_stores(&mut built, &lc, &lines);
+        let applied = parallelize_array_stores(&mut built, &lc.cfg, &lc.meta, &lines);
         assert_eq!(applied.len(), 1);
         cf2df_dfg::validate(&built.dfg).unwrap();
         let after = run(&built.dfg, &layout, slow.clone()).unwrap();

@@ -10,8 +10,9 @@
 
 use crate::lines::{LineId, LineMode, Lines};
 use crate::stmt_tr::{translate_fork, StmtCtx};
+use cf2df_cfg::intervals::Irreducible;
 use cf2df_cfg::{
-    reach::topo_order_ignoring_backedges, Cfg, LoopForest, NodeId, Stmt,
+    reach::topo_order_ignoring_backedges, Cfg, FunctionContext, LoopForest, NodeId, Stmt,
 };
 use cf2df_dfg::build::merge as merge_build;
 use cf2df_dfg::{ArcKind, Dfg, OpId, OpKind, Port};
@@ -73,11 +74,37 @@ fn arc_kind(lines: &Lines, l: LineId) -> ArcKind {
 
 /// Translate with full token circulation. `first_op_range` of each node is
 /// recorded so rewrites can locate the ops of a statement.
-pub fn translate_full(cfg: &Cfg, lines: &Lines) -> Built {
-    let forest = LoopForest::compute(cfg).expect("reducible CFG required");
+///
+/// An irreducible CFG is a diagnosable input error, not a programming
+/// error, so it surfaces as `Err` rather than a panic.
+pub fn translate_full(cfg: &Cfg, lines: &Lines) -> Result<Built, Irreducible> {
+    let forest = LoopForest::compute(cfg)?;
     let backedges = forest.backedge_indices(cfg);
     let order = topo_order_ignoring_backedges(cfg, &backedges);
     let preds = cfg.preds();
+    Ok(translate_full_with(cfg, &forest, &order, &preds, lines))
+}
+
+/// [`translate_full`] drawing every supporting analysis from a
+/// [`FunctionContext`]'s cache.
+pub fn translate_full_cached(
+    fctx: &mut FunctionContext,
+    lines: &Lines,
+) -> Result<Built, Irreducible> {
+    let forest = fctx.loop_forest()?;
+    let order = fctx.topo_order()?;
+    let preds = fctx.preds();
+    Ok(translate_full_with(fctx.cfg(), &forest, &order, &preds, lines))
+}
+
+/// The translation core, parameterized over precomputed analyses.
+fn translate_full_with(
+    cfg: &Cfg,
+    forest: &LoopForest,
+    order: &[NodeId],
+    preds: &[Vec<(NodeId, usize)>],
+    lines: &Lines,
+) -> Built {
     let n_lines = lines.n();
 
     let mut g = Dfg::new();
@@ -129,7 +156,7 @@ pub fn translate_full(cfg: &Cfg, lines: &Lines) -> Built {
     // Source port of each (edge, line) as nodes are processed.
     let mut edge_src: HashMap<(NodeId, usize, LineId), Port> = HashMap::new();
 
-    for &n in &order {
+    for &n in order {
         // Gather inputs for this node.
         let mut cur: Vec<Option<Port>> = vec![None; n_lines];
         if n != cfg.start() && !matches!(cfg.stmt(n), Stmt::End) {
@@ -294,7 +321,7 @@ mod tests {
     fn straight_line_schema2_validates() {
         let parsed = parse_to_cfg("x := 1; y := x + 2;").unwrap();
         let lines = lines_for(&parsed.cfg, &parsed.alias, CoverStrategy::Singletons);
-        let built = translate_full(&parsed.cfg, &lines);
+        let built = translate_full(&parsed.cfg, &lines).unwrap();
         cf2df_dfg::validate(&built.dfg)
             .unwrap_or_else(|e| panic!("{e:?}\n{}", built.dfg.pretty()));
     }
@@ -306,12 +333,12 @@ mod tests {
         // machine detects that separately).
         let parsed = parse_to_cfg(cf2df_lang::corpus::RUNNING_EXAMPLE).unwrap();
         let lines = lines_for(&parsed.cfg, &parsed.alias, CoverStrategy::Singletons);
-        let built = translate_full(&parsed.cfg, &lines);
+        let built = translate_full(&parsed.cfg, &lines).unwrap();
         cf2df_dfg::validate(&built.dfg)
             .unwrap_or_else(|e| panic!("{e:?}\n{}", built.dfg.pretty()));
         // With loop control: loop entry/exit operators appear per line.
         let lc = cf2df_cfg::loop_control::insert_loop_control(&parsed.cfg).unwrap();
-        let built2 = translate_full(&lc.cfg, &lines);
+        let built2 = translate_full(&lc.cfg, &lines).unwrap();
         cf2df_dfg::validate(&built2.dfg).unwrap();
         let stats = cf2df_dfg::DfgStats::of(&built2.dfg);
         // 2 lines × (1 entry + 1 exit) = 4 loop-control ops.
@@ -322,7 +349,7 @@ mod tests {
     fn schema2_switches_every_line_at_every_fork() {
         let parsed = parse_to_cfg(cf2df_lang::corpus::FIG9).unwrap();
         let lines = lines_for(&parsed.cfg, &parsed.alias, CoverStrategy::Singletons);
-        let built = translate_full(&parsed.cfg, &lines);
+        let built = translate_full(&parsed.cfg, &lines).unwrap();
         let stats = cf2df_dfg::DfgStats::of(&built.dfg);
         // Fig 9 has 4 variables (x, w, y, z) and one fork: 4 switches.
         assert_eq!(stats.switches, 4);
@@ -333,7 +360,7 @@ mod tests {
     fn schema1_uses_single_line() {
         let parsed = parse_to_cfg(cf2df_lang::corpus::FIG9).unwrap();
         let lines = lines_for(&parsed.cfg, &parsed.alias, CoverStrategy::SingleToken);
-        let built = translate_full(&parsed.cfg, &lines);
+        let built = translate_full(&parsed.cfg, &lines).unwrap();
         let stats = cf2df_dfg::DfgStats::of(&built.dfg);
         assert_eq!(stats.switches, 1, "one token, one switch per fork");
         cf2df_dfg::validate(&built.dfg).unwrap();
@@ -346,8 +373,8 @@ mod tests {
         let parsed = parse_to_cfg(src2).unwrap();
         let l1 = lines_for(&parsed.cfg, &parsed.alias, CoverStrategy::SingleToken);
         let lv = lines_for(&parsed.cfg, &parsed.alias, CoverStrategy::Singletons);
-        let g1 = translate_full(&parsed.cfg, &l1);
-        let gv = translate_full(&parsed.cfg, &lv);
+        let g1 = translate_full(&parsed.cfg, &l1).unwrap();
+        let gv = translate_full(&parsed.cfg, &lv).unwrap();
         assert!(gv.dfg.arc_count() > g1.dfg.arc_count());
     }
 
@@ -358,7 +385,7 @@ mod tests {
         // access output feeds the next memory operation's access input.
         let parsed = parse_to_cfg("s := a + b + c;").unwrap();
         let lines = lines_for(&parsed.cfg, &parsed.alias, CoverStrategy::SingleToken);
-        let built = translate_full(&parsed.cfg, &lines);
+        let built = translate_full(&parsed.cfg, &lines).unwrap();
         let g = &built.dfg;
         // Collect the loads; each non-final load's access-out (port 1) must
         // feed exactly one memory op's access port.
@@ -389,7 +416,7 @@ mod tests {
         // start independently from their own lines.
         let parsed = parse_to_cfg("s := a + b + c;").unwrap();
         let lines = lines_for(&parsed.cfg, &parsed.alias, CoverStrategy::Singletons);
-        let built = translate_full(&parsed.cfg, &lines);
+        let built = translate_full(&parsed.cfg, &lines).unwrap();
         let g = &built.dfg;
         let ins = g.in_arcs();
         let start = g.start();
@@ -410,7 +437,7 @@ mod tests {
     fn empty_program_translates() {
         let parsed = parse_to_cfg("").unwrap();
         let lines = lines_for(&parsed.cfg, &parsed.alias, CoverStrategy::Singletons);
-        let built = translate_full(&parsed.cfg, &lines);
+        let built = translate_full(&parsed.cfg, &lines).unwrap();
         cf2df_dfg::validate(&built.dfg).unwrap();
         assert_eq!(built.dfg.len(), 2); // start + end
     }
@@ -419,7 +446,7 @@ mod tests {
     fn fortran_alias_collects_tokens() {
         let parsed = parse_to_cfg(cf2df_lang::corpus::FORTRAN_ALIAS).unwrap();
         let lines = lines_for(&parsed.cfg, &parsed.alias, CoverStrategy::Singletons);
-        let built = translate_full(&parsed.cfg, &lines);
+        let built = translate_full(&parsed.cfg, &lines).unwrap();
         cf2df_dfg::validate(&built.dfg).unwrap();
         let stats = cf2df_dfg::DfgStats::of(&built.dfg);
         assert!(stats.synchs > 0, "aliased ops must gather tokens");

@@ -13,24 +13,29 @@ cargo build --release --offline
 echo "==> tier-1: cargo test -q --offline"
 cargo test -q --offline
 
-echo "==> default features must be warning-free"
-RUSTFLAGS="-Dwarnings" cargo check --workspace --all-targets --offline
+echo "==> default features must be warning-free (full build, all targets)"
+RUSTFLAGS="-Dwarnings" cargo build --workspace --all-targets --offline
 
 echo "==> bench smoke: cf2df bench --quick + artifact validation"
 target/release/cf2df bench --quick --out-dir target/bench-smoke
 target/release/cf2df check-bench \
     target/bench-smoke/BENCH_pipeline.json \
-    target/bench-smoke/BENCH_executor.json
+    target/bench-smoke/BENCH_executor.json \
+    target/bench-smoke/BENCH_translate.json
 
 echo "==> bench regression gate: compare against committed quick baselines"
 # Fails on schema errors, >25% wall-clock regression (median, with a
-# 10 µs absolute floor), or any increase in deterministic counters.
+# 10 µs absolute floor), or any increase in deterministic counters
+# (for translate: analyses computed per run).
 target/release/cf2df check-bench \
     target/bench-smoke/BENCH_pipeline.json \
     --compare BENCH_pipeline.quick.json
 target/release/cf2df check-bench \
     target/bench-smoke/BENCH_executor.json \
     --compare BENCH_executor.quick.json
+target/release/cf2df check-bench \
+    target/bench-smoke/BENCH_translate.json \
+    --compare BENCH_translate.quick.json
 
 echo "==> best-effort: --all-features (proptest = 8x heavy property mode)"
 if cargo build --workspace --all-features --offline; then

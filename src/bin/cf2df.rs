@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cf2df cfg        <file.imp> [--dot]
-//! cf2df translate  <file.imp> [SCHEMA] [TRANSFORMS] [--dot | --emit <out.dfg>]
+//! cf2df translate  <file.imp> [SCHEMA] [TRANSFORMS] [--time-passes]
+//!                  [--dot | --emit <out.dfg>]
 //! cf2df run-graph  <file.dfg> [MACHINE]
 //! cf2df run        <file.imp> [SCHEMA] [TRANSFORMS] [MACHINE] [--trace]
 //! cf2df compare    <file.imp> [MACHINE]
@@ -20,10 +21,16 @@
 //! `<file.imp>` may be `-` for stdin, or the name of a built-in corpus
 //! program (e.g. `running_example`, `stencil`).
 //!
+//! `translate --time-passes` prints a per-pass table on stderr: wall
+//! time, analyses computed vs. served from the cache, and CFG/DFG sizes
+//! in and out of every pipeline stage.
+//!
 //! `bench` runs the canonical workloads through the simulator and the
-//! threaded executor at 1/2/4/8 workers and writes `BENCH_pipeline.json`
-//! and `BENCH_executor.json` (`--quick` shrinks workloads and timing
-//! budgets for CI smoke runs). `check-bench` validates artifact files
+//! threaded executor at 1/2/4/8 workers and writes `BENCH_pipeline.json`,
+//! `BENCH_executor.json`, and `BENCH_translate.json` — the last times the
+//! translation pipeline itself and records its deterministic pass/cache
+//! counters (`--quick` shrinks workloads and timing budgets for CI smoke
+//! runs). `check-bench` validates artifact files
 //! against the schema and exits non-zero on the first invalid one; with
 //! `--compare OLD.json` it additionally diffs the (single) artifact
 //! against the old baseline and fails on wall-clock regressions beyond
@@ -142,9 +149,10 @@ fn run_bench(quick: bool, out_dir: &str) {
         exit(2)
     });
     type Render = fn(bool) -> Result<String, String>;
-    let artifacts: [(&str, Render); 2] = [
+    let artifacts: [(&str, Render); 3] = [
         ("BENCH_pipeline.json", cf2df::bench::artifacts::pipeline_artifact),
         ("BENCH_executor.json", cf2df::bench::artifacts::executor_artifact),
+        ("BENCH_translate.json", cf2df::bench::artifacts::translate_artifact),
     ];
     for (name, render) in artifacts {
         let doc = render(quick).unwrap_or_else(|e| {
@@ -289,11 +297,15 @@ fn main() {
         "translate" => {
             let opts = parse_schema(&mut args);
             let dot = args.flag("--dot");
+            let time_passes = args.flag("--time-passes");
             let emit = args.value("--emit");
             let t = translate(&parsed.cfg, &parsed.alias, &opts).unwrap_or_else(|e| {
                 eprintln!("translation error: {e}");
                 exit(1)
             });
+            if time_passes {
+                eprint!("{}", cf2df::core::render_pass_table(&t.passes));
+            }
             eprintln!("{}", t.stats.summary());
             if let Some(path) = emit {
                 let text = cf2df::dfg::io::write_module(&t.dfg, &t.cfg.vars);

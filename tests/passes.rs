@@ -1,0 +1,277 @@
+//! Pass-manager and analysis-cache behavior: invalidation when the CFG
+//! mutates, the one-compute-per-revision discipline, and graph-identity
+//! of the pass-manager pipeline against the same stages composed by
+//! hand.
+//!
+//! The cache's stamp check (`debug_assert!` on a revision mismatch
+//! inside every slot) runs live in this suite — a stale analysis
+//! surviving an invalidation would panic any of these tests, not just
+//! the ones asserting counters.
+
+use cf2df::bench::workloads::{goto_soup, random_program, GenConfig};
+use cf2df::cfg::loop_control::{
+    insert_loop_control, insert_loop_control_in_place, split_irreducible,
+};
+use cf2df::cfg::{
+    AliasStructure, AnalysisKind, Cfg, Cover, CoverStrategy, FunctionContext, LoopForest,
+    Preserved,
+};
+use cf2df::core::pipeline::{translate, Schema, TranslateError, TranslateOptions};
+use cf2df::core::{lines::Lines, optimized, translator};
+use cf2df::dfg::Dfg;
+use cf2df::lang::parse_to_cfg;
+use cf2df::testkit;
+
+const STRUCTURAL: [AnalysisKind; 6] = [
+    AnalysisKind::Dominators,
+    AnalysisKind::Postdominators,
+    AnalysisKind::ControlDeps,
+    AnalysisKind::LoopForest,
+    AnalysisKind::TopoOrder,
+    AnalysisKind::Preds,
+];
+
+fn warm_everything(fctx: &mut FunctionContext) {
+    fctx.validate().unwrap();
+    let _ = fctx.dominators();
+    let _ = fctx.postdominators();
+    let _ = fctx.control_deps();
+    let _ = fctx.loop_forest().unwrap();
+    let _ = fctx.topo_order().unwrap();
+    let _ = fctx.preds();
+}
+
+/// Mutating the CFG through loop-control insertion invalidates every
+/// structural analysis (each is recomputed exactly once on next access)
+/// while the explicitly preserved validity analysis keeps serving hits.
+#[test]
+fn loop_control_insertion_invalidates_stale_analyses() {
+    let cfgen = GenConfig {
+        n_vars: 4,
+        n_arrays: 1,
+        block_len: 3,
+        max_depth: 2,
+        alias_percent: 0,
+        max_trip: 3,
+    };
+    testkit::cases("cache_invalidation", 32, |rng| {
+        let src = random_program(rng.next_u64(), &cfgen);
+        let parsed = parse_to_cfg(&src).unwrap();
+        let mut fctx = FunctionContext::new(parsed.cfg, parsed.alias);
+        warm_everything(&mut fctx);
+        let warm = fctx.stats();
+        warm_everything(&mut fctx);
+        assert_eq!(
+            fctx.stats().since(&warm).total_computed(),
+            0,
+            "re-access on an unchanged CFG must be pure cache hits\n{src}"
+        );
+
+        let meta = insert_loop_control_in_place(&mut fctx).unwrap();
+        if meta.forest.is_empty() {
+            assert_eq!(fctx.revision(), 0, "acyclic: no mutation, no invalidation");
+            return;
+        }
+        assert_eq!(fctx.revision(), 1, "one mutation, one revision bump");
+
+        let before = fctx.stats();
+        warm_everything(&mut fctx);
+        let delta = fctx.stats().since(&before);
+        for k in STRUCTURAL {
+            assert_eq!(
+                delta.computed_of(k),
+                1,
+                "{} must be recomputed after the CFG changed\n{src}",
+                k.name()
+            );
+        }
+        // Loop-control insertion only adds nodes on existing paths, so it
+        // declares validity preserved: served from cache across the bump.
+        assert_eq!(delta.computed_of(AnalysisKind::Validity), 0, "{src}");
+        assert!(delta.hits_of(AnalysisKind::Validity) >= 1, "{src}");
+    });
+}
+
+/// Node splitting replaces the CFG wholesale; even the memoized
+/// irreducibility *failure* must not survive the revision bump.
+#[test]
+fn node_splitting_invalidates_the_memoized_failure() {
+    testkit::cases("split_invalidation", 48, |rng| {
+        let src = goto_soup(rng.next_u64(), 6);
+        let Ok(parsed) = parse_to_cfg(&src) else { return };
+        let mut fctx = FunctionContext::for_cfg(parsed.cfg);
+        if fctx.loop_forest().is_ok() {
+            return; // only irreducible soups exercise the splitting path
+        }
+        // The failure is memoized: asking again is a hit, not a recompute.
+        let before = fctx.stats();
+        assert!(fctx.loop_forest().is_err());
+        let delta = fctx.stats().since(&before);
+        assert_eq!(delta.computed_of(AnalysisKind::LoopForest), 0, "{src}");
+        assert!(delta.hits_of(AnalysisKind::LoopForest) >= 1, "{src}");
+
+        let split = split_irreducible(fctx.cfg()).unwrap();
+        fctx.replace_cfg(split, Preserved::NONE);
+        assert_eq!(fctx.revision(), 1);
+        let before = fctx.stats();
+        fctx.loop_forest()
+            .expect("split CFG is reducible; the stale Err must be gone");
+        assert_eq!(
+            fctx.stats().since(&before).computed_of(AnalysisKind::LoopForest),
+            1,
+            "{src}"
+        );
+        fctx.validate().unwrap();
+    });
+}
+
+/// The acceptance gate: a full pipeline run (Schema 2/3 tokens, the §4
+/// optimized construction, all §6 transforms) computes each analysis at
+/// most once per CFG revision, on every corpus program.
+#[test]
+fn full_pipeline_computes_each_analysis_once_per_revision() {
+    for (name, src) in cf2df::lang::corpus::all() {
+        let parsed = parse_to_cfg(src).unwrap();
+        for (label, opts) in [
+            (
+                "optimized",
+                TranslateOptions::schema3(CoverStrategy::Singletons).with_optimized(true),
+            ),
+            ("full", TranslateOptions::full_parallel_schema3()),
+        ] {
+            let t = translate(&parsed.cfg, &parsed.alias, &opts)
+                .unwrap_or_else(|e| panic!("{name}/{label}: {e}"));
+            for k in STRUCTURAL {
+                assert!(
+                    t.cache_stats.computed_of(k) <= t.revisions + 1,
+                    "{name}/{label}: {} computed {} times over {} revisions",
+                    k.name(),
+                    t.cache_stats.computed_of(k),
+                    t.revisions
+                );
+            }
+            assert_eq!(
+                t.cache_stats.computed_of(AnalysisKind::Validity),
+                1,
+                "{name}/{label}: validity is checked once and preserved"
+            );
+            assert!(
+                t.cache_stats.total_hits() > 0,
+                "{name}/{label}: stages must share analyses through the cache"
+            );
+        }
+    }
+}
+
+/// The old pipeline, composed stage by stage: reducibility check with
+/// optional node splitting, token lines, loop-control insertion (the
+/// cloning convenience API), then the schema or optimized construction.
+fn reference_dfg(cfg: &Cfg, alias: &AliasStructure, opts: &TranslateOptions) -> Dfg {
+    let strategy = match &opts.schema {
+        Schema::One => CoverStrategy::SingleToken,
+        Schema::Two => CoverStrategy::Singletons,
+        Schema::Three(c) => c.clone(),
+    };
+    let working: Cfg = if LoopForest::compute(cfg).is_ok() {
+        cfg.clone()
+    } else {
+        split_irreducible(cfg).unwrap()
+    };
+    let cover = Cover::build(&strategy, alias);
+    let lines = Lines::new(&working.vars, alias, &cover, opts.eliminate_memory)
+        .with_flat_synch(opts.flat_synch);
+    if opts.loop_control {
+        let lc = insert_loop_control(&working).unwrap();
+        if opts.optimized {
+            optimized::construct(&lc, &lines).unwrap().dfg
+        } else {
+            translator::translate_full(&lc.cfg, &lines).unwrap().dfg
+        }
+    } else {
+        translator::translate_full(&working, &lines).unwrap().dfg
+    }
+}
+
+fn equivalence_configs() -> Vec<(&'static str, TranslateOptions)> {
+    vec![
+        ("schema1", TranslateOptions::schema1()),
+        ("schema2", TranslateOptions::schema2()),
+        (
+            "schema3-singletons",
+            TranslateOptions::schema3(CoverStrategy::Singletons),
+        ),
+        (
+            "schema3-aliasclasses",
+            TranslateOptions::schema3(CoverStrategy::AliasClasses),
+        ),
+        ("schema2-optimized", TranslateOptions::optimized()),
+        (
+            "schema3-optimized",
+            TranslateOptions::schema3(CoverStrategy::Singletons).with_optimized(true),
+        ),
+    ]
+}
+
+/// The pass-manager pipeline emits a graph *identical* (same operators,
+/// labels, and arcs, in the same order) to the hand-composed stage
+/// sequence, across the full corpus × Schemas 1–3 × optimized on/off.
+#[test]
+fn pass_manager_is_graph_identical_to_composed_stages() {
+    let corpus = cf2df::lang::corpus::all();
+    let mut checked = 0;
+    for (name, src) in &corpus {
+        let parsed = parse_to_cfg(src).unwrap();
+        for (label, opts) in equivalence_configs() {
+            let t = match translate(&parsed.cfg, &parsed.alias, &opts) {
+                Ok(t) => t,
+                // Schema 2 legitimately rejects aliasing programs; the
+                // schema3 configs cover those.
+                Err(TranslateError::AliasingRequiresSchema3) => continue,
+                Err(e) => panic!("{name}/{label}: {e}"),
+            };
+            let reference = reference_dfg(&parsed.cfg, &parsed.alias, &opts);
+            assert_eq!(
+                t.dfg.pretty(),
+                reference.pretty(),
+                "{name}/{label}: pass manager diverged from the composed stages"
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= corpus.len() * 4,
+        "equivalence coverage fell short: only {checked} combinations"
+    );
+}
+
+/// Same identity on random programs, beyond the fixed corpus.
+#[test]
+fn pass_manager_matches_composed_stages_on_random_programs() {
+    let cfgen = GenConfig {
+        n_vars: 4,
+        n_arrays: 1,
+        block_len: 3,
+        max_depth: 2,
+        alias_percent: 30,
+        max_trip: 3,
+    };
+    testkit::cases("pass_mgr_equiv", 32, |rng| {
+        let src = random_program(rng.next_u64(), &cfgen);
+        let parsed = parse_to_cfg(&src).unwrap();
+        for (label, opts) in [
+            (
+                "schema3",
+                TranslateOptions::schema3(CoverStrategy::Singletons),
+            ),
+            (
+                "schema3-optimized",
+                TranslateOptions::schema3(CoverStrategy::Singletons).with_optimized(true),
+            ),
+        ] {
+            let t = translate(&parsed.cfg, &parsed.alias, &opts)
+                .unwrap_or_else(|e| panic!("{label}: {e}\n{src}"));
+            let reference = reference_dfg(&parsed.cfg, &parsed.alias, &opts);
+            assert_eq!(t.dfg.pretty(), reference.pretty(), "{label}\n{src}");
+        }
+    });
+}
