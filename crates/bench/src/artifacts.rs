@@ -192,6 +192,15 @@ pub fn executor_artifact(quick: bool) -> Result<String, String> {
                     "workload {name} at {workers} workers: memory diverges from simulator"
                 ));
             }
+            // Benchmarked runs carry no fault plan: the chaos layer must
+            // be provably dormant (its tallies are always collected).
+            if out.metrics.chaos.total() != 0 {
+                return Err(format!(
+                    "workload {name} at {workers} workers: chaos faults injected on an \
+                     ordinary run: {:?}",
+                    out.metrics.chaos
+                ));
+            }
             outs.push(out);
         }
 

@@ -149,6 +149,32 @@ pub enum MachineError {
         /// Tokens left in run queues when the workers exited.
         leftover: u64,
     },
+    /// A worker thread panicked mid-run (an operator implementation — or
+    /// an injected fault, see [`crate::chaos`] — unwound). The pool is
+    /// halted and drained before this is returned; the host process never
+    /// aborts and the pool stays usable.
+    WorkerPanicked {
+        /// Index of the panicking worker, or `usize::MAX` if the panic
+        /// escaped the worker body and was only caught at the pool
+        /// boundary.
+        worker: usize,
+        /// The panic payload, rendered (non-string payloads are
+        /// summarized).
+        payload: String,
+    },
+    /// The tag (iteration-context) interner is full: a loop nest created
+    /// more distinct iteration contexts than the tag space can name.
+    TagSpaceExhausted {
+        /// Maximum representable tag id of the interner that overflowed.
+        cap: u32,
+    },
+    /// The wall-clock watchdog expired before the run completed or
+    /// failed: the executor exceeded its time bound without reaching a
+    /// verdict.
+    WatchdogTimeout {
+        /// The configured bound, in milliseconds.
+        millis: u64,
+    },
 }
 
 impl std::fmt::Display for MachineError {
@@ -170,6 +196,19 @@ impl std::fmt::Display for MachineError {
                 "executor invariant violation: {leftover} tokens left unprocessed \
                  without a recorded error"
             ),
+            MachineError::WorkerPanicked { worker, payload } => {
+                if *worker == usize::MAX {
+                    write!(f, "worker panicked: {payload}")
+                } else {
+                    write!(f, "worker {worker} panicked: {payload}")
+                }
+            }
+            MachineError::TagSpaceExhausted { cap } => {
+                write!(f, "tag space exhausted (cap {cap})")
+            }
+            MachineError::WatchdogTimeout { millis } => {
+                write!(f, "watchdog expired after {millis} ms")
+            }
         }
     }
 }
@@ -221,7 +260,36 @@ struct Slot {
     remaining: usize,
 }
 
-struct Sim<'g> {
+/// Compile-time switch for firing-trace collection. `run` instantiates
+/// the simulator with [`NoTrace`] (a zero-sized no-op), `run_traced` with
+/// a real [`crate::trace::Trace`]; the type system guarantees a traced
+/// run always has its trace — there is no `Option` to unwrap and no
+/// "tracing enabled" invariant to assert at runtime.
+trait TraceSink {
+    /// Whether events are recorded; `false` lets untraced runs skip even
+    /// rendering the tag string.
+    const ENABLED: bool;
+    /// Record one firing.
+    fn record(&mut self, time: u64, op: OpId, tag: String);
+}
+
+/// The sink for untraced runs: records nothing, costs nothing.
+struct NoTrace;
+
+impl TraceSink for NoTrace {
+    const ENABLED: bool = false;
+    #[inline]
+    fn record(&mut self, _time: u64, _op: OpId, _tag: String) {}
+}
+
+impl TraceSink for crate::trace::Trace {
+    const ENABLED: bool = true;
+    fn record(&mut self, time: u64, op: OpId, tag: String) {
+        self.events.push(crate::trace::TraceEvent { time, op, tag });
+    }
+}
+
+struct Sim<'g, S: TraceSink> {
     g: &'g Dfg,
     layout: &'g MemLayout,
     cfgc: MachineConfig,
@@ -238,15 +306,15 @@ struct Sim<'g> {
     mem: Memory<(OpId, TagId)>,
     stats: ExecStats,
     halted: bool,
-    trace: Option<crate::trace::Trace>,
+    trace: S,
 }
 
 /// Execute a dataflow graph to completion.
 pub fn run(g: &Dfg, layout: &MemLayout, config: MachineConfig) -> Result<Outcome, MachineError> {
-    let mut sim = Sim::new(g, layout, config);
+    let mut sim = Sim::new(g, layout, config, NoTrace);
     sim.seed();
     sim.main_loop()?;
-    sim.finish().map(|(o, _)| o)
+    Ok(sim.finish().0)
 }
 
 /// As [`run`], additionally recording a [`crate::trace::Trace`] of every
@@ -256,15 +324,14 @@ pub fn run_traced(
     layout: &MemLayout,
     config: MachineConfig,
 ) -> Result<(Outcome, crate::trace::Trace), MachineError> {
-    let mut sim = Sim::new(g, layout, config);
-    sim.trace = Some(crate::trace::Trace::default());
+    let mut sim = Sim::new(g, layout, config, crate::trace::Trace::default());
     sim.seed();
     sim.main_loop()?;
-    sim.finish().map(|(o, t)| (o, t.expect("tracing enabled")))
+    Ok(sim.finish())
 }
 
-impl<'g> Sim<'g> {
-    fn new(g: &'g Dfg, layout: &'g MemLayout, config: MachineConfig) -> Sim<'g> {
+impl<'g, S: TraceSink> Sim<'g, S> {
+    fn new(g: &'g Dfg, layout: &'g MemLayout, config: MachineConfig, sink: S) -> Sim<'g, S> {
         let mut dests: Vec<Vec<Vec<Port>>> = g
             .op_ids()
             .map(|o| vec![Vec::new(); g.kind(o).n_outputs()])
@@ -294,7 +361,7 @@ impl<'g> Sim<'g> {
             stats: ExecStats::default(),
             cfgc: config,
             halted: false,
-            trace: None,
+            trace: sink,
         }
     }
 
@@ -329,11 +396,15 @@ impl<'g> Sim<'g> {
             let budget = self.cfgc.processors.unwrap_or(usize::MAX);
             let n = self.ready.len().min(budget);
             for _ in 0..n {
-                let f = if self.cfgc.lifo {
-                    self.ready.pop_back().expect("counted")
+                // `n` was counted from `ready` above and firing only ever
+                // pushes, but pop defensively rather than unwrap: an
+                // early-empty queue ends the step instead of aborting.
+                let popped = if self.cfgc.lifo {
+                    self.ready.pop_back()
                 } else {
-                    self.ready.pop_front().expect("counted")
+                    self.ready.pop_front()
                 };
+                let Some(f) = popped else { break };
                 self.fire(f, now)?;
                 if self.halted {
                     break;
@@ -468,8 +539,19 @@ impl<'g> Sim<'g> {
                 let pending = self.rendezvous.len() as u64;
                 self.stats.max_pending_slots = self.stats.max_pending_slots.max(pending);
                 if complete {
-                    let slot = self.rendezvous.remove(&(op, t.tag)).expect("present");
-                    let vals: Vec<i64> = slot.vals.into_iter().map(|v| v.expect("full")).collect();
+                    // Unreachable expects, audited: the slot was obtained
+                    // from this map via `entry` a few lines up and nothing
+                    // in between can remove it (single-threaded, exclusive
+                    // `&mut self`); `remaining == 0` means every live port
+                    // was filled exactly once (collisions return above)
+                    // and immediate ports were pre-filled at insertion, so
+                    // every `vals` entry is `Some`.
+                    let slot = self.rendezvous.remove(&(op, t.tag)).expect("slot inserted above");
+                    let vals: Vec<i64> = slot
+                        .vals
+                        .into_iter()
+                        .map(|v| v.expect("all ports filled when remaining == 0"))
+                        .collect();
                     self.ready.push_back(Firing {
                         op,
                         tag: t.tag,
@@ -493,15 +575,9 @@ impl<'g> Sim<'g> {
 
     fn fire(&mut self, f: Firing, now: u64) -> Result<(), MachineError> {
         self.stats.fired += 1;
-        if self.trace.is_some() {
+        if S::ENABLED {
             let tag = self.tags.render(f.tag);
-            if let Some(trace) = self.trace.as_mut() {
-                trace.events.push(crate::trace::TraceEvent {
-                    time: now,
-                    op: f.op,
-                    tag,
-                });
-            }
+            self.trace.record(now, f.op, tag);
         }
         let op = f.op;
         let kind = self.g.kind(op).clone();
@@ -596,10 +672,10 @@ impl<'g> Sim<'g> {
                     unreachable!("loop entry fires per token");
                 };
                 let new_tag = if port == 0 {
-                    self.tags.child(f.tag, loop_id, 0)
+                    self.child_tag(f.tag, loop_id, 0)?
                 } else {
                     match self.tags.info(f.tag) {
-                        Some((p, l, i)) if l == loop_id => self.tags.child(p, loop_id, i + 1),
+                        Some((p, l, i)) if l == loop_id => self.child_tag(p, loop_id, i + 1)?,
                         other => {
                             return Err(MachineError::TagMismatch {
                                 op,
@@ -625,7 +701,7 @@ impl<'g> Sim<'g> {
             },
             OpKind::PrevIter { loop_id } => match self.tags.info(f.tag) {
                 Some((p, l, i)) if l == loop_id && i > 0 => {
-                    let nt = self.tags.child(p, loop_id, i - 1);
+                    let nt = self.child_tag(p, loop_id, i - 1)?;
                     self.emit_from(op, 0, full(0), nt, t);
                 }
                 other => {
@@ -654,7 +730,20 @@ impl<'g> Sim<'g> {
         Ok(())
     }
 
-    fn finish(mut self) -> Result<(Outcome, Option<crate::trace::Trace>), MachineError> {
+    /// Intern the child tag, surfacing interner overflow as the typed
+    /// [`MachineError::TagSpaceExhausted`] instead of a panic.
+    fn child_tag(
+        &mut self,
+        parent: TagId,
+        loop_id: cf2df_cfg::LoopId,
+        iter: u32,
+    ) -> Result<TagId, MachineError> {
+        self.tags
+            .child(parent, loop_id, iter)
+            .ok_or(MachineError::TagSpaceExhausted { cap: u32::MAX })
+    }
+
+    fn finish(mut self) -> (Outcome, S) {
         let in_flight: u64 = self.events.values().map(|v| v.len() as u64).sum();
         let in_slots: u64 = self
             .rendezvous
@@ -666,15 +755,14 @@ impl<'g> Sim<'g> {
         self.stats.mem_reads = self.mem.reads();
         self.stats.mem_writes = self.mem.writes();
         self.stats.tags_created = self.tags.len() as u64 - 1;
-        let trace = self.trace.take();
-        Ok((
+        (
             Outcome {
                 memory: self.mem.cells().to_vec(),
                 ist_memory: self.mem.ist_cells(),
                 stats: self.stats,
             },
-            trace,
-        ))
+            self.trace,
+        )
     }
 }
 

@@ -28,6 +28,7 @@
 //! demonstrating real parallel execution of the same graphs, built on the
 //! std-only work-stealing [`scheduler`].
 
+pub mod chaos;
 pub mod exec;
 pub mod memory;
 pub mod metrics;
@@ -37,9 +38,11 @@ pub mod tag;
 pub mod trace;
 pub mod vonneumann;
 
+pub use chaos::{ChaosConfig, ChaosTallies};
 pub use exec::{run, run_traced, MachineConfig, MachineError, Outcome};
 pub use metrics::{ExecStats, ParMetrics, WorkerStats};
 pub use parallel::{
-    run_threaded, run_threaded_pooled, run_threaded_traced, ExecutorPool, FireEvent, ParOutcome,
+    run_threaded, run_threaded_pooled, run_threaded_pooled_with, run_threaded_traced,
+    run_threaded_with, ExecutorPool, FireEvent, ParConfig, ParOutcome,
 };
 pub use tag::{TagId, TagTable};

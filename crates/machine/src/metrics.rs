@@ -94,6 +94,13 @@ pub struct WorkerStats {
     /// same-batch rendezvous fast path, bypassing the sharded global
     /// slot table. Filled in by the executor, not the scheduler.
     pub fast_path: u64,
+    /// Fault-injected worker-local delays slept ([`crate::chaos`]);
+    /// zero on ordinary runs.
+    pub chaos_delays: u64,
+    /// Batches for which fault injection forced this worker onto the
+    /// injector/steal path ahead of its own queue; zero on ordinary
+    /// runs.
+    pub chaos_forced_steals: u64,
 }
 
 /// Metrics of one threaded-executor run ([`crate::parallel::run_threaded`]),
@@ -130,6 +137,9 @@ pub struct ParMetrics {
     pub deferred_reads: u64,
     /// Peak number of simultaneously outstanding deferred reads.
     pub deferred_read_peak: u64,
+    /// Faults actually injected by the chaos plan (all zero on
+    /// ordinary runs — asserted by the bench harness).
+    pub chaos: crate::chaos::ChaosTallies,
 }
 
 impl ParMetrics {

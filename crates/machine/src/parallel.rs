@@ -38,6 +38,7 @@
 //! `cf2df-bench/benches/executor.rs`); the executor reports
 //! fired-operator and memory-op counts.
 
+use crate::chaos::{ChaosConfig, ChaosRng, ChaosTallies};
 use crate::exec::MachineError;
 use crate::memory::{DeferredRead, MemError};
 use crate::metrics::ParMetrics;
@@ -47,7 +48,48 @@ use cf2df_cfg::{LoopId, MemLayout, VarId};
 use cf2df_dfg::{Dfg, OpId, OpKind, Port};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Execution limits and fault injection for a threaded run. The
+/// defaults ([`ParConfig::default`]) reproduce the plain entry points:
+/// unlimited fuel, no watchdog, no trace, no chaos, full tag space.
+#[derive(Clone, Debug)]
+pub struct ParConfig {
+    /// Firing budget (the threaded analogue of
+    /// [`crate::exec::MachineConfig::fuel`]): a run that fires more
+    /// operators returns [`MachineError::FuelExhausted`] instead of
+    /// spinning forever on a runaway cyclic graph. `u64::MAX` means
+    /// unlimited.
+    pub fuel: u64,
+    /// Wall-clock bound: a monitor thread halts the scheduler when the
+    /// run exceeds it, and the run returns
+    /// [`MachineError::WatchdogTimeout`]. `None` means no watchdog.
+    pub watchdog: Option<Duration>,
+    /// Capacity of the bounded fire-event ring ([`FireEvent`]); `None`
+    /// disables tracing entirely (zero allocation).
+    pub trace_capacity: Option<usize>,
+    /// Fault-injection plan (see [`crate::chaos`]); `None` on ordinary
+    /// runs.
+    pub chaos: Option<ChaosConfig>,
+    /// Largest admissible tag id. Interning beyond it returns
+    /// [`MachineError::TagSpaceExhausted`] through the halt path instead
+    /// of panicking. The default (`u32::MAX`) is the type's full range —
+    /// the error every deep-enough loop nest would eventually hit.
+    pub tag_cap: u32,
+}
+
+impl Default for ParConfig {
+    fn default() -> ParConfig {
+        ParConfig {
+            fuel: u64::MAX,
+            watchdog: None,
+            trace_capacity: None,
+            chaos: None,
+            tag_cap: u32::MAX,
+        }
+    }
+}
 
 /// Result of a threaded run.
 #[derive(Clone, Debug)]
@@ -327,16 +369,19 @@ struct TagShard {
 /// the *same* tag, because one shard owns each `(parent, loop, iter)` key.
 struct ParTagTable {
     shards: Vec<Mutex<TagShard>>,
+    /// Largest admissible tag id; interning past it is a
+    /// [`MachineError::TagSpaceExhausted`], not a panic.
+    cap: u32,
 }
 
 impl ParTagTable {
-    fn new() -> ParTagTable {
+    fn new(cap: u32) -> ParTagTable {
         let mut shards: Vec<Mutex<TagShard>> = (0..TAG_SHARDS)
             .map(|_| Mutex::new(TagShard::default()))
             .collect();
         // Reserve id 0 (= slot 0 of shard 0) for the root tag.
         shards[0].get_mut().unwrap().ctxs.push(None);
-        ParTagTable { shards }
+        ParTagTable { shards, cap }
     }
 
     fn shard_of(parent: TagId, loop_id: LoopId, iter: u32) -> usize {
@@ -348,18 +393,23 @@ impl ParTagTable {
     }
 
     /// The tag for iteration `iter` of loop `loop_id` under `parent`.
-    fn child(&self, parent: TagId, loop_id: LoopId, iter: u32) -> TagId {
+    /// Fails with [`MachineError::TagSpaceExhausted`] — routed through
+    /// the halt path by the callers — once the shard's arithmetic
+    /// progression would pass the cap (or overflow the id type).
+    fn child(&self, parent: TagId, loop_id: LoopId, iter: u32) -> Result<TagId, MachineError> {
         let s = Self::shard_of(parent, loop_id, iter);
         let mut shard = lock(&self.shards[s]);
         if let Some(&t) = shard.intern.get(&(parent, loop_id, iter)) {
-            return t;
+            return Ok(t);
         }
         let k = shard.ctxs.len();
-        let id = u32::try_from(k * TAG_SHARDS + s).expect("too many tags");
-        let t = TagId(id);
+        let t = match u32::try_from(k * TAG_SHARDS + s) {
+            Ok(id) if id <= self.cap => TagId(id),
+            _ => return Err(MachineError::TagSpaceExhausted { cap: self.cap }),
+        };
         shard.ctxs.push(Some(TagCtx { parent, loop_id, iter }));
         shard.intern.insert((parent, loop_id, iter), t);
-        t
+        Ok(t)
     }
 
     /// Decompose a tag into `(parent, loop, iteration)`; `None` for the
@@ -410,6 +460,37 @@ struct WorkerLocal {
     fast_path: u64,
 }
 
+/// Executor-level fault injection state: per-worker fault streams (a
+/// *different* stream family than the scheduler's delay/steal faults,
+/// so the two layers draw uncorrelated decisions from one campaign
+/// seed) plus tallies of the destructive faults actually fired.
+struct ChaosState {
+    cfg: ChaosConfig,
+    /// Per-worker streams; each mutex is only ever taken by its owning
+    /// worker, so it is uncontended.
+    rngs: Vec<Mutex<ChaosRng>>,
+    panics: AtomicU64,
+    drops: AtomicU64,
+    dups: AtomicU64,
+}
+
+impl ChaosState {
+    fn new(cfg: ChaosConfig, n_workers: usize) -> ChaosState {
+        ChaosState {
+            cfg,
+            rngs: (0..n_workers)
+                // Offset the seed so the executor's panic/drop/dup
+                // stream differs from the scheduler's delay/steal
+                // stream for the same (seed, worker).
+                .map(|w| Mutex::new(ChaosRng::for_worker(cfg.seed ^ 0x517c_c1b7_2722_0a95, w)))
+                .collect(),
+            panics: AtomicU64::new(0),
+            drops: AtomicU64::new(0),
+            dups: AtomicU64::new(0),
+        }
+    }
+}
+
 struct Shared {
     layout: MemLayout,
     dests: Vec<Vec<Vec<Port>>>,
@@ -418,6 +499,22 @@ struct Shared {
     /// ports token-fed, not merge-like) and eligible for the
     /// worker-local fast path.
     fast_ok: Vec<bool>,
+    /// `dup_ok[op]` — a duplicated token into this op is *detectable*:
+    /// the op is a true rendezvous (two or more token-fed inputs, not
+    /// merge-like), so the second copy either collides in a
+    /// waiting-matching slot ([`MachineError::TokenCollision`] — the ETS
+    /// machine's architectural duplicate detector) or lands in a
+    /// harmless orphan half-slot after the original pair completed.
+    /// Chaos only duplicates tokens headed to such ops: a duplicate
+    /// into a single-input or merge-like op would fire it twice and
+    /// silently corrupt the run.
+    dup_ok: Vec<bool>,
+    /// Firing budget; `u64::MAX` means unlimited.
+    fuel: u64,
+    /// Fault injection for panics/drops/dups. Boxed so an ordinary run
+    /// pays one null check per firing / per [`emit`] call and the chaos
+    /// machinery stays off the `Shared` hot cache lines.
+    chaos: Option<Box<ChaosState>>,
     /// Worker-local fast-path state, indexed by worker.
     locals: Vec<Mutex<WorkerLocal>>,
     /// Rendezvous slots, sharded by (op, tag) hash.
@@ -520,7 +617,7 @@ pub fn run_threaded(
     layout: &MemLayout,
     n_threads: usize,
 ) -> Result<ParOutcome, MachineError> {
-    run_inner(g, layout, n_threads, None, None).0
+    run_inner(g, layout, n_threads, None, &ParConfig::default()).0
 }
 
 /// As [`run_threaded`], but on a pre-spawned [`ExecutorPool`] — the
@@ -531,7 +628,7 @@ pub fn run_threaded_pooled(
     layout: &MemLayout,
     pool: &ExecutorPool,
 ) -> Result<ParOutcome, MachineError> {
-    run_inner(g, layout, pool.workers(), None, Some(pool)).0
+    run_inner(g, layout, pool.workers(), Some(pool), &ParConfig::default()).0
 }
 
 /// As [`run_threaded`], additionally capturing the last `capacity` fire
@@ -544,16 +641,48 @@ pub fn run_threaded_traced(
     n_threads: usize,
     capacity: usize,
 ) -> (Result<ParOutcome, MachineError>, Vec<FireEvent>) {
-    run_inner(g, layout, n_threads, Some(capacity), None)
+    let cfg = ParConfig {
+        trace_capacity: Some(capacity),
+        ..ParConfig::default()
+    };
+    let (result, _metrics, trace) = run_inner(g, layout, n_threads, None, &cfg);
+    (result, trace)
+}
+
+/// The fully-configurable entry point: limits and fault injection from
+/// `cfg`, metrics returned on *every* path. On success the returned
+/// [`ParMetrics`] equals `outcome.metrics`; on failure it is the
+/// partial metrics gathered up to the halt — which is how a
+/// [`MachineError::WorkerPanicked`] run still reports what its workers
+/// did, including the injected-fault tallies.
+pub fn run_threaded_with(
+    g: &Dfg,
+    layout: &MemLayout,
+    n_threads: usize,
+    cfg: &ParConfig,
+) -> (Result<ParOutcome, MachineError>, ParMetrics, Vec<FireEvent>) {
+    run_inner(g, layout, n_threads, None, cfg)
+}
+
+/// As [`run_threaded_with`], on a pre-spawned [`ExecutorPool`]. The
+/// pool survives contained worker panics and stays usable for
+/// subsequent runs.
+pub fn run_threaded_pooled_with(
+    g: &Dfg,
+    layout: &MemLayout,
+    pool: &ExecutorPool,
+    cfg: &ParConfig,
+) -> (Result<ParOutcome, MachineError>, ParMetrics, Vec<FireEvent>) {
+    run_inner(g, layout, pool.workers(), Some(pool), cfg)
 }
 
 fn run_inner(
     g: &Dfg,
     layout: &MemLayout,
     n_threads: usize,
-    trace_capacity: Option<usize>,
     pool: Option<&ExecutorPool>,
-) -> (Result<ParOutcome, MachineError>, Vec<FireEvent>) {
+    cfg: &ParConfig,
+) -> (Result<ParOutcome, MachineError>, ParMetrics, Vec<FireEvent>) {
     let n_threads = n_threads.max(1);
     let mut dests: Vec<Vec<Vec<Port>>> = g
         .op_ids()
@@ -579,19 +708,29 @@ fn run_inner(
                 && live[o.index()] == 2
         })
         .collect();
+    let dup_ok: Vec<bool> = g
+        .op_ids()
+        .map(|o| {
+            !matches!(g.kind(o), OpKind::Merge | OpKind::LoopEntry { .. })
+                && live[o.index()] >= 2
+        })
+        .collect();
 
     let shared = Shared {
         layout: layout.clone(),
         dests,
         live,
         fast_ok,
+        dup_ok,
+        fuel: cfg.fuel,
+        chaos: cfg.chaos.map(|c| Box::new(ChaosState::new(c, n_threads))),
         locals: (0..n_threads)
             .map(|_| Mutex::new(WorkerLocal::default()))
             .collect(),
         slots: std::iter::repeat_with(|| Mutex::new(HashMap::new()))
             .take(SLOT_SHARDS)
             .collect(),
-        tags: ParTagTable::new(),
+        tags: ParTagTable::new(cfg.tag_cap),
         mem: ParMemory::new(layout),
         end_seen: AtomicBool::new(false),
         failed: Mutex::new(None),
@@ -600,10 +739,10 @@ fn run_inner(
         slots_occupied: AtomicU64::new(0),
         slots_peak: AtomicU64::new(0),
         slot_high: (0..SLOT_SHARDS).map(|_| AtomicU64::new(0)).collect(),
-        trace: trace_capacity.map(TraceRing::new),
+        trace: cfg.trace_capacity.map(TraceRing::new),
     };
 
-    let sched: Scheduler<Token> = Scheduler::new(n_threads);
+    let sched: Scheduler<Token> = Scheduler::new(n_threads).with_chaos(cfg.chaos);
     // Seed initial tokens round-robin across the worker queues, so every
     // worker starts with work instead of all seeds funnelling through
     // the injector into whichever worker looks first.
@@ -625,9 +764,42 @@ fn run_inner(
         // rendezvous table), so nothing is held across a park.
         flush_local_pairs(local, ctx);
     };
-    let outcome = match pool {
+    let run_sched = || match pool {
         Some(p) => sched.run_in(&p.pool, body),
         None => sched.run(body),
+    };
+    // With a watchdog, a monitor thread converts a wedged run into an
+    // explicit halt: it waits on a condvar with a deadline, and the run
+    // thread flips `done` under the same lock on completion, so exactly
+    // one of {completed, timed out} wins — a timeout can never be
+    // recorded after a successful finish races past it.
+    let mut timed_out = false;
+    let outcome = match cfg.watchdog {
+        None => run_sched(),
+        Some(bound) => {
+            let done = Mutex::new(false);
+            let done_cv = Condvar::new();
+            let fired_watchdog = AtomicBool::new(false);
+            let out = std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let guard = lock(&done);
+                    let (guard, wait) = done_cv
+                        .wait_timeout_while(guard, bound, |finished| !*finished)
+                        .unwrap_or_else(|e| e.into_inner());
+                    if wait.timed_out() && !*guard {
+                        fired_watchdog.store(true, Ordering::SeqCst);
+                        drop(guard);
+                        sched.halt_external();
+                    }
+                });
+                let out = run_sched();
+                *lock(&done) = true;
+                done_cv.notify_all();
+                out
+            });
+            timed_out = fired_watchdog.load(Ordering::SeqCst);
+            out
+        }
     };
 
     // Fold the fast-path joins into the per-worker and global tallies:
@@ -638,12 +810,30 @@ fn run_inner(
     let mut total_fast = 0u64;
     for (w, local) in shared.locals.iter().enumerate() {
         let l = lock(local);
-        debug_assert!(l.pairs.is_empty() && l.ready.is_empty());
+        // On a halted run (error, panic, watchdog) a batch may have been
+        // cut short with unpaired fast-path halves still parked here.
+        debug_assert!(outcome.halted || (l.pairs.is_empty() && l.ready.is_empty()));
         workers[w].fast_path = l.fast_path;
         workers[w].processed += 2 * l.fast_path;
         total_fast += l.fast_path;
     }
 
+    let chaos_tallies = ChaosTallies {
+        delays: workers.iter().map(|w| w.chaos_delays).sum(),
+        forced_steals: workers.iter().map(|w| w.chaos_forced_steals).sum(),
+        panics: shared
+            .chaos
+            .as_ref()
+            .map_or(0, |c| c.panics.load(Ordering::Relaxed)),
+        drops: shared
+            .chaos
+            .as_ref()
+            .map_or(0, |c| c.drops.load(Ordering::Relaxed)),
+        dups: shared
+            .chaos
+            .as_ref()
+            .map_or(0, |c| c.dups.load(Ordering::Relaxed)),
+    };
     let metrics = ParMetrics {
         workers,
         tokens_processed: outcome.processed + 2 * total_fast,
@@ -658,6 +848,7 @@ fn run_inner(
         tags_created: shared.tags.created(),
         deferred_reads: shared.mem.deferred_reads.load(Ordering::Relaxed),
         deferred_read_peak: shared.mem.deferred_peak.load(Ordering::Relaxed),
+        chaos: chaos_tallies,
     };
     let trace: Vec<FireEvent> = match &shared.trace {
         None => Vec::new(),
@@ -672,37 +863,57 @@ fn run_inner(
             .collect(),
     };
 
-    if let Some(e) = lock(&shared.failed).take() {
-        return (Err(e), trace);
-    }
-    // No failure recorded, yet tokens were left in queues: an executor
-    // invariant violation. Report it as a hard error — never let a
-    // dropped token pass silently, in release builds included.
-    if outcome.leftover != 0 {
-        return (
-            Err(MachineError::TokenLeak {
-                leftover: outcome.leftover,
-            }),
-            trace,
-        );
-    }
-    if !shared.end_seen.load(Ordering::SeqCst) {
-        return (
-            Err(MachineError::Deadlock {
-                pending: shared.describe_pending(g),
-            }),
-            trace,
-        );
-    }
-    (
+    // Classify the run. Precedence matters:
+    //
+    //  1. a recorded `MachineError` (collision, tag fault, memory fault,
+    //     fuel, tag exhaustion) is the root cause — it is what halted
+    //     the run;
+    //  2. a contained worker panic;
+    //  3. injected token drops — deterministically a `TokenLeak`,
+    //     whether the missing tokens stranded rendezvous partners
+    //     (would-be deadlock) or queue residue: a vanished token must
+    //     never masquerade as anything else, and never hang;
+    //  4. a watchdog halt that interrupted an unfinished run;
+    //  5. the ordinary no-chaos invariants: queue residue without a
+    //     recorded error is a leak, quiescence without `End` a deadlock.
+    //
+    // A spurious watchdog firing at the completion instant (the halt
+    // raced the last batch) falls through to `Ok`: the run *did* finish.
+    let end_seen = shared.end_seen.load(Ordering::SeqCst);
+    let chaos_drops = metrics.chaos.drops;
+    let result = if let Some(e) = lock(&shared.failed).take() {
+        Err(e)
+    } else if let Some((worker, payload)) = outcome.panicked {
+        Err(MachineError::WorkerPanicked { worker, payload })
+    } else if chaos_drops > 0 {
+        Err(MachineError::TokenLeak {
+            leftover: chaos_drops + outcome.leftover,
+        })
+    } else if timed_out && outcome.halted && !(end_seen && outcome.leftover == 0) {
+        Err(MachineError::WatchdogTimeout {
+            millis: cfg.watchdog.map_or(0, |d| d.as_millis() as u64),
+        })
+    } else if outcome.leftover != 0 {
+        // No failure recorded, yet tokens were left in queues: an
+        // executor invariant violation. Report it as a hard error —
+        // never let a dropped token pass silently, in release builds
+        // included.
+        Err(MachineError::TokenLeak {
+            leftover: outcome.leftover,
+        })
+    } else if !end_seen {
+        Err(MachineError::Deadlock {
+            pending: shared.describe_pending(g),
+        })
+    } else {
         Ok(ParOutcome {
             memory: shared.mem.cells_snapshot(),
             ist_memory: shared.mem.ist_snapshot(),
             fired: shared.fired.load(Ordering::SeqCst),
-            metrics,
-        }),
-        trace,
-    )
+            metrics: metrics.clone(),
+        })
+    };
+    (result, metrics, trace)
 }
 
 fn process(g: &Dfg, sh: &Shared, ctx: &Ctx<'_, Token>, t: Token) {
@@ -783,30 +994,76 @@ fn process(g: &Dfg, sh: &Shared, ctx: &Ctx<'_, Token>, t: Token) {
 /// halves wait in the map until the end of the batch, then rejoin the
 /// ordinary path.
 fn emit(sh: &Shared, ctx: &Ctx<'_, Token>, op: OpId, out_port: usize, value: i64, tag: TagId) {
+    // One null check per emit call; the per-destination fault draws live
+    // in the out-of-line chaos variant so ordinary runs keep a clean
+    // inner loop.
+    if sh.chaos.is_some() {
+        return emit_chaos(sh, ctx, op, out_port, value, tag);
+    }
+    for &to in &sh.dests[op.index()][out_port] {
+        send(sh, ctx, to, value, tag);
+    }
+}
+
+/// [`emit`] with per-destination fault injection: each outgoing token may
+/// be dropped (vanishes — surfaced as [`MachineError::TokenLeak`]) or
+/// duplicated. Duplicates are only injected toward ops where the
+/// waiting-matching store can detect them (see `dup_ok`), and the copy
+/// goes through the ordinary queue — not the worker-local fast path — so
+/// it rendezvouses in the global table like a genuinely mis-sent token
+/// would.
+#[cold]
+#[inline(never)]
+fn emit_chaos(sh: &Shared, ctx: &Ctx<'_, Token>, op: OpId, out_port: usize, value: i64, tag: TagId) {
+    let ch = sh.chaos.as_deref().expect("checked by emit");
     for &to in &sh.dests[op.index()][out_port] {
         let dst = to.op;
-        if sh.fast_ok[dst.index()] {
-            let port = to.port as usize;
-            let mut l = lock(&sh.locals[ctx.worker()]);
-            let slot = l.pairs.entry((dst, tag)).or_insert([None, None]);
-            if slot[port].is_some() {
-                drop(l);
-                let tag = sh.tags.render(tag);
-                sh.fail(ctx, MachineError::TokenCollision { op: dst, port, tag });
+        {
+            let mut rng = lock(&ch.rngs[ctx.worker()]);
+            if ch.cfg.drop_prob > 0.0 && rng.chance(ch.cfg.drop_prob) {
+                drop(rng);
+                ch.drops.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            slot[port] = Some(value);
-            if let [Some(a), Some(b)] = *slot {
-                l.pairs.remove(&(dst, tag));
-                l.ready.push((dst, tag, [a, b]));
-                l.fast_path += 1;
-                drop(l);
-                sh.merged.fetch_add(1, Ordering::Relaxed);
+            if ch.cfg.dup_prob > 0.0
+                && sh.dup_ok[dst.index()]
+                && rng.chance(ch.cfg.dup_prob)
+            {
+                drop(rng);
+                ch.dups.fetch_add(1, Ordering::Relaxed);
+                ctx.push(Token { to, tag, value });
             }
-            continue;
         }
-        ctx.push(Token { to, tag, value });
+        send(sh, ctx, to, value, tag);
     }
+}
+
+/// Route one token to `to`: through the worker-local pair map when the
+/// destination is fast-path eligible, otherwise onto the run queue.
+#[inline]
+fn send(sh: &Shared, ctx: &Ctx<'_, Token>, to: Port, value: i64, tag: TagId) {
+    let dst = to.op;
+    if sh.fast_ok[dst.index()] {
+        let port = to.port as usize;
+        let mut l = lock(&sh.locals[ctx.worker()]);
+        let slot = l.pairs.entry((dst, tag)).or_insert([None, None]);
+        if slot[port].is_some() {
+            drop(l);
+            let tag = sh.tags.render(tag);
+            sh.fail(ctx, MachineError::TokenCollision { op: dst, port, tag });
+            return;
+        }
+        slot[port] = Some(value);
+        if let [Some(a), Some(b)] = *slot {
+            l.pairs.remove(&(dst, tag));
+            l.ready.push((dst, tag, [a, b]));
+            l.fast_path += 1;
+            drop(l);
+            sh.merged.fetch_add(1, Ordering::Relaxed);
+        }
+        return;
+    }
+    ctx.push(Token { to, tag, value });
 }
 
 /// Fire every locally-completed join on worker's ready stack; firing can
@@ -845,6 +1102,29 @@ fn flush_local_pairs(local: &Mutex<WorkerLocal>, ctx: &Ctx<'_, Token>) {
     }
 }
 
+/// Pre-firing hooks shared by [`fire_single`] and [`fire_full`]: spend
+/// one unit of fuel (recording [`MachineError::FuelExhausted`] and
+/// skipping the firing once the budget is gone) and, under chaos, maybe
+/// panic in the operator's stead. Returns `false` when the firing must
+/// not proceed.
+fn fire_admitted(sh: &Shared, ctx: &Ctx<'_, Token>, op: OpId, tag: TagId) -> bool {
+    let prev = sh.fired.fetch_add(1, Ordering::Relaxed);
+    if prev >= sh.fuel {
+        sh.fail(ctx, MachineError::FuelExhausted);
+        return false;
+    }
+    if let Some(ch) = &sh.chaos {
+        if ch.cfg.panic_prob > 0.0 && lock(&ch.rngs[ctx.worker()]).chance(ch.cfg.panic_prob) {
+            ch.panics.fetch_add(1, Ordering::Relaxed);
+            panic!("chaos: injected operator panic at {op:?}");
+        }
+    }
+    if let Some(ring) = &sh.trace {
+        ring.push(ctx.worker(), op, tag);
+    }
+    true
+}
+
 fn fire_single(
     g: &Dfg,
     sh: &Shared,
@@ -854,9 +1134,8 @@ fn fire_single(
     port: usize,
     value: i64,
 ) {
-    sh.fired.fetch_add(1, Ordering::Relaxed);
-    if let Some(ring) = &sh.trace {
-        ring.push(ctx.worker(), op, tag);
+    if !fire_admitted(sh, ctx, op, tag) {
+        return;
     }
     match g.kind(op) {
         OpKind::Merge => emit(sh, ctx, op, 0, value, tag),
@@ -878,7 +1157,10 @@ fn fire_single(
                     }
                 }
             };
-            emit(sh, ctx, op, 0, value, new_tag);
+            match new_tag {
+                Ok(t) => emit(sh, ctx, op, 0, value, t),
+                Err(e) => sh.fail(ctx, e),
+            }
         }
         _ => unreachable!("fire_single only for merge-like ops"),
     }
@@ -892,9 +1174,8 @@ fn fire_full(
     tag: TagId,
     vals: Vec<i64>,
 ) {
-    sh.fired.fetch_add(1, Ordering::Relaxed);
-    if let Some(ring) = &sh.trace {
-        ring.push(ctx.worker(), op, tag);
+    if !fire_admitted(sh, ctx, op, tag) {
+        return;
     }
     match g.kind(op) {
         OpKind::Start => unreachable!("Start never fires"),
@@ -976,8 +1257,10 @@ fn fire_full(
         },
         OpKind::PrevIter { loop_id } => match sh.tags.info(tag) {
             Some((p, l, i)) if l == *loop_id && i > 0 => {
-                let nt = sh.tags.child(p, *loop_id, i - 1);
-                emit(sh, ctx, op, 0, vals[0], nt);
+                match sh.tags.child(p, *loop_id, i - 1) {
+                    Ok(nt) => emit(sh, ctx, op, 0, vals[0], nt),
+                    Err(e) => sh.fail(ctx, e),
+                }
             }
             other => sh.fail(
                 ctx,
@@ -1157,29 +1440,56 @@ mod tests {
 
     #[test]
     fn sharded_tags_intern_consistently() {
-        let tags = ParTagTable::new();
+        let tags = ParTagTable::new(u32::MAX);
         assert_eq!(tags.info(TagId::ROOT), None);
         assert_eq!(tags.render(TagId::ROOT), "root");
-        let a = tags.child(TagId::ROOT, LoopId(0), 3);
-        let b = tags.child(TagId::ROOT, LoopId(0), 3);
+        let a = tags.child(TagId::ROOT, LoopId(0), 3).unwrap();
+        let b = tags.child(TagId::ROOT, LoopId(0), 3).unwrap();
         assert_eq!(a, b, "same key must intern to the same tag");
-        let c = tags.child(TagId::ROOT, LoopId(0), 4);
+        let c = tags.child(TagId::ROOT, LoopId(0), 4).unwrap();
         assert_ne!(a, c);
-        let inner = tags.child(a, LoopId(1), 0);
+        let inner = tags.child(a, LoopId(1), 0).unwrap();
         assert_eq!(tags.info(inner), Some((a, LoopId(1), 0)));
         assert_eq!(tags.render(inner), "root.L0[3].L1[0]");
     }
 
+    /// A capped interner reports exhaustion as a typed error — the unit
+    /// face of the `TagSpaceExhausted` satellite (the end-to-end deep
+    /// loop nest lives in `tests/chaos.rs`) — and an already-interned
+    /// key keeps resolving after the cap is hit.
+    #[test]
+    fn capped_tag_interner_errors_instead_of_panicking() {
+        let tags = ParTagTable::new(2 * TAG_SHARDS as u32);
+        let mut made = Vec::new();
+        let mut exhausted = false;
+        for i in 0..200u32 {
+            match tags.child(TagId::ROOT, LoopId(0), i) {
+                Ok(t) => made.push((i, t)),
+                Err(MachineError::TagSpaceExhausted { cap }) => {
+                    assert_eq!(cap, 2 * TAG_SHARDS as u32);
+                    exhausted = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e:?}"),
+            }
+        }
+        assert!(exhausted, "200 iterations must blow a ~2-per-shard cap");
+        assert!(!made.is_empty(), "some tags fit under the cap");
+        for (i, t) in &made {
+            assert_eq!(tags.child(TagId::ROOT, LoopId(0), *i).unwrap(), *t);
+        }
+    }
+
     #[test]
     fn sharded_tags_safe_under_contention() {
-        let tags = ParTagTable::new();
+        let tags = ParTagTable::new(u32::MAX);
         let ids: Vec<TagId> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..8)
                 .map(|_| {
                     let tags = &tags;
                     scope.spawn(move || {
                         (0..100u32)
-                            .map(|i| tags.child(TagId::ROOT, LoopId(0), i))
+                            .map(|i| tags.child(TagId::ROOT, LoopId(0), i).unwrap())
                             .collect::<Vec<_>>()
                     })
                 })

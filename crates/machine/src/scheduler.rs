@@ -58,6 +58,7 @@
 //! machine semantics (rendezvous, firing, memory) live in
 //! [`crate::parallel`].
 
+use crate::chaos::{ChaosConfig, ChaosRng};
 use crate::metrics::WorkerStats;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -92,8 +93,13 @@ pub struct Outcome {
     /// Tasks still sitting in run queues when the workers exited. Zero
     /// unless [`Ctx::halt`] cut execution short.
     pub leftover: u64,
-    /// Whether [`Ctx::halt`] was called.
+    /// Whether [`Ctx::halt`] was called (including the implicit halt a
+    /// contained panic performs).
     pub halted: bool,
+    /// The first worker panic contained this run: `(worker index,
+    /// rendered payload)`. A panicking batch halts the whole scheduler,
+    /// so `halted` is always true alongside this. `None` on clean runs.
+    pub panicked: Option<(usize, String)>,
     /// Per-worker counters (pops, steals, parks, …), indexed by worker.
     /// Tallied thread-locally — the counters cost nothing on the shared
     /// structures.
@@ -142,6 +148,13 @@ pub struct Scheduler<T> {
     unfed: AtomicUsize,
     stop: AtomicBool,
     processed: AtomicU64,
+    /// First contained worker panic: `(worker, rendered payload)`.
+    /// Recording a panic also raises `stop`, so later workers exit
+    /// instead of processing a poisoned run further.
+    panic: Mutex<Option<(usize, String)>>,
+    /// Optional fault-injection plan (see [`crate::chaos`]); absent on
+    /// ordinary runs, costing one branch per batch.
+    chaos: Option<ChaosConfig>,
     park: Park,
 }
 
@@ -172,11 +185,22 @@ impl<T: Send> Scheduler<T> {
             unfed: AtomicUsize::new(n),
             stop: AtomicBool::new(false),
             processed: AtomicU64::new(0),
+            panic: Mutex::new(None),
+            chaos: None,
             park: Park {
                 sleepers: Mutex::new(0),
                 cvar: Condvar::new(),
             },
         }
+    }
+
+    /// Attach a fault-injection plan: before each batch a worker may
+    /// sleep (`delay_prob`) or be forced onto the injector/steal path
+    /// (`force_steal_prob`). Faults are drawn from per-worker streams
+    /// seeded by `chaos.seed`, so a given plan is reproducible.
+    pub fn with_chaos(mut self, chaos: Option<ChaosConfig>) -> Scheduler<T> {
+        self.chaos = chaos;
+        self
     }
 
     /// Number of worker queues.
@@ -237,18 +261,23 @@ impl<T: Send> Scheduler<T> {
     /// first sibling queue holding at least [`STEAL_MIN`] tasks. Returns
     /// how many tasks landed in `batch`; tallies the source into
     /// `stats`.
-    fn fill_batch(&self, w: usize, batch: &mut Vec<T>, stats: &mut WorkerStats) -> usize {
+    ///
+    /// With `force_steal` (fault injection), the order is inverted —
+    /// injector, then steal, then the worker's *own* queue as the
+    /// fallback — so the schedule is perturbed adversarially but a
+    /// worker holding the only remaining work can never come up empty
+    /// and park on it.
+    fn fill_batch(
+        &self,
+        w: usize,
+        batch: &mut Vec<T>,
+        stats: &mut WorkerStats,
+        force_steal: bool,
+    ) -> usize {
         debug_assert!(batch.is_empty());
-        {
-            let mut q = lock(&self.queues[w]);
-            let k = q.len().min(BATCH);
-            for _ in 0..k {
-                batch.push(q.pop_back().expect("len checked"));
-            }
+        if !force_steal {
+            let k = self.pop_own(w, batch, stats);
             if k > 0 {
-                drop(q);
-                self.queued.fetch_sub(k, Ordering::SeqCst);
-                stats.local_pops += k as u64;
                 return k;
             }
         }
@@ -262,6 +291,9 @@ impl<T: Send> Scheduler<T> {
                 drop(inj);
                 self.queued.fetch_sub(k, Ordering::SeqCst);
                 stats.injector_hits += k as u64;
+                if force_steal {
+                    stats.chaos_forced_steals += 1;
+                }
                 return k;
             }
         }
@@ -291,9 +323,33 @@ impl<T: Send> Scheduler<T> {
                 lock(&self.queues[w]).extend(stolen);
             }
             self.queued.fetch_sub(k, Ordering::SeqCst);
+            if force_steal {
+                stats.chaos_forced_steals += 1;
+            }
             return k;
         }
-        0
+        if force_steal {
+            // Nothing anywhere else: fall back to our own queue so the
+            // injected fault cannot strand the last runnable work.
+            self.pop_own(w, batch, stats)
+        } else {
+            0
+        }
+    }
+
+    /// Pop up to [`BATCH`] newest tasks from worker `w`'s own queue.
+    fn pop_own(&self, w: usize, batch: &mut Vec<T>, stats: &mut WorkerStats) -> usize {
+        let mut q = lock(&self.queues[w]);
+        let k = q.len().min(BATCH);
+        for _ in 0..k {
+            batch.push(q.pop_back().expect("len checked"));
+        }
+        if k > 0 {
+            drop(q);
+            self.queued.fetch_sub(k, Ordering::SeqCst);
+            stats.local_pops += k as u64;
+        }
+        k
     }
 
     /// Flush the batch's produced tasks onto worker `w`'s queue in one
@@ -364,7 +420,16 @@ impl<T: Send> Scheduler<T> {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                .enumerate()
+                .map(|(w, h)| {
+                    // Body panics are contained inside `worker_loop`; a
+                    // panic escaping the loop itself is a scheduler bug,
+                    // but even then the run must report, not abort.
+                    h.join().unwrap_or_else(|payload| {
+                        self.record_panic(w, &payload);
+                        WorkerStats::default()
+                    })
+                })
                 .collect()
         });
         self.finish(workers)
@@ -385,13 +450,28 @@ impl<T: Send> Scheduler<T> {
         let body = &body;
         let slots: Vec<Mutex<Option<WorkerStats>>> =
             (0..self.queues.len()).map(|_| Mutex::new(None)).collect();
-        pool.run(&|w| {
+        let escaped = pool.run(&|w| {
             let stats = self.worker_loop(w, body);
             *lock(&slots[w]) = Some(stats);
         });
+        if escaped {
+            // A panic escaped `worker_loop` itself (body panics are
+            // contained inside it): record a generic report so the run
+            // still returns a typed failure. The pool thread survives —
+            // `pool_worker` catches the unwind — so the pool stays
+            // usable for subsequent runs.
+            let mut slot = lock(&self.panic);
+            if slot.is_none() {
+                *slot = Some((usize::MAX, "worker loop panicked".to_string()));
+            }
+            drop(slot);
+            self.halt_external();
+        }
+        // A panicked worker deposits no stats; report empty counters
+        // for it rather than aborting the caller.
         let workers = slots
             .into_iter()
-            .map(|s| lock(&s).take().expect("worker deposited stats"))
+            .map(|s| lock(&s).take().unwrap_or_default())
             .collect();
         self.finish(workers)
     }
@@ -399,6 +479,7 @@ impl<T: Send> Scheduler<T> {
     fn finish(&self, workers: Vec<WorkerStats>) -> Outcome {
         let leftover = self.drain_count();
         let halted = self.stop.load(Ordering::SeqCst);
+        let panicked = lock(&self.panic).take();
         debug_assert!(
             halted || leftover == 0,
             "scheduler quiesced with {leftover} unprocessed tasks — \
@@ -408,8 +489,35 @@ impl<T: Send> Scheduler<T> {
             processed: self.processed.load(Ordering::SeqCst),
             leftover,
             halted,
+            panicked,
             workers,
         }
+    }
+
+    /// Record the first contained panic and halt the run: later workers
+    /// observe `stop` and exit, sleepers are woken, and `finish` surfaces
+    /// the report in [`Outcome::panicked`].
+    fn record_panic(&self, w: usize, payload: &(dyn std::any::Any + Send)) {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let mut slot = lock(&self.panic);
+        if slot.is_none() {
+            *slot = Some((w, msg));
+        }
+        drop(slot);
+        self.halt_external();
+    }
+
+    /// Request a stop from outside any worker (watchdog expiry, external
+    /// cancellation): the same semantics as [`Ctx::halt`], without
+    /// needing a `Ctx`. Queued tasks stay in place and are reported in
+    /// [`Outcome::leftover`].
+    pub fn halt_external(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.wake(true);
     }
 
     fn worker_loop<F>(&self, w: usize, body: &F) -> WorkerStats
@@ -424,6 +532,9 @@ impl<T: Send> Scheduler<T> {
         let mut stats = WorkerStats::default();
         let mut batch: Vec<T> = Vec::with_capacity(BATCH);
         let mut first_batch = true;
+        let mut chaos = self
+            .chaos
+            .map(|c| (c, ChaosRng::for_worker(c.seed, w)));
         loop {
             if self.stop.load(Ordering::SeqCst) {
                 return stats;
@@ -432,7 +543,15 @@ impl<T: Send> Scheduler<T> {
             // if work arrives after the look, the producer's bump makes
             // the snapshot stale and the park below refuses to block.
             let epoch = self.wake_epoch.load(Ordering::SeqCst);
-            let k = self.fill_batch(w, &mut batch, &mut stats);
+            let mut force_steal = false;
+            if let Some((c, rng)) = chaos.as_mut() {
+                if c.delay_prob > 0.0 && rng.chance(c.delay_prob) {
+                    stats.chaos_delays += 1;
+                    std::thread::sleep(std::time::Duration::from_micros(c.delay_us));
+                }
+                force_steal = c.force_steal_prob > 0.0 && rng.chance(c.force_steal_prob);
+            }
+            let k = self.fill_batch(w, &mut batch, &mut stats, force_steal);
             if k > 0 {
                 if first_batch {
                     // A worker that found work on its own (e.g. via the
@@ -442,8 +561,20 @@ impl<T: Send> Scheduler<T> {
                     self.mark_fed(w);
                 }
                 stats.batches += 1;
-                body(&ctx, &mut batch);
-                debug_assert!(batch.is_empty(), "body must drain its batch");
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    body(&ctx, &mut batch)
+                }));
+                // Shared accounting must be settled on both exits: the
+                // batch's tasks leave `pending` (on the panic path the
+                // unrun remainder is gone — `Vec::drain`'s drop already
+                // emptied the vector — and counting them "processed"
+                // keeps processed + leftover covering every task), and
+                // everything the body produced *before* the fault is
+                // flushed so it shows up as queue leftover, not a leak.
+                debug_assert!(
+                    run.is_err() || batch.is_empty(),
+                    "body must drain its batch"
+                );
                 batch.clear(); // release-build safety: never reprocess
                 self.flush(&ctx);
                 stats.processed += k as u64;
@@ -452,6 +583,12 @@ impl<T: Send> Scheduler<T> {
                     // Last in-flight tasks: nothing can create work any
                     // more. Wake everyone so they observe pending == 0.
                     self.wake(true);
+                }
+                if let Err(payload) = run {
+                    // Contain the panic: record it, halt the run, and
+                    // exit this worker with its stats intact.
+                    self.record_panic(w, &*payload);
+                    return stats;
                 }
                 continue;
             }
@@ -608,9 +745,10 @@ impl WorkerPool {
     }
 
     /// Run `job(w)` once on every pool worker `w`, blocking until all
-    /// have finished. Panics (after all workers finished the epoch) if
-    /// any worker's job panicked.
-    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+    /// have finished. Returns whether any worker's job panicked (the
+    /// panic is contained by the pool thread, which survives for the
+    /// next job; the caller decides how to surface the failure).
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) -> bool {
         // SAFETY: we erase the borrow's lifetime to hand the pointer to
         // the long-lived pool threads. The pointer is dereferenced only
         // by workers executing this epoch, and this function does not
@@ -634,9 +772,7 @@ impl WorkerPool {
                 .unwrap_or_else(|e| e.into_inner());
         }
         st.job = None;
-        let panicked = std::mem::take(&mut st.panicked);
-        drop(st);
-        assert!(!panicked, "pool worker panicked");
+        std::mem::take(&mut st.panicked)
     }
 }
 
@@ -898,7 +1034,7 @@ mod tests {
         sched.queued.fetch_add(100, Ordering::SeqCst);
         let mut stats = WorkerStats::default();
         let mut batch = Vec::new();
-        let k = sched.fill_batch(1, &mut batch, &mut stats);
+        let k = sched.fill_batch(1, &mut batch, &mut stats, false);
         // Worker 1 stole half the queue (50): one batch in hand, the
         // surplus relocated to its own queue.
         assert_eq!(stats.steals, 50);
@@ -914,7 +1050,7 @@ mod tests {
         lone.pending.fetch_add(1, Ordering::SeqCst);
         lone.queued.fetch_add(1, Ordering::SeqCst);
         let mut batch = Vec::new();
-        let k = lone.fill_batch(1, &mut batch, &mut stats);
+        let k = lone.fill_batch(1, &mut batch, &mut stats, false);
         assert_eq!(k, 0, "the last task belongs to its owner");
         assert_eq!(lock(&lone.queues[0]).len(), 1);
     }
@@ -983,9 +1119,10 @@ mod tests {
         assert_eq!(pool.workers(), 4);
         for round in 0..3 {
             let hits: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
-            pool.run(&|w| {
+            let panicked = pool.run(&|w| {
                 hits[w].fetch_add(1, Ordering::Relaxed);
             });
+            assert!(!panicked);
             for (w, h) in hits.iter().enumerate() {
                 assert_eq!(
                     h.load(Ordering::Relaxed),
@@ -994,6 +1131,99 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A panicking job is contained: `run` reports it instead of
+    /// aborting, and the same pool threads run the next job cleanly.
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let pool = WorkerPool::new(4);
+        let panicked = pool.run(&|w| {
+            if w == 2 {
+                panic!("injected");
+            }
+        });
+        assert!(panicked, "the panic must be reported");
+        let hits: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        let panicked = pool.run(&|w| {
+            hits[w].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(!panicked);
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "pool still runs every worker");
+        }
+    }
+
+    /// A panicking task body halts the run and surfaces the worker and
+    /// payload in the outcome — at every width, without taking the
+    /// process down.
+    #[test]
+    fn body_panic_is_contained_and_reported() {
+        for workers in [1, 2, 4, 8] {
+            let sched: Scheduler<u64> = Scheduler::new(workers);
+            for i in 0..200 {
+                sched.inject(i);
+            }
+            let out = sched.run(for_each(|_, v: u64| {
+                if v == 100 {
+                    panic!("task exploded");
+                }
+            }));
+            let (_, msg) = out.panicked.as_ref().unwrap_or_else(|| {
+                panic!("workers={workers}: panic not reported: {out:?}")
+            });
+            assert_eq!(msg, "task exploded", "workers={workers}");
+            assert!(out.halted, "a contained panic halts the run");
+            // Every task is still accounted for: processed (the batch
+            // containing the panic counts as consumed) or leftover.
+            assert_eq!(out.processed + out.leftover, 200, "workers={workers}");
+        }
+    }
+
+    /// Forced steals must never strand work: even with every batch
+    /// forced onto the steal path, a lone worker falls back to its own
+    /// queue and the system drains.
+    #[test]
+    fn forced_steal_falls_back_to_own_queue() {
+        for workers in [1, 4] {
+            let sched: Scheduler<(u32, u64)> =
+                Scheduler::new(workers).with_chaos(Some(ChaosConfig {
+                    force_steal_prob: 1.0,
+                    ..ChaosConfig::off(42)
+                }));
+            let total = AtomicU64::new(0);
+            sched.inject((10, 1));
+            let out = sched.run(for_each(|ctx, (d, v): (u32, u64)| {
+                if d == 0 {
+                    total.fetch_add(v, Ordering::Relaxed);
+                } else {
+                    ctx.push((d - 1, v * 2));
+                    ctx.push((d - 1, v * 2 + 1));
+                }
+            }));
+            let expect: u64 = (1u64 << 10..1u64 << 11).sum();
+            assert_eq!(total.load(Ordering::Relaxed), expect, "workers={workers}");
+            assert_eq!(out.leftover, 0, "workers={workers}: no stranded work");
+            assert!(!out.halted);
+        }
+    }
+
+    /// Chaos delays are drawn from the per-worker seeded stream: the
+    /// run completes, and the delay tally is nonzero at probability 1.
+    #[test]
+    fn chaos_delays_are_injected_and_tallied() {
+        let sched: Scheduler<u64> = Scheduler::new(2).with_chaos(Some(ChaosConfig {
+            delay_prob: 1.0,
+            delay_us: 1,
+            ..ChaosConfig::off(7)
+        }));
+        for i in 0..50 {
+            sched.inject(i);
+        }
+        let out = sched.run(for_each(|_, _v: u64| {}));
+        assert_eq!(out.processed, 50);
+        let delays: u64 = out.workers.iter().map(|w| w.chaos_delays).sum();
+        assert!(delays > 0, "p=1 delays must be tallied: {out:?}");
     }
 
     #[test]

@@ -62,19 +62,22 @@ impl TagTable {
         }
     }
 
-    /// The tag for iteration `iter` of loop `loop_id` under `parent`.
-    pub fn child(&mut self, parent: TagId, loop_id: LoopId, iter: u32) -> TagId {
+    /// The tag for iteration `iter` of loop `loop_id` under `parent`, or
+    /// `None` if the tag space (`u32` ids) is exhausted — the caller
+    /// surfaces that as [`crate::exec::MachineError::TagSpaceExhausted`]
+    /// rather than panicking mid-run.
+    pub fn child(&mut self, parent: TagId, loop_id: LoopId, iter: u32) -> Option<TagId> {
         if let Some(&t) = self.intern.get(&(parent, loop_id, iter)) {
-            return t;
+            return Some(t);
         }
-        let t = TagId(u32::try_from(self.ctxs.len()).expect("too many tags"));
+        let t = TagId(u32::try_from(self.ctxs.len()).ok()?);
         self.ctxs.push(Some(Ctx {
             parent,
             loop_id,
             iter,
         }));
         self.intern.insert((parent, loop_id, iter), t);
-        t
+        Some(t)
     }
 
     /// Decompose a tag into `(parent, loop, iteration)`; `None` for the
@@ -129,12 +132,12 @@ mod tests {
     #[test]
     fn children_are_interned() {
         let mut t = TagTable::new();
-        let a = t.child(TagId::ROOT, LoopId(0), 3);
-        let b = t.child(TagId::ROOT, LoopId(0), 3);
+        let a = t.child(TagId::ROOT, LoopId(0), 3).unwrap();
+        let b = t.child(TagId::ROOT, LoopId(0), 3).unwrap();
         assert_eq!(a, b, "same (parent, loop, iter) must intern to same tag");
-        let c = t.child(TagId::ROOT, LoopId(0), 4);
+        let c = t.child(TagId::ROOT, LoopId(0), 4).unwrap();
         assert_ne!(a, c);
-        let d = t.child(TagId::ROOT, LoopId(1), 3);
+        let d = t.child(TagId::ROOT, LoopId(1), 3).unwrap();
         assert_ne!(a, d);
         assert_eq!(t.len(), 4);
     }
@@ -142,8 +145,8 @@ mod tests {
     #[test]
     fn nesting_and_render() {
         let mut t = TagTable::new();
-        let outer = t.child(TagId::ROOT, LoopId(1), 2);
-        let inner = t.child(outer, LoopId(0), 0);
+        let outer = t.child(TagId::ROOT, LoopId(1), 2).unwrap();
+        let inner = t.child(outer, LoopId(0), 0).unwrap();
         assert_eq!(t.depth(inner), 2);
         assert_eq!(t.info(inner), Some((outer, LoopId(0), 0)));
         assert_eq!(t.render(inner), "root.L1[2].L0[0]");

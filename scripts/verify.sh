@@ -16,6 +16,11 @@ cargo test -q --offline
 echo "==> default features must be warning-free (full build, all targets)"
 RUSTFLAGS="-Dwarnings" cargo build --workspace --all-targets --offline
 
+echo "==> chaos smoke: fault-injection campaign (cf2df chaos --quick)"
+# Every run must match the deterministic simulator or return a typed
+# machine error within the watchdog bound — no hangs, no aborts.
+target/release/cf2df chaos --quick
+
 echo "==> bench smoke: cf2df bench --quick + artifact validation"
 target/release/cf2df bench --quick --out-dir target/bench-smoke
 target/release/cf2df check-bench \

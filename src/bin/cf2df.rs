@@ -11,6 +11,8 @@
 //! cf2df bench      [--quick] [--out-dir <dir>]
 //! cf2df check-bench <artifact.json> [<artifact.json>…]
 //!                   [--compare <old.json>] [--tolerance <frac>]
+//! cf2df chaos      [--quick] [--seeds <n>] [--workers <a,b,…>]
+//!                  [--programs <p1,p2,…>] [--fuel <n>] [--watchdog-ms <n>]
 //!
 //! SCHEMA:     --schema1 | --schema2 (default) | --schema3 | --optimized | --full
 //! TRANSFORMS: --memelim --readpar --arraypar --forward --no-loop-control
@@ -24,6 +26,15 @@
 //! `translate --time-passes` prints a per-pass table on stderr: wall
 //! time, analyses computed vs. served from the cache, and CFG/DFG sizes
 //! in and out of every pipeline stage.
+//!
+//! `chaos` runs the seeded fault-injection campaign: every corpus
+//! program (or `--programs`) under every fault profile (off, perturb,
+//! panics, drops, dups, mixed) at every worker count, `--seeds` seeds
+//! each. Every run must either match the deterministic simulator
+//! bit-for-bit or return a typed machine error within the watchdog
+//! bound — no hangs, no aborts, no silent corruption. Benign profiles
+//! (off, perturb) must always match. Exits non-zero on any violation.
+//! `--quick` shrinks the campaign for CI smoke runs.
 //!
 //! `bench` runs the canonical workloads through the simulator and the
 //! threaded executor at 1/2/4/8 workers and writes `BENCH_pipeline.json`,
@@ -168,12 +179,230 @@ fn run_bench(quick: bool, out_dir: &str) {
     }
 }
 
+/// One cell of the chaos-campaign result table.
+#[derive(Default)]
+struct ChaosRow {
+    ok: u64,
+    panics: u64,
+    leaks: u64,
+    collisions: u64,
+    tag_exhausted: u64,
+    fuel: u64,
+    watchdogs: u64,
+    faults_injected: u64,
+}
+
+/// `cf2df chaos`: the seeded fault-injection campaign. Every run must
+/// match the simulator or return a typed error; anything else is a
+/// violation and the process exits 1.
+fn run_chaos(mut args: Args) {
+    use cf2df::machine::parallel::run_threaded_pooled_with;
+    use cf2df::machine::{ChaosConfig, ExecutorPool, MachineError, ParConfig};
+
+    let quick = args.flag("--quick");
+    let seeds: u64 = args
+        .value("--seeds")
+        .map(|s| s.parse().expect("numeric --seeds"))
+        .unwrap_or(if quick { 2 } else { 8 });
+    let workers: Vec<usize> = match args.value("--workers") {
+        Some(w) => w
+            .split(',')
+            .map(|x| x.parse().expect("numeric --workers list"))
+            .collect(),
+        None if quick => vec![2, 8],
+        None => vec![1, 2, 4, 8],
+    };
+    let only: Option<Vec<String>> = args
+        .value("--programs")
+        .map(|p| p.split(',').map(str::to_owned).collect());
+    let fuel: u64 = args
+        .value("--fuel")
+        .map(|s| s.parse().expect("numeric --fuel"))
+        .unwrap_or(50_000_000);
+    let watchdog_ms: u64 = args
+        .value("--watchdog-ms")
+        .map(|s| s.parse().expect("numeric --watchdog-ms"))
+        .unwrap_or(5_000);
+    if !args.rest.is_empty() {
+        eprintln!("chaos: unrecognized arguments {:?}", args.rest);
+        usage();
+    }
+
+    type Profile = (&'static str, bool, fn(u64) -> ChaosConfig);
+    // (name, destructive?, constructor). Benign profiles must stay
+    // bit-for-bit equivalent to the simulator; destructive ones may
+    // instead end in a typed error.
+    let profiles: [Profile; 6] = [
+        ("off", false, ChaosConfig::off),
+        ("perturb", false, ChaosConfig::perturb),
+        ("panics", true, ChaosConfig::panics),
+        ("drops", true, ChaosConfig::drops),
+        ("dups", true, ChaosConfig::dups),
+        ("mixed", true, ChaosConfig::mixed),
+    ];
+    let schemas: &[(&str, TranslateOptions)] = &if quick {
+        vec![("schema2", TranslateOptions::schema2())]
+    } else {
+        vec![
+            ("schema2", TranslateOptions::schema2()),
+            ("full", TranslateOptions::full_parallel()),
+        ]
+    };
+
+    // Injected operator panics are expected by the thousand; keep them
+    // off stderr. Genuine panics still print through the previous hook.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("chaos: "));
+        if !injected {
+            prev_hook(info);
+        }
+    }));
+
+    let mut rows: Vec<ChaosRow> = profiles.iter().map(|_| ChaosRow::default()).collect();
+    let mut violations: Vec<String> = Vec::new();
+    let mut runs = 0u64;
+    let started = std::time::Instant::now();
+
+    // One persistent pool per worker count: panic containment must leave
+    // the pool usable, so the whole campaign doubles as a reuse test.
+    let pools: Vec<ExecutorPool> = workers.iter().map(|&w| ExecutorPool::new(w)).collect();
+
+    for (name, src) in cf2df::lang::corpus::all() {
+        if let Some(only) = &only {
+            if !only.iter().any(|p| p == name) {
+                continue;
+            }
+        }
+        let parsed = cf2df::lang::parse_to_cfg(src).unwrap_or_else(|e| {
+            eprintln!("corpus program {name} failed to parse: {e}");
+            exit(1)
+        });
+        for (slabel, opts) in schemas {
+            let t = match translate(&parsed.cfg, &parsed.alias, opts) {
+                Ok(t) => t,
+                // Stricter schemas reject a few corpus programs; the
+                // executor would reject them identically.
+                Err(_) => continue,
+            };
+            let layout = MemLayout::distinct(&t.cfg.vars);
+            let sim = run(&t.dfg, &layout, MachineConfig::unbounded()).unwrap_or_else(|e| {
+                eprintln!("{slabel}/{name}: simulator oracle failed: {e}");
+                exit(1)
+            });
+            for (pi, (plabel, destructive, make)) in profiles.iter().enumerate() {
+                for seed in 0..seeds {
+                    for (wi, &w) in workers.iter().enumerate() {
+                        let cfg = ParConfig {
+                            fuel,
+                            watchdog: Some(std::time::Duration::from_millis(watchdog_ms)),
+                            chaos: Some(make(seed)),
+                            ..ParConfig::default()
+                        };
+                        let (result, metrics, _) =
+                            run_threaded_pooled_with(&t.dfg, &layout, &pools[wi], &cfg);
+                        runs += 1;
+                        rows[pi].faults_injected += metrics.chaos.total();
+                        let ctx = || format!("{slabel}/{name} profile={plabel} seed={seed} workers={w}");
+                        match result {
+                            Ok(out) => {
+                                rows[pi].ok += 1;
+                                if out.memory != sim.memory
+                                    || out.ist_memory != sim.ist_memory
+                                    || out.fired != sim.stats.fired
+                                {
+                                    violations.push(format!(
+                                        "{}: completed but diverged from simulator \
+                                         (fired {} vs {})",
+                                        ctx(),
+                                        out.fired,
+                                        sim.stats.fired
+                                    ));
+                                }
+                            }
+                            Err(e) => {
+                                if !destructive {
+                                    violations.push(format!(
+                                        "{}: benign profile failed: {e}",
+                                        ctx()
+                                    ));
+                                }
+                                match e {
+                                    MachineError::WorkerPanicked { .. } => rows[pi].panics += 1,
+                                    MachineError::TokenLeak { .. } => rows[pi].leaks += 1,
+                                    MachineError::TokenCollision { .. } => {
+                                        rows[pi].collisions += 1
+                                    }
+                                    MachineError::TagSpaceExhausted { .. } => {
+                                        rows[pi].tag_exhausted += 1
+                                    }
+                                    MachineError::FuelExhausted => rows[pi].fuel += 1,
+                                    MachineError::WatchdogTimeout { .. } => {
+                                        rows[pi].watchdogs += 1
+                                    }
+                                    other => violations.push(format!(
+                                        "{}: untyped/unexpected failure: {other}",
+                                        ctx()
+                                    )),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "{:<9} {:>6} {:>7} {:>6} {:>10} {:>5} {:>5} {:>9} {:>9}",
+        "profile", "ok", "panics", "leaks", "collisions", "tags", "fuel", "watchdogs", "injected"
+    );
+    for (pi, (plabel, _, _)) in profiles.iter().enumerate() {
+        let r = &rows[pi];
+        println!(
+            "{:<9} {:>6} {:>7} {:>6} {:>10} {:>5} {:>5} {:>9} {:>9}",
+            plabel,
+            r.ok,
+            r.panics,
+            r.leaks,
+            r.collisions,
+            r.tag_exhausted,
+            r.fuel,
+            r.watchdogs,
+            r.faults_injected
+        );
+    }
+    for v in violations.iter().take(20) {
+        eprintln!("VIOLATION: {v}");
+    }
+    if violations.len() > 20 {
+        eprintln!("… and {} more", violations.len() - 20);
+    }
+    let secs = started.elapsed().as_secs_f64();
+    if violations.is_empty() {
+        println!(
+            "chaos: {runs} runs clean in {secs:.1}s (seeds={seeds}, workers={workers:?}): \
+             every run matched the simulator or returned a typed error"
+        );
+    } else {
+        eprintln!("chaos: {} violation(s) in {runs} runs", violations.len());
+        exit(1)
+    }
+}
+
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
         usage();
     }
     let cmd = argv.remove(0);
+    if cmd == "chaos" {
+        run_chaos(Args { rest: argv });
+        return;
+    }
     if cmd == "bench" {
         let mut args = Args { rest: argv };
         let quick = args.flag("--quick");

@@ -200,6 +200,38 @@ fn check_bench_compare_gates_regressions() {
 }
 
 #[test]
+fn chaos_campaign_runs_clean_and_reports_faults() {
+    // A tiny deterministic slice of the campaign: one program, both
+    // benign and destructive profiles, two worker counts. Must exit 0
+    // (all runs equivalent-or-typed-error) and actually inject faults.
+    let (stdout, stderr, ok) = cf2df(&[
+        "chaos",
+        "--quick",
+        "--seeds",
+        "2",
+        "--workers",
+        "2,4",
+        "--programs",
+        "gcd,nested",
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    for profile in ["off", "perturb", "panics", "drops", "dups", "mixed"] {
+        assert!(stdout.contains(profile), "missing {profile} row: {stdout}");
+    }
+    assert!(stdout.contains("runs clean"), "{stdout}");
+    // Destructive profiles must have injected something across this
+    // many runs; the table's injected column is summed per profile.
+    let injected: u64 = stdout
+        .lines()
+        .filter(|l| {
+            l.starts_with("panics") || l.starts_with("drops") || l.starts_with("dups")
+        })
+        .filter_map(|l| l.split_whitespace().last()?.parse::<u64>().ok())
+        .sum();
+    assert!(injected > 0, "no faults injected: {stdout}");
+}
+
+#[test]
 fn istructure_flag_applies() {
     let (stdout, stderr, ok) = cf2df(&[
         "run",
