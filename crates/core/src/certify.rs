@@ -1,0 +1,347 @@
+//! Translation validation for the pipeline (the `certify` pass).
+//!
+//! Three independent obligations, layered on the abstract token-rate
+//! analysis of [`cf2df_dfg::certify`]:
+//!
+//! 1. **Token linearity** — the dataflow graph's context analysis must be
+//!    defect-free: every arc carries exactly one token per activation in
+//!    its tag context, cycles are gated, loop tags are stripped before
+//!    `End`.
+//! 2. **Theorem 1 switch placement** — for the §4 optimized construction,
+//!    an independent oracle recomputes the needed-switch relation from
+//!    control dependence (`CD⁺`, Definition 5) node by node, with its own
+//!    circulation fixpoint, and cross-checks the translator's placement
+//!    both ways. A switch the oracle demands but the translator omitted is
+//!    *unsound* (the token would bypass a fork its line is live across); a
+//!    switch the translator placed but the oracle rejects is a missed
+//!    optimization. Both are reported, separately.
+//! 3. **Access-token conservation** — every pair of memory operations
+//!    whose access sets intersect (and at least one of which writes) must
+//!    be ordered within an activation whenever both can fire in one trace
+//!    (Schema 2/3 soundness); and the cover must give aliased variables
+//!    intersecting access sets and every variable a non-empty one
+//!    (Schema 3's Fig 12/13 obligation).
+//!
+//! A failed obligation aborts the translation with
+//! [`crate::pipeline::TranslateError::Certify`], carrying the full
+//! [`CertifyReport`] — the graph never reaches the executor.
+
+use crate::lines::{LineId, Lines};
+use cf2df_cfg::loop_control::LoopControlMeta;
+use cf2df_cfg::{AliasStructure, Cfg, ControlDeps, NodeId, Stmt, VarTable};
+use cf2df_dfg::certify::Analysis;
+use cf2df_dfg::{Defect, Dfg, OpId, OpKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A `(fork node, token line)` switch site.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct SwitchSite {
+    /// The fork node in the (loop-controlled) CFG.
+    pub node: NodeId,
+    /// The token line the switch routes.
+    pub line: LineId,
+}
+
+impl fmt::Display for SwitchSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fork {:?} line {:?}", self.node, self.line)
+    }
+}
+
+/// The full result of the `certify` pass.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CertifyReport {
+    /// Token-rate defects in the dataflow graph (with path witnesses).
+    pub graph_defects: Vec<Defect>,
+    /// Switch sites the Theorem 1 oracle demands but the translator did
+    /// not place — unsoundness.
+    pub missing_switches: Vec<SwitchSite>,
+    /// Switch sites the translator placed but the oracle rejects — missed
+    /// optimizations (every such switch is provably redundant).
+    pub extra_switches: Vec<SwitchSite>,
+    /// Access-token conservation violations (unordered conflicting memory
+    /// operations).
+    pub conservation_defects: Vec<String>,
+    /// Cover-soundness violations (aliased variables whose access sets
+    /// miss each other).
+    pub cover_defects: Vec<String>,
+    /// Switch sites cross-checked against the oracle (0 when the
+    /// translation was not the optimized construction).
+    pub switches_checked: usize,
+    /// Conflicting co-occurring memory-operation pairs whose ordering was
+    /// verified.
+    pub memory_pairs_checked: usize,
+}
+
+impl CertifyReport {
+    /// Did every obligation hold?
+    pub fn is_clean(&self) -> bool {
+        self.defect_count() == 0
+    }
+
+    /// Total defects across all obligations.
+    pub fn defect_count(&self) -> usize {
+        self.graph_defects.len()
+            + self.missing_switches.len()
+            + self.extra_switches.len()
+            + self.conservation_defects.len()
+            + self.cover_defects.len()
+    }
+
+    /// Machine-readable JSON rendering (hand-rolled; the report contains
+    /// no externally controlled strings beyond variable names).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    '\n' => vec!['\\', 'n'],
+                    c => vec![c],
+                })
+                .collect()
+        }
+        fn strings(items: &[String]) -> String {
+            let body: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+            format!("[{}]", body.join(","))
+        }
+        fn sites(items: &[SwitchSite]) -> String {
+            let body: Vec<String> = items
+                .iter()
+                .map(|s| format!("{{\"node\":{},\"line\":{}}}", s.node.0, s.line.0))
+                .collect();
+            format!("[{}]", body.join(","))
+        }
+        let defects: Vec<String> = self
+            .graph_defects
+            .iter()
+            .map(|d| {
+                let witness: Vec<String> =
+                    d.witness.iter().map(|o| o.index().to_string()).collect();
+                format!(
+                    "{{\"kind\":\"{}\",\"op\":{},\"detail\":\"{}\",\"witness\":[{}]}}",
+                    d.kind.name(),
+                    d.op.map_or("null".into(), |o| o.index().to_string()),
+                    esc(&d.detail),
+                    witness.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"clean\":{},\"graph_defects\":[{}],\"missing_switches\":{},\
+             \"extra_switches\":{},\"conservation_defects\":{},\"cover_defects\":{},\
+             \"switches_checked\":{},\"memory_pairs_checked\":{}}}",
+            self.is_clean(),
+            defects.join(","),
+            sites(&self.missing_switches),
+            sites(&self.extra_switches),
+            strings(&self.conservation_defects),
+            strings(&self.cover_defects),
+            self.switches_checked,
+            self.memory_pairs_checked,
+        )
+    }
+}
+
+impl fmt::Display for CertifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(
+                f,
+                "certified: {} switch sites, {} memory pairs, 0 defects",
+                self.switches_checked, self.memory_pairs_checked
+            );
+        }
+        writeln!(f, "{} certification defects:", self.defect_count())?;
+        for d in &self.graph_defects {
+            writeln!(f, "  {d}")?;
+        }
+        for s in &self.missing_switches {
+            writeln!(f, "  [missing-switch] {s}: Theorem 1 requires a switch here")?;
+        }
+        for s in &self.extra_switches {
+            writeln!(f, "  [extra-switch] {s}: provably redundant (missed optimization)")?;
+        }
+        for d in &self.conservation_defects {
+            writeln!(f, "  [conservation] {d}")?;
+        }
+        for d in &self.cover_defects {
+            writeln!(f, "  [cover] {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The Theorem 1 oracle: recompute the needed-switch relation from
+/// control dependence, independently of the Fig 10 worklist in
+/// [`crate::switch_place`].
+///
+/// Differences from the production algorithm, deliberate so the two do
+/// not share failure modes: `CD⁺` is taken per *node* (Definition 5
+/// directly, one closure per referencing node) rather than from per-line
+/// seed sets, and the circulation fixpoint is grown from the needed-set
+/// of each round rather than interleaved with the placement bitmaps.
+pub fn theorem1_switches(
+    cfg: &Cfg,
+    cd: &ControlDeps,
+    meta: &LoopControlMeta,
+    lines: &Lines,
+) -> BTreeSet<SwitchSite> {
+    let base_refs: Vec<Vec<LineId>> = cfg
+        .node_ids()
+        .map(|n| lines.referenced_lines(cfg.stmt(n)))
+        .collect();
+
+    // Circulation: a line circulates through a loop iff it is referenced
+    // in the body or needs a switch at a fork in the body; upward-closed
+    // over the loop forest.
+    let n_loops = meta.forest.len();
+    let mut circ: Vec<BTreeSet<LineId>> = vec![BTreeSet::new(); n_loops];
+    for (lid, info) in meta.forest.iter() {
+        for &b in &info.body {
+            circ[lid.index()].extend(base_refs[b.index()].iter().copied());
+        }
+    }
+
+    // CD⁺ closures, one per node that references anything, memoized.
+    let mut closures: Vec<Option<Vec<bool>>> = vec![None; cfg.len()];
+    loop {
+        let mut needed: BTreeSet<SwitchSite> = BTreeSet::new();
+        for n in cfg.node_ids() {
+            let refs: Vec<LineId> = match cfg.stmt(n) {
+                Stmt::LoopEntry { loop_id } | Stmt::LoopExit { loop_id } => {
+                    circ[loop_id.index()].iter().copied().collect()
+                }
+                _ => base_refs[n.index()].clone(),
+            };
+            if refs.is_empty() {
+                continue;
+            }
+            let marked = closures[n.index()].get_or_insert_with(|| cd.iterated_single(n));
+            for f in cfg.node_ids() {
+                // `start` is exempt by the start→end convention: its
+                // constant predicate makes its "switch" emit directly.
+                if marked[f.index()] && cfg.stmt(f).is_fork() && f != cfg.start() {
+                    for &l in &refs {
+                        needed.insert(SwitchSite { node: f, line: l });
+                    }
+                }
+            }
+        }
+
+        let mut changed = false;
+        for (lid, info) in meta.forest.iter() {
+            for s in &needed {
+                if info.body.contains(&s.node) && circ[lid.index()].insert(s.line) {
+                    changed = true;
+                }
+            }
+        }
+        // Upward closure: inner circulation implies outer.
+        loop {
+            let mut grew = false;
+            for (lid, info) in meta.forest.iter() {
+                if let Some(parent) = info.parent {
+                    let inner: Vec<LineId> = circ[lid.index()].iter().copied().collect();
+                    for l in inner {
+                        if circ[parent.index()].insert(l) {
+                            grew = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        if !changed {
+            return needed;
+        }
+    }
+}
+
+/// Per-variable access-token conservation: any two memory operations with
+/// intersecting access sets, at least one a store, that can fire in one
+/// trace must be ordered within an activation. Returns the violations and
+/// the number of pairs whose ordering was verified.
+///
+/// I-structure operations are exempt: write-once cells order reads after
+/// the write dynamically (deferred reads), by design.
+pub fn check_conservation(g: &Dfg, lines: &Lines, an: &Analysis) -> (Vec<String>, usize) {
+    let mem: Vec<(OpId, &[LineId], bool)> = g
+        .op_ids()
+        .filter_map(|o| {
+            let var = match *g.kind(o) {
+                OpKind::Load { var }
+                | OpKind::Store { var }
+                | OpKind::LoadIdx { var }
+                | OpKind::StoreIdx { var } => var,
+                _ => return None,
+            };
+            Some((o, lines.access_lines(var), g.kind(o).is_store()))
+        })
+        .collect();
+
+    let mut defects = Vec::new();
+    let mut pairs = 0;
+    for i in 0..mem.len() {
+        for j in i + 1..mem.len() {
+            let (a, la, sa) = mem[i];
+            let (b, lb, sb) = mem[j];
+            if !(sa || sb) || !la.iter().any(|l| lb.contains(l)) {
+                continue;
+            }
+            if !an.may_cooccur(a, b) {
+                continue;
+            }
+            pairs += 1;
+            if !an.reaches(a, b) && !an.reaches(b, a) {
+                defects.push(format!(
+                    "{:?} ({}) and {:?} ({}) share an access line and can fire in one \
+                     trace, but neither is ordered before the other",
+                    a,
+                    g.kind(a).mnemonic(),
+                    b,
+                    g.kind(b).mnemonic()
+                ));
+            }
+        }
+    }
+    (defects, pairs)
+}
+
+/// Cover soundness (Fig 12/13): every variable's access set is non-empty,
+/// and aliased variables' access sets intersect — otherwise operations on
+/// the two names would not synchronize and a store could race a load of
+/// its alias.
+pub fn check_cover(vars: &VarTable, alias: &AliasStructure, lines: &Lines) -> Vec<String> {
+    let mut out = Vec::new();
+    let ids: Vec<_> = vars.ids().collect();
+    for &u in &ids {
+        if lines.access_lines(u).is_empty() {
+            out.push(format!(
+                "variable {} has an empty access set: its operations synchronize \
+                 with nothing",
+                vars.name(u)
+            ));
+        }
+        for &v in &ids {
+            if v.0 <= u.0 || !alias.aliased(u, v) {
+                continue;
+            }
+            let la = lines.access_lines(u);
+            let lb = lines.access_lines(v);
+            if !la.iter().any(|l| lb.contains(l)) {
+                out.push(format!(
+                    "aliased variables {} and {} have disjoint access sets: their \
+                     operations would not synchronize",
+                    vars.name(u),
+                    vars.name(v)
+                ));
+            }
+        }
+    }
+    out
+}

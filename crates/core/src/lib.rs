@@ -37,6 +37,7 @@
 //! assert!(cf2df_dfg::validate(&t.dfg).is_ok());
 //! ```
 
+pub mod certify;
 pub mod lines;
 pub mod optimized;
 pub mod pass;
@@ -47,6 +48,7 @@ pub mod switch_place;
 pub mod transform;
 pub mod translator;
 
+pub use certify::{CertifyReport, SwitchSite};
 pub use lines::{LineId, LineMode, Lines};
 pub use pass::{render_pass_table, Pass, PassCtx, PassManager, PassRecord};
 pub use pipeline::{

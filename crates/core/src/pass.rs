@@ -45,6 +45,12 @@ pub struct PassCtx<'a> {
     /// The dataflow graph under construction (set by a construction pass,
     /// rewritten by the §6 transform passes).
     pub built: Option<Built>,
+    /// Switch sites the optimized construction placed, snapshotted before
+    /// the §6 transforms can remap or remove operators (set by the
+    /// `construct-optimized` pass; `None` for the naive translation).
+    pub placed_switches: Option<Vec<(cf2df_cfg::NodeId, crate::lines::LineId)>>,
+    /// The clean certification report (set by the `certify` pass).
+    pub certify_report: Option<crate::certify::CertifyReport>,
     /// §6.2 load chains parallelized.
     pub read_chains_parallelized: usize,
     /// §6.3 sites rewritten.
@@ -68,6 +74,8 @@ impl<'a> PassCtx<'a> {
             switch_placement: None,
             source_vectors: None,
             built: None,
+            placed_switches: None,
+            certify_report: None,
             read_chains_parallelized: 0,
             array_sites_parallelized: 0,
             stores_forwarded: 0,

@@ -67,6 +67,13 @@ pub struct TranslateOptions {
     /// read cell is eventually written; violations fault or deadlock at
     /// run time rather than corrupt results. Unknown names are ignored.
     pub istructure_arrays: Vec<String>,
+    /// Run the static translation validator ([`crate::certify`]) as the
+    /// last stage: token-rate certification of the produced graph, the
+    /// Theorem 1 switch-placement cross-check, and access-token
+    /// conservation. On by default; requires loop control (the Fig 8
+    /// reproduction graphs are deliberately uncertifiable, so the pass is
+    /// skipped when `loop_control` is off).
+    pub certify: bool,
     /// Insert loop control (§3). Disabling this on a cyclic program
     /// reproduces the paper's broken Fig 8 graph, whose token collisions
     /// the machine detects.
@@ -88,6 +95,7 @@ impl TranslateOptions {
             flat_synch: false,
             cleanup: false,
             istructure_arrays: Vec::new(),
+            certify: true,
             loop_control: true,
             split_irreducible: true,
         }
@@ -169,6 +177,12 @@ impl TranslateOptions {
         self
     }
 
+    /// Toggle the static translation validator.
+    pub fn with_certify(mut self, on: bool) -> Self {
+        self.certify = on;
+        self
+    }
+
     /// Toggle §6.2 store-to-load forwarding.
     pub fn with_store_forwarding(mut self, on: bool) -> Self {
         self.forward_stores = on;
@@ -210,6 +224,10 @@ pub enum TranslateError {
     AliasingRequiresSchema3,
     /// The optimized construction requires loop control.
     OptimizedNeedsLoopControl,
+    /// The static translation validator found defects in the produced
+    /// graph; the full report is attached and the graph is withheld from
+    /// the caller.
+    Certify(Box<crate::certify::CertifyReport>),
 }
 
 impl fmt::Display for TranslateError {
@@ -228,6 +246,9 @@ impl fmt::Display for TranslateError {
             }
             TranslateError::OptimizedNeedsLoopControl => {
                 write!(f, "the optimized construction requires loop control")
+            }
+            TranslateError::Certify(report) => {
+                write!(f, "translation failed certification: {report}")
             }
         }
     }
@@ -268,6 +289,8 @@ pub struct Translated {
     pub istructure_ops: usize,
     /// Operators removed by the CSE/DCE cleanup passes.
     pub ops_cleaned: usize,
+    /// The clean certification report, when the `certify` pass ran.
+    pub certify: Option<crate::certify::CertifyReport>,
 }
 
 // ---------------------------------------------------------------------------
@@ -401,6 +424,10 @@ impl Pass for ConstructOptimizedPass {
             ctx.source_vectors.as_ref().expect("source-vectors pass ran"),
         )
         .map_err(TranslateError::Irreducible)?;
+        // Snapshot the placed switch sites before the §6 transforms can
+        // remap or delete operators: the certify pass cross-checks these
+        // against the Theorem 1 oracle.
+        ctx.placed_switches = Some(built.ops.switches.keys().copied().collect());
         ctx.built = Some(built);
         Ok(())
     }
@@ -505,6 +532,61 @@ impl Pass for IStructurePass {
     }
 }
 
+/// The static translation validator (always scheduled last): token-rate
+/// certification, the Theorem 1 cross-check, and access-token
+/// conservation. See [`crate::certify`].
+struct CertifyPass;
+impl Pass for CertifyPass {
+    fn name(&self) -> &'static str {
+        "certify"
+    }
+    fn run(&mut self, ctx: &mut PassCtx) -> Result<(), TranslateError> {
+        let (missing, extra, switches_checked) = match &ctx.placed_switches {
+            Some(placed) => {
+                let placed: std::collections::BTreeSet<crate::certify::SwitchSite> = placed
+                    .iter()
+                    .map(|&(node, line)| crate::certify::SwitchSite { node, line })
+                    .collect();
+                let cd = ctx.fctx.control_deps();
+                let oracle = crate::certify::theorem1_switches(
+                    ctx.fctx.cfg(),
+                    &cd,
+                    ctx.loop_control.as_ref().expect("certify requires loop control"),
+                    ctx.lines.as_ref().expect("lines pass ran"),
+                );
+                (
+                    oracle.difference(&placed).copied().collect(),
+                    placed.difference(&oracle).copied().collect(),
+                    oracle.union(&placed).count(),
+                )
+            }
+            None => (Vec::new(), Vec::new(), 0),
+        };
+        let built = ctx.built.as_ref().expect("construction pass ran");
+        let lines = ctx.lines.as_ref().expect("lines pass ran");
+        let analysis = cf2df_dfg::certify::analyze(&built.dfg);
+        let (conservation_defects, memory_pairs_checked) =
+            crate::certify::check_conservation(&built.dfg, lines, &analysis);
+        let cover_defects =
+            crate::certify::check_cover(&ctx.fctx.cfg().vars, ctx.fctx.alias(), lines);
+        let report = crate::certify::CertifyReport {
+            graph_defects: analysis.defects,
+            missing_switches: missing,
+            extra_switches: extra,
+            conservation_defects,
+            cover_defects,
+            switches_checked,
+            memory_pairs_checked,
+        };
+        if report.is_clean() {
+            ctx.certify_report = Some(report);
+            Ok(())
+        } else {
+            Err(TranslateError::Certify(Box::new(report)))
+        }
+    }
+}
+
 /// Assemble the pass schedule for `opts`. Disabled stages are simply not
 /// scheduled, so the record list names exactly the stages that ran.
 fn schedule(opts: &TranslateOptions) -> PassManager {
@@ -534,6 +616,9 @@ fn schedule(opts: &TranslateOptions) -> PassManager {
     }
     if !opts.istructure_arrays.is_empty() {
         pm.add(IStructurePass);
+    }
+    if opts.certify && opts.loop_control {
+        pm.add(CertifyPass);
     }
     pm
 }
@@ -584,6 +669,7 @@ pub fn translate_cfg(
         stores_forwarded: ctx.stores_forwarded,
         istructure_ops: ctx.istructure_ops,
         ops_cleaned: ctx.ops_cleaned,
+        certify: ctx.certify_report,
     })
 }
 
@@ -604,9 +690,14 @@ mod tests {
                 TranslateOptions::full_parallel_schema3(),
             ];
             for (i, o) in schemas.iter().enumerate() {
+                // A certification failure Displays the full defect report,
+                // path witnesses included — never a bare Debug dump.
                 let t = translate(&parsed.cfg, &parsed.alias, o)
                     .unwrap_or_else(|e| panic!("{name} opts#{i}: {e}"));
-                cf2df_dfg::validate(&t.dfg).unwrap_or_else(|e| panic!("{name} opts#{i}: {e:?}"));
+                let report = t.certify.as_ref().unwrap_or_else(|| {
+                    panic!("{name} opts#{i}: certify pass did not run")
+                });
+                assert!(report.is_clean(), "{name} opts#{i}: {report}");
             }
         }
     }
@@ -693,9 +784,12 @@ mod tests {
         opts.split_irreducible = false;
         let err = translate(&parsed.cfg, &parsed.alias, &opts).unwrap_err();
         assert!(matches!(err, TranslateError::Irreducible(_)));
-        // With splitting (the default) it works and is correct.
-        let t = translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2()).unwrap();
-        cf2df_dfg::validate(&t.dfg).unwrap();
+        // With splitting (the default) it works and certifies: any defect
+        // panics with the full report rather than a bare unwrap.
+        let t = translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2())
+            .unwrap_or_else(|e| panic!("split translation failed: {e}"));
+        let report = t.certify.expect("certify pass ran");
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]
@@ -731,6 +825,7 @@ mod tests {
                 "read-parallelize",
                 "forward-stores",
                 "cleanup",
+                "certify",
             ]
         );
         // The schedule shrinks with the options.
@@ -738,7 +833,14 @@ mod tests {
         let names: Vec<_> = t.passes.iter().map(|r| r.name).collect();
         assert_eq!(
             names,
-            ["validate", "lines", "reducibility", "loop-control", "translate-full"]
+            [
+                "validate",
+                "lines",
+                "reducibility",
+                "loop-control",
+                "translate-full",
+                "certify"
+            ]
         );
     }
 

@@ -359,6 +359,16 @@ mod tests {
         let applied = parallelize_array_stores(&mut built, &lc.cfg, &lc.meta, &lines);
         assert_eq!(applied.len(), 1);
         cf2df_dfg::validate(&built.dfg).unwrap();
+        if let Err(defects) = cf2df_dfg::certify(&built.dfg) {
+            panic!(
+                "fig 14 rewrite fails certification:\n{}",
+                defects
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
         let after = run(&built.dfg, &layout, slow.clone()).unwrap();
         assert_eq!(after.memory, before.memory, "same final store");
 

@@ -419,7 +419,7 @@ mod tests {
         let built = translate_full(&parsed.cfg, &lines).unwrap();
         let g = &built.dfg;
         let ins = g.in_arcs();
-        let start = g.start();
+        let start = g.start().unwrap();
         let mut fed_by_start = 0;
         for o in g.op_ids() {
             if matches!(g.kind(o), cf2df_dfg::OpKind::Load { .. })

@@ -1,0 +1,1477 @@
+//! Static translation validation: abstract token-rate analysis.
+//!
+//! The structural checks in [`crate::validate`] only ensure every port is
+//! wired; they say nothing about *how many* tokens an arc carries. The
+//! paper's correctness argument rests on token linearity: in every tag
+//! context that reaches an operator, each input arc delivers exactly one
+//! token per activation. This module proves that property abstractly.
+//!
+//! ## The abstraction
+//!
+//! Each output port is assigned a *context set*: a set of [`Cube`]s, each
+//! describing one family of tag contexts in which the port emits exactly
+//! one token. A cube records
+//!
+//! - the loop tags held (`λ` markers, keyed by [`cf2df_cfg::LoopId`] so the
+//!   per-line loop-entry operators of one loop unify), and
+//! - the switch guards taken (keyed by the *predicate source port*, so the
+//!   per-line switches of one fork unify).
+//!
+//! `Start` emits in the single empty context. Switches refine contexts by
+//! an arm guard; merges union contexts and cancel complete sibling sets
+//! (all arms of one guard present with the same residue); loop entries add
+//! a `λ`, loop exits strip it together with every guard introduced inside
+//! the loop. Strict (rendezvous) operators require all arc-fed inputs to
+//! carry *canonically equal* context sets — a mismatch means some context
+//! gets a token on one port and not the other, i.e. an arc provably
+//! carries 0 or ≥ 2 tokens per activation.
+//!
+//! Cycles must be gated: the only arcs allowed to close a cycle are those
+//! into a loop-entry's backedge port or a `PrevIter` input (the Fig 14
+//! cross-iteration chain). Everything else is evaluated in one topological
+//! pass; a residual cycle is reported as ungated.
+//!
+//! ## What this does and does not prove
+//!
+//! The analysis is relative: it trusts that each switch's arms partition
+//! every tag context (the predicate produces one boolean per context) and
+//! that a loop's controlling predicate eventually selects the exit arm
+//! exactly once per entry. Under those assumptions, a clean report means
+//! every arc carries exactly one token per activation in its context, all
+//! loop tags are stripped before `End`, and no merge can receive two
+//! tokens under one tag. It does *not* prove termination, nor deadness of
+//! arms under constant predicates beyond immediate-operand switches.
+
+use crate::graph::{Dfg, OpId, Port};
+use crate::op::OpKind;
+use crate::validate::{validate, DfgError};
+use cf2df_cfg::LoopId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Identifies the branching decision a guard was introduced by.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum GuardKey {
+    /// A switch whose predicate input is fed from this output port. All
+    /// per-line switches of one fork share the predicate value, so they
+    /// refine contexts identically.
+    Pred(Port),
+    /// Which of a multi-exit loop's exit sites the activation's single
+    /// exit token left through. A loop with `break`-style early exits has
+    /// several exit sites; exactly one fires per activation, so their
+    /// post-loop contexts are disjoint arms of this guard.
+    Exit(LoopId),
+}
+
+impl fmt::Display for GuardKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardKey::Pred(p) => write!(f, "pred({:?}.{})", p.op, p.port),
+            GuardKey::Exit(l) => write!(f, "exit(L{})", l.0),
+        }
+    }
+}
+
+/// One family of tag contexts delivering exactly one token.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Cube {
+    /// Loop tags held (`λ` markers).
+    pub loops: BTreeSet<LoopId>,
+    /// Guards taken: key → `(arm, arms)`.
+    pub guards: BTreeMap<GuardKey, (u16, u16)>,
+    /// The token's multiplicity in this context is mediated by a
+    /// cross-iteration (`PrevIter`) chain: exactly one per iteration
+    /// overall, but which iteration is decided dynamically. Ignored for
+    /// rendezvous identity.
+    pub crossiter: bool,
+}
+
+impl Cube {
+    fn unit() -> Cube {
+        Cube {
+            loops: BTreeSet::new(),
+            guards: BTreeMap::new(),
+            crossiter: false,
+        }
+    }
+
+    /// Do the cubes carry contradictory guards (a shared key with
+    /// different arms)? Conflicting cubes never describe the same context.
+    pub fn conflicts(&self, other: &Cube) -> bool {
+        self.guards.iter().any(|(k, &(arm, _))| {
+            other.guards.get(k).is_some_and(|&(o_arm, _)| o_arm != arm)
+        })
+    }
+
+    /// Identity used for rendezvous: loops + guards, ignoring `crossiter`.
+    fn same_context(&self, other: &Cube) -> bool {
+        self.loops == other.loops && self.guards == other.guards
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for l in &self.loops {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "λ{}", l.0)?;
+            first = false;
+        }
+        for (k, (arm, arms)) in &self.guards {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={arm}/{arms}")?;
+            first = false;
+        }
+        if self.crossiter {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "×iter")?;
+        }
+        let _ = first;
+        write!(f, "}}")
+    }
+}
+
+/// A canonical set of cubes (the abstract context of a port).
+pub type CubeSet = BTreeSet<Cube>;
+
+fn render_set(s: &CubeSet) -> String {
+    if s.is_empty() {
+        return "∅".into();
+    }
+    s.iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(" ∪ ")
+}
+
+/// The class of a certification defect (machine-readable).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DefectKind {
+    /// A structural defect from [`crate::validate`].
+    Structural,
+    /// A cycle not gated by loop-entry/`PrevIter` operators.
+    UngatedCycle,
+    /// Strict input ports of one operator carry different context sets:
+    /// some context delivers 0 or ≥ 2 tokens to a rendezvous.
+    RateMismatch,
+    /// Two arcs into one merge-like port can deliver tokens under the same
+    /// tag context (≥ 2 tokens per activation).
+    MergeCollision,
+    /// A strict input port never receives a token while a sibling port
+    /// does: the operator can never fire and the live tokens leak.
+    DeadInput,
+    /// A backedge token is not gated by any in-loop guard (the loop could
+    /// never take its exit arm) or lacks the loop's tag.
+    UnguardedBackedge,
+    /// A loop-exit input does not contradict the loop's backedge guard:
+    /// the exit would fire on iterations that also continue.
+    UngatedLoopExit,
+    /// A loop tag survives to `End` (a loop-exit operator is missing).
+    TagLeak,
+    /// `End` fires only under some guard: conditional termination.
+    ConditionalEnd,
+    /// Two exit contexts collapse to the same outer context after tag
+    /// stripping: ≥ 2 tokens leave the loop per entry.
+    DuplicateAfterExit,
+    /// A loop-exit or `PrevIter` input lacks the loop's `λ` tag.
+    MissingLoopTag,
+    /// Some iteration context neither re-enters the loop via the backedge
+    /// nor reaches an exit: the loop entry stalls waiting for a token that
+    /// never arrives.
+    BackedgeGap,
+    /// A `PrevIter` operator used outside the Fig 14 pattern (output must
+    /// feed only merge ports; input must be tagged and guarded).
+    PrevIterMisuse,
+    /// A switch arm that can receive tokens has no outgoing arc: every
+    /// token routed to it is silently dropped, starving whichever
+    /// rendezvous its route was supposed to feed.
+    DroppedToken,
+}
+
+impl DefectKind {
+    /// Stable lower-kebab name for machine-readable reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DefectKind::Structural => "structural",
+            DefectKind::UngatedCycle => "ungated-cycle",
+            DefectKind::RateMismatch => "rate-mismatch",
+            DefectKind::MergeCollision => "merge-collision",
+            DefectKind::DeadInput => "dead-input",
+            DefectKind::UnguardedBackedge => "unguarded-backedge",
+            DefectKind::UngatedLoopExit => "ungated-loop-exit",
+            DefectKind::TagLeak => "tag-leak",
+            DefectKind::ConditionalEnd => "conditional-end",
+            DefectKind::DuplicateAfterExit => "duplicate-after-exit",
+            DefectKind::MissingLoopTag => "missing-loop-tag",
+            DefectKind::BackedgeGap => "backedge-gap",
+            DefectKind::PrevIterMisuse => "prev-iter-misuse",
+            DefectKind::DroppedToken => "dropped-token",
+        }
+    }
+}
+
+/// A certification defect, anchored at an operator with a path witness
+/// from `Start` (the token route along which the violation manifests).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Defect {
+    /// The defect class.
+    pub kind: DefectKind,
+    /// The operator the defect is anchored at (absent for whole-graph
+    /// defects such as a missing `Start`).
+    pub op: Option<OpId>,
+    /// Human-readable explanation including the abstract contexts.
+    pub detail: String,
+    /// Operators on a path from `Start` to `op`, inclusive; empty when no
+    /// anchor exists or the anchor is unreachable.
+    pub witness: Vec<OpId>,
+}
+
+impl fmt::Display for Defect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.kind.name())?;
+        if let Some(op) = self.op {
+            write!(f, " at {op:?}")?;
+        }
+        write!(f, ": {}", self.detail)?;
+        if !self.witness.is_empty() {
+            write!(f, "\n    witness: ")?;
+            for (i, op) in self.witness.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " → ")?;
+                }
+                write!(f, "{op:?}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The result of the token-rate analysis: per-operator firing contexts,
+/// defects, and the gated dependence structure (for ordering queries).
+pub struct Analysis {
+    /// Firing context of each operator (empty set = provably dead).
+    firing: Vec<CubeSet>,
+    /// Context of each output port: `out_ctx[op][port]`.
+    out_ctx: Vec<Vec<CubeSet>>,
+    /// Forward adjacency over non-cut arcs (cycle-free).
+    adj: Vec<Vec<OpId>>,
+    /// Forward adjacency over ALL arcs, backedges included (may be cyclic).
+    full_adj: Vec<Vec<OpId>>,
+    /// Memoized reachability frontiers, one bitmap per queried source
+    /// (conservation checks ask about every conflicting memory pair, so
+    /// sources repeat heavily).
+    reach_memo: std::cell::RefCell<BTreeMap<OpId, Vec<bool>>>,
+    /// All defects found, in discovery order.
+    pub defects: Vec<Defect>,
+}
+
+impl Analysis {
+    /// The abstract firing context of an operator.
+    pub fn firing(&self, op: OpId) -> &CubeSet {
+        &self.firing[op.index()]
+    }
+
+    /// The abstract context of an output port.
+    pub fn out_ctx(&self, p: Port) -> &CubeSet {
+        &self.out_ctx[p.op.index()][p.port as usize]
+    }
+
+    /// Can operators `a` and `b` both fire within one execution trace
+    /// (no pair of firing cubes carries contradictory guards)?
+    pub fn may_cooccur(&self, a: OpId, b: OpId) -> bool {
+        let (fa, fb) = (&self.firing[a.index()], &self.firing[b.index()]);
+        if fa.is_empty() || fb.is_empty() {
+            return false;
+        }
+        fa.iter().any(|ca| fb.iter().any(|cb| !ca.conflicts(cb)))
+    }
+
+    /// Is there a directed path from `a` to `b` over any arcs, backedges
+    /// included? Once token linearity holds, every arc is a happens-before
+    /// edge for the firings it connects — a store whose ordering flows
+    /// through a loop backedge (store in iteration *i* precedes iteration
+    /// *i+1*, which precedes the exit) is still ordered before whatever
+    /// consumes the circulating token after the loop. Operators on parallel
+    /// unsynchronized branches have no path in either direction.
+    pub fn reaches(&self, a: OpId, b: OpId) -> bool {
+        if a == b {
+            return true;
+        }
+        let mut memo = self.reach_memo.borrow_mut();
+        let seen = memo.entry(a).or_insert_with(|| {
+            let mut seen = vec![false; self.full_adj.len()];
+            let mut stack = vec![a];
+            while let Some(v) = stack.pop() {
+                for &s in &self.full_adj[v.index()] {
+                    if !seen[s.index()] {
+                        seen[s.index()] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+            seen
+        });
+        seen[b.index()]
+    }
+}
+
+/// Certify a graph: structural validation plus the token-rate analysis.
+/// Returns every defect found (an empty error list never occurs).
+pub fn certify(g: &Dfg) -> Result<(), Vec<Defect>> {
+    let a = analyze(g);
+    if a.defects.is_empty() {
+        Ok(())
+    } else {
+        Err(a.defects)
+    }
+}
+
+/// Run the full analysis, returning contexts alongside any defects. If
+/// structural validation fails, the rate analysis is skipped (its
+/// preconditions do not hold) and only structural defects are reported.
+pub fn analyze(g: &Dfg) -> Analysis {
+    let mut an = Analysis {
+        firing: vec![CubeSet::new(); g.len()],
+        out_ctx: g
+            .op_ids()
+            .map(|o| vec![CubeSet::new(); g.kind(o).n_outputs()])
+            .collect(),
+        adj: vec![Vec::new(); g.len()],
+        reach_memo: std::cell::RefCell::new(BTreeMap::new()),
+        full_adj: vec![Vec::new(); g.len()],
+        defects: Vec::new(),
+    };
+
+    if let Err(errs) = validate(g) {
+        let witnesses = Witnesses::new(g);
+        for e in errs {
+            let op = match e {
+                DfgError::StartCount(_)
+                | DfgError::EndCount(_)
+                | DfgError::OpSpaceExhausted { .. } => None,
+                DfgError::UnfedInput(op, _)
+                | DfgError::MultiplyFedInput(op, _)
+                | DfgError::ArcIntoImmediate(op, _)
+                | DfgError::AllImmediate(op)
+                | DfgError::Unreachable(op) => Some(op),
+            };
+            an.defects.push(Defect {
+                kind: DefectKind::Structural,
+                op,
+                detail: e.to_string(),
+                witness: op.map(|o| witnesses.path_to(o)).unwrap_or_default(),
+            });
+        }
+        return an;
+    }
+
+    let ins = g.in_arcs();
+    let arcs = g.arcs();
+
+    // Cut arcs: the only arcs allowed to close cycles.
+    let cut: Vec<bool> = arcs
+        .iter()
+        .map(|a| match g.kind(a.to.op) {
+            OpKind::LoopEntry { .. } => a.to.port == 1,
+            OpKind::PrevIter { .. } => true,
+            _ => false,
+        })
+        .collect();
+
+    // Forward adjacency and in-degrees over non-cut arcs, plus the full
+    // (possibly cyclic) adjacency used for happens-before queries.
+    let mut indeg = vec![0usize; g.len()];
+    for (i, a) in arcs.iter().enumerate() {
+        an.full_adj[a.from.op.index()].push(a.to.op);
+        if !cut[i] {
+            an.adj[a.from.op.index()].push(a.to.op);
+            indeg[a.to.op.index()] += 1;
+        }
+    }
+
+    // Kahn topological sort; a residue is an ungated cycle.
+    let mut order = Vec::with_capacity(g.len());
+    let mut queue: Vec<OpId> = g.op_ids().filter(|o| indeg[o.index()] == 0).collect();
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for &s in &an.adj[v.index()] {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if order.len() != g.len() {
+        let cycle: Vec<OpId> = g.op_ids().filter(|o| indeg[o.index()] > 0).collect();
+        let names: Vec<String> = cycle
+            .iter()
+            .take(8)
+            .map(|&o| format!("{o:?}:{}", g.kind(o).mnemonic()))
+            .collect();
+        an.defects.push(Defect {
+            kind: DefectKind::UngatedCycle,
+            op: cycle.first().copied(),
+            detail: format!(
+                "cycle of {} operators not gated by loop entry/exit: {}",
+                cycle.len(),
+                names.join(" ")
+            ),
+            witness: cycle,
+        });
+        return an;
+    }
+
+    // Per-guard-key loop sets: the loops active when the guard's switch
+    // fired. Loop exits strip exactly the guards introduced inside them.
+    let mut guard_loops: BTreeMap<GuardKey, BTreeSet<LoopId>> = BTreeMap::new();
+
+    // Exit sites: group each loop's exit operators by the fork arm feeding
+    // them — all per-line switches of one fork share a predicate port, so
+    // the (predicate, arm) pair identifies the site. An exit fed by an
+    // inner loop's exit (a break chained out of a nested loop) inherits
+    // the inner exit's site identity, which is likewise shared across
+    // lines. A loop with k ≥ 2 sites (break-style early exits) delivers
+    // its single exit token to exactly one of them per activation; exit
+    // outputs are tagged with an exit-choice guard so the sites'
+    // post-loop contexts are disjoint.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    enum SiteKey {
+        Arm(Port, u16),
+        Inner(LoopId, u16),
+        Other,
+    }
+    // Assigns (memoized) the site arm of one loop-exit operator. Chains of
+    // exits are acyclic (the non-cut graph is a DAG here), so the
+    // recursion for the `Inner` case terminates.
+    fn exit_site(
+        g: &Dfg,
+        ins: &[Vec<Vec<usize>>],
+        arcs: &[crate::graph::Arc],
+        interned: &mut BTreeMap<(LoopId, SiteKey), u16>,
+        counts: &mut BTreeMap<LoopId, u16>,
+        site_of: &mut BTreeMap<OpId, u16>,
+        op: OpId,
+        loop_id: LoopId,
+    ) -> u16 {
+        if let Some(&a) = site_of.get(&op) {
+            return a;
+        }
+        let key = ins[op.index()]
+            .first()
+            .and_then(|v| v.first())
+            .map(|&ai| {
+                let src = arcs[ai].from;
+                match *g.kind(src.op) {
+                    OpKind::Switch | OpKind::CaseSwitch { .. }
+                        if g.imm(src.op, 1).is_none() =>
+                    {
+                        let pred = arcs[ins[src.op.index()][1][0]].from;
+                        SiteKey::Arm(pred, src.port)
+                    }
+                    OpKind::LoopExit { loop_id: inner } => {
+                        let inner_arm =
+                            exit_site(g, ins, arcs, interned, counts, site_of, src.op, inner);
+                        SiteKey::Inner(inner, inner_arm)
+                    }
+                    _ => SiteKey::Other,
+                }
+            })
+            .unwrap_or(SiteKey::Other);
+        let n = counts.entry(loop_id).or_insert(0);
+        let arm = *interned.entry((loop_id, key)).or_insert_with(|| {
+            let a = *n;
+            *n += 1;
+            a
+        });
+        site_of.insert(op, arm);
+        arm
+    }
+    let mut site_of: BTreeMap<OpId, u16> = BTreeMap::new();
+    let mut sites_of_loop: BTreeMap<LoopId, u16> = BTreeMap::new();
+    {
+        let mut interned: BTreeMap<(LoopId, SiteKey), u16> = BTreeMap::new();
+        for op in g.op_ids() {
+            let OpKind::LoopExit { loop_id } = *g.kind(op) else {
+                continue;
+            };
+            exit_site(
+                g,
+                &ins,
+                arcs,
+                &mut interned,
+                &mut sites_of_loop,
+                &mut site_of,
+                op,
+                loop_id,
+            );
+        }
+    }
+    // Contexts consumed into a Fig 14 cross-iteration chain (the cubes a
+    // merge with a `PrevIter` arc receives, pre-weakening). These count as
+    // exit consumption for the backedge-coverage check below.
+    let mut chain_feed: BTreeMap<LoopId, Vec<Cube>> = BTreeMap::new();
+    let witnesses = Witnesses::new(g);
+    let defect = |kind, op: OpId, detail: String| Defect {
+        kind,
+        op: Some(op),
+        detail,
+        witness: witnesses.path_to(op),
+    };
+    let mut defects = Vec::new();
+
+    // Loops whose exit sites are genuine alternatives — every pair of
+    // sites has pairwise-conflicting in-loop contexts, so exactly one
+    // site's exit fires per activation (binsearch-style breaks). Non-
+    // alternative multi-exit loops (a Fig 14 chain exit fires alongside
+    // the value exits every activation) get no exit-choice guard.
+    // Exclusivity needs the sites' evaluated contexts, and an inner
+    // loop's exit-choice guard can be what makes an outer loop's sites
+    // conflict, so the evaluation iterates: each round re-evaluates with
+    // the guards found so far and may discover more exclusive loops. Only
+    // the final round's defects are kept. The set only grows, so this
+    // terminates within #loops + 1 rounds.
+    let mut exclusive_exit: BTreeSet<LoopId> = BTreeSet::new();
+    loop {
+        for &op in &order {
+            let kind = g.kind(op).clone();
+            // Context of a strict (single-arc) input port; `None` for
+            // immediate ports.
+            let port_ctx = |an: &Analysis, p: usize| -> Option<CubeSet> {
+                if g.imm(op, p).is_some() {
+                    return None;
+                }
+                let arcs_in = &ins[op.index()][p];
+                debug_assert_eq!(arcs_in.len(), 1, "strict port has exactly one arc");
+                let a = &arcs[arcs_in[0]];
+                Some(an.out_ctx[a.from.op.index()][a.from.port as usize].clone())
+            };
+            // Rendezvous of all arc-fed strict ports; reports mismatches.
+            let rendezvous = |an: &Analysis, defects: &mut Vec<Defect>, ports: &[usize]| -> CubeSet {
+                let mut fed: Vec<(usize, CubeSet)> = Vec::new();
+                for &p in ports {
+                    if let Some(c) = port_ctx(an, p) {
+                        fed.push((p, c));
+                    }
+                }
+                let Some((p0, first)) = fed.first().cloned() else {
+                    return CubeSet::new();
+                };
+                let mut result = first.clone();
+                for (p, c) in fed.iter().skip(1) {
+                    if c.is_empty() != first.is_empty() {
+                        let (dead, live) = if c.is_empty() { (*p, p0) } else { (p0, *p) };
+                        defects.push(defect(
+                            DefectKind::DeadInput,
+                            op,
+                            format!(
+                                "input port {dead} never receives a token while port {live} \
+                                 receives {}: tokens leak at the rendezvous",
+                                render_set(if c.is_empty() { &first } else { c })
+                            ),
+                        ));
+                    } else if !same_contexts(c, &first) {
+                        defects.push(defect(
+                            DefectKind::RateMismatch,
+                            op,
+                            format!(
+                                "input port {p0} receives {} but port {p} receives {}: some \
+                                 context delivers 0 or ≥2 tokens",
+                                render_set(&first),
+                                render_set(c)
+                            ),
+                        ));
+                    } else {
+                        result = merge_crossiter(&result, c);
+                    }
+                }
+                result
+            };
+            // Union of a merge-like port's arcs with a collision check.
+            // `PrevIter` arcs are excluded: they trigger cross-iteration
+            // weakening of the result instead of contributing contexts.
+            let merge_union = |an: &Analysis, defects: &mut Vec<Defect>, port: usize| -> CubeSet {
+                let mut cubes: Vec<(usize, Cube)> = Vec::new();
+                for &ai in &ins[op.index()][port] {
+                    let a = &arcs[ai];
+                    if matches!(g.kind(a.from.op), OpKind::PrevIter { .. }) {
+                        continue;
+                    }
+                    for c in &an.out_ctx[a.from.op.index()][a.from.port as usize] {
+                        cubes.push((ai, c.clone()));
+                    }
+                }
+                for i in 0..cubes.len() {
+                    for (aj, cj) in cubes.iter().skip(i + 1) {
+                        let (ai, ci) = &cubes[i];
+                        if ai != aj
+                            && ci.loops == cj.loops
+                            && !ci.conflicts(cj)
+                            && !(ci.crossiter || cj.crossiter)
+                        {
+                            defects.push(defect(
+                                DefectKind::MergeCollision,
+                                op,
+                                format!(
+                                    "arcs from {:?}.{} and {:?}.{} can both deliver under \
+                                     {} ∩ {}",
+                                    arcs[*ai].from.op,
+                                    arcs[*ai].from.port,
+                                    arcs[*aj].from.op,
+                                    arcs[*aj].from.port,
+                                    ci,
+                                    cj
+                                ),
+                            ));
+                        }
+                    }
+                }
+                let set: CubeSet = cubes.into_iter().map(|(_, c)| c).collect();
+                reduce(set)
+            };
+
+            match kind {
+                OpKind::Start => {
+                    an.firing[op.index()] = std::iter::once(Cube::unit()).collect();
+                    an.out_ctx[op.index()][0] = an.firing[op.index()].clone();
+                }
+                OpKind::End { inputs } => {
+                    let unit: CubeSet = std::iter::once(Cube::unit()).collect();
+                    for p in 0..inputs as usize {
+                        let Some(c) = port_ctx(&an, p) else { continue };
+                        if c.is_empty() {
+                            defects.push(defect(
+                                DefectKind::DeadInput,
+                                op,
+                                format!("End port {p} never receives a token: no termination"),
+                            ));
+                            continue;
+                        }
+                        for cube in &c {
+                            if !cube.loops.is_empty() {
+                                defects.push(defect(
+                                    DefectKind::TagLeak,
+                                    op,
+                                    format!(
+                                        "End port {p} receives {cube}: loop tags survive to \
+                                         End (missing loop-exit)"
+                                    ),
+                                ));
+                            } else if !cube.guards.is_empty() {
+                                defects.push(defect(
+                                    DefectKind::ConditionalEnd,
+                                    op,
+                                    format!(
+                                        "End port {p} receives {cube}: termination is \
+                                         conditional on a guard"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    an.firing[op.index()] = unit;
+                }
+                OpKind::Merge => {
+                    let pi_loops: BTreeSet<LoopId> = ins[op.index()][0]
+                        .iter()
+                        .filter_map(|&ai| match *g.kind(arcs[ai].from.op) {
+                            OpKind::PrevIter { loop_id } => Some(loop_id),
+                            _ => None,
+                        })
+                        .collect();
+                    let set = merge_union(&an, &mut defects, 0);
+                    for &lid in &pi_loops {
+                        chain_feed
+                            .entry(lid)
+                            .or_default()
+                            .extend(set.iter().cloned());
+                    }
+                    let out = pi_loops.iter().fold(set, |s, &lid| {
+                        weaken_crossiter(&s, lid, &guard_loops)
+                    });
+                    an.firing[op.index()] = out.clone();
+                    an.out_ctx[op.index()][0] = out;
+                }
+                OpKind::LoopEntry { loop_id } => {
+                    // Port 1 (backedge) is cut: checked in the post-pass.
+                    let r0 = merge_union(&an, &mut defects, 0);
+                    let out: CubeSet = r0
+                        .iter()
+                        .map(|c| {
+                            let mut c = c.clone();
+                            c.loops.insert(loop_id);
+                            c
+                        })
+                        .collect();
+                    an.firing[op.index()] = out.clone();
+                    an.out_ctx[op.index()][0] = out;
+                }
+                OpKind::LoopExit { loop_id } => {
+                    let input = port_ctx(&an, 0).unwrap_or_default();
+                    let mut out = CubeSet::new();
+                    // Pre-strip cubes per stripped value: exit contexts that
+                    // conflict on an in-loop guard are alternative per-
+                    // iteration paths delivering one token per activation, so
+                    // only non-conflicting pre-strip cubes that collapse
+                    // together indicate a duplicated exit token.
+                    let mut sources: BTreeMap<Cube, Vec<Cube>> = BTreeMap::new();
+                    for cube in &input {
+                        if !cube.loops.contains(&loop_id) {
+                            defects.push(defect(
+                                DefectKind::MissingLoopTag,
+                                op,
+                                format!(
+                                    "loop-exit for λ{} receives {cube} without that tag",
+                                    loop_id.0
+                                ),
+                            ));
+                            continue;
+                        }
+                        let mut stripped = strip_loop(cube, loop_id, &guard_loops);
+                        if exclusive_exit.contains(&loop_id) {
+                            let n_sites = sites_of_loop[&loop_id];
+                            let key = GuardKey::Exit(loop_id);
+                            guard_loops
+                                .entry(key)
+                                .or_insert_with(|| stripped.loops.clone());
+                            stripped.guards.insert(key, (site_of[&op], n_sites));
+                        }
+                        let prior = sources.entry(stripped.clone()).or_default();
+                        if prior.iter().any(|p| !p.conflicts(cube)) {
+                            defects.push(defect(
+                                DefectKind::DuplicateAfterExit,
+                                op,
+                                format!(
+                                    "two co-deliverable exit contexts collapse to \
+                                     {stripped} after stripping λ{}: ≥2 tokens leave \
+                                     the loop per entry",
+                                    loop_id.0
+                                ),
+                            ));
+                        }
+                        prior.push(cube.clone());
+                        out.insert(stripped);
+                    }
+                    an.firing[op.index()] = input;
+                    an.out_ctx[op.index()][0] = out;
+                }
+                OpKind::PrevIter { .. } => {
+                    // Input is cut; output feeds only merges (post-pass
+                    // checked), which weaken instead of reading this context.
+                    an.out_ctx[op.index()][0] = CubeSet::new();
+                }
+                OpKind::Switch | OpKind::CaseSwitch { .. } => {
+                    let arms = kind.n_outputs();
+                    let data = port_ctx(&an, 0).unwrap_or_default();
+                    let firing;
+                    match g.imm(op, 1) {
+                        Some(c) => {
+                            // Constant predicate: the selected arm statically
+                            // receives everything, the others nothing.
+                            let sel = match kind {
+                                OpKind::Switch => usize::from(c == 0),
+                                _ => {
+                                    if c >= 0 && (c as usize) < arms - 1 {
+                                        c as usize
+                                    } else {
+                                        arms - 1
+                                    }
+                                }
+                            };
+                            firing = data.clone();
+                            an.out_ctx[op.index()][sel] = data;
+                        }
+                        None => {
+                            firing = rendezvous(&an, &mut defects, &[0, 1]);
+                            let pred_arc = &arcs[ins[op.index()][1][0]];
+                            let key = GuardKey::Pred(pred_arc.from);
+                            let key_loops = firing
+                                .iter()
+                                .flat_map(|c| c.loops.iter().copied())
+                                .collect();
+                            guard_loops.entry(key).or_insert(key_loops);
+                            for arm in 0..arms {
+                                let mut set = CubeSet::new();
+                                for cube in &firing {
+                                    match cube.guards.get(&key) {
+                                        Some(&(have, _)) if have as usize != arm => {
+                                            // Contradictory guard: this arm is
+                                            // dead for this cube.
+                                        }
+                                        _ => {
+                                            let mut c = cube.clone();
+                                            c.guards.insert(key, (arm as u16, arms as u16));
+                                            set.insert(c);
+                                        }
+                                    }
+                                }
+                                an.out_ctx[op.index()][arm] = set;
+                            }
+                        }
+                    }
+                    an.firing[op.index()] = firing;
+                }
+                _ => {
+                    // Strict operators: rendezvous of all arc-fed inputs, all
+                    // outputs emit in the firing context.
+                    let ports: Vec<usize> = (0..kind.n_inputs()).collect();
+                    let f = rendezvous(&an, &mut defects, &ports);
+                    for pc in 0..kind.n_outputs() {
+                        an.out_ctx[op.index()][pc] = f.clone();
+                    }
+                    an.firing[op.index()] = f;
+                }
+            }
+        }
+        // Decide which multi-exit loops have exclusive sites, given the
+        // contexts this round computed (with the guards found so far).
+        let known = exclusive_exit.len();
+        for (&lid, &n) in &sites_of_loop {
+            if n < 2 {
+                continue;
+            }
+            let mut by_site: BTreeMap<u16, Vec<Cube>> = BTreeMap::new();
+            for op in g.op_ids() {
+                if matches!(*g.kind(op), OpKind::LoopExit { loop_id } if loop_id == lid) {
+                    by_site
+                        .entry(site_of[&op])
+                        .or_default()
+                        .extend(an.firing[op.index()].iter().cloned());
+                }
+            }
+            let sites: Vec<&Vec<Cube>> = by_site.values().collect();
+            let exclusive = sites.iter().enumerate().all(|(i, a)| {
+                sites[i + 1..]
+                    .iter()
+                    .all(|b| a.iter().all(|ca| b.iter().all(|cb| ca.conflicts(cb))))
+            });
+            if exclusive {
+                exclusive_exit.insert(lid);
+            }
+        }
+        if exclusive_exit.len() == known {
+            break; // fixpoint: this round already used every guard
+        }
+        // Reset everything this round computed and re-evaluate.
+        an.firing = vec![CubeSet::new(); g.len()];
+        an.out_ctx = g
+            .op_ids()
+            .map(|o| vec![CubeSet::new(); g.kind(o).n_outputs()])
+            .collect();
+        guard_loops.clear();
+        chain_feed.clear();
+        defects.clear();
+    }
+
+    // ---- Post-pass: backedges, loop exits, PrevIter discipline ----
+
+    // Exit-side coverage per loop: contexts consumed by a loop-exit
+    // operator, plus the chain feeds recorded above.
+    let mut exit_cover: BTreeMap<LoopId, Vec<Cube>> = chain_feed;
+    for op in g.op_ids() {
+        if let OpKind::LoopExit { loop_id } = *g.kind(op) {
+            exit_cover.entry(loop_id).or_default().extend(
+                an.firing[op.index()]
+                    .iter()
+                    .filter(|c| !c.crossiter && c.loops.contains(&loop_id))
+                    .cloned(),
+            );
+        }
+    }
+
+    // Backedge cubes per loop id.
+    let mut backedge_cubes: BTreeMap<LoopId, Vec<Cube>> = BTreeMap::new();
+    for op in g.op_ids() {
+        let OpKind::LoopEntry { loop_id } = *g.kind(op) else {
+            continue;
+        };
+        let out = an.out_ctx[op.index()][0].clone();
+        let mut mine: Vec<Cube> = Vec::new();
+        for &ai in &ins[op.index()][1] {
+            let a = &arcs[ai];
+            let src = &an.out_ctx[a.from.op.index()][a.from.port as usize];
+            for cube in src {
+                if !cube.loops.contains(&loop_id) {
+                    defects.push(defect(
+                        DefectKind::MissingLoopTag,
+                        op,
+                        format!(
+                            "backedge of λ{} carries {cube} without that loop's tag",
+                            loop_id.0
+                        ),
+                    ));
+                    continue;
+                }
+                // The backedge must be strictly guarded beyond the entry's
+                // own output context, else every iteration re-enters and
+                // the loop can never take an exit.
+                let refined = out.iter().any(|o| {
+                    o.loops == cube.loops
+                        && o.guards.iter().all(|(k, v)| cube.guards.get(k) == Some(v))
+                        && cube.guards.len() > o.guards.len()
+                });
+                if !refined && !cube.crossiter {
+                    defects.push(defect(
+                        DefectKind::UnguardedBackedge,
+                        op,
+                        format!(
+                            "backedge of λ{} carries {cube}, not guarded beyond the \
+                             entry context {}",
+                            loop_id.0,
+                            render_set(&out)
+                        ),
+                    ));
+                }
+                mine.push(cube.clone());
+                backedge_cubes.entry(loop_id).or_default().push(cube.clone());
+            }
+        }
+        // Coverage: every iteration context must either re-enter via the
+        // backedge or be consumed on the exit side — a gap is a context in
+        // which the backedge port waits forever and the loop stalls.
+        for o in &out {
+            if o.crossiter {
+                continue;
+            }
+            let mut residue = vec![o.clone()];
+            for b in mine.iter().filter(|b| !b.crossiter) {
+                residue = subtract_all(residue, b);
+            }
+            for c in exit_cover.get(&loop_id).into_iter().flatten() {
+                residue = subtract_all(residue, c);
+            }
+            if let Some(r) = residue.first() {
+                defects.push(defect(
+                    DefectKind::BackedgeGap,
+                    op,
+                    format!(
+                        "iteration context {r} of λ{} neither re-enters via the \
+                         backedge nor reaches a loop exit: the entry stalls",
+                        loop_id.0
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Output ports with at least one consumer, for the dropped-token check.
+    let consumed: BTreeSet<(OpId, u16)> =
+        arcs.iter().map(|a| (a.from.op, a.from.port)).collect();
+
+    for op in g.op_ids() {
+        match *g.kind(op) {
+            // A switch steers its token to exactly one arm per activation;
+            // an arm that can receive tokens but has no consumer drops
+            // them, starving whatever the route was supposed to feed (a
+            // rate the rendezvous checks cannot see when the loss hides
+            // behind a cut or cross-iteration arc).
+            OpKind::Switch | OpKind::CaseSwitch { .. } => {
+                for (pc, ctx) in an.out_ctx[op.index()].iter().enumerate() {
+                    if !ctx.is_empty() && !consumed.contains(&(op, pc as u16)) {
+                        defects.push(defect(
+                            DefectKind::DroppedToken,
+                            op,
+                            format!(
+                                "switch arm {pc} carries {} but has no outgoing arc: \
+                                 its tokens are silently dropped",
+                                render_set(ctx)
+                            ),
+                        ));
+                    }
+                }
+            }
+            OpKind::LoopExit { loop_id } => {
+                let empty = Vec::new();
+                let backs = backedge_cubes.get(&loop_id).unwrap_or(&empty);
+                for cube in &an.firing[op.index()] {
+                    if !cube.loops.contains(&loop_id) {
+                        continue; // already reported above
+                    }
+                    if cube.crossiter {
+                        // Fig 14 pattern: the cross-iteration chain
+                        // delivers once per iteration; a guard must select
+                        // exactly one of those firings for the exit.
+                        if cube.guards.is_empty() {
+                            defects.push(defect(
+                                DefectKind::UngatedLoopExit,
+                                op,
+                                format!(
+                                    "cross-iteration exit context {cube} is unguarded: \
+                                     it would exit every iteration"
+                                ),
+                            ));
+                        }
+                    } else {
+                        for b in backs {
+                            if !cube.conflicts(b) {
+                                defects.push(defect(
+                                    DefectKind::UngatedLoopExit,
+                                    op,
+                                    format!(
+                                        "exit context {cube} does not contradict \
+                                         backedge context {b}: the exit fires on \
+                                         iterations that also continue"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            OpKind::PrevIter { loop_id } => {
+                // Input discipline: tagged with the loop, and guarded (an
+                // unguarded prev-iter retags every token, faulting at
+                // iteration 0).
+                for &ai in &ins[op.index()][0] {
+                    let a = &arcs[ai];
+                    let src = &an.out_ctx[a.from.op.index()][a.from.port as usize];
+                    for cube in src {
+                        if !cube.loops.contains(&loop_id) {
+                            defects.push(defect(
+                                DefectKind::MissingLoopTag,
+                                op,
+                                format!(
+                                    "prev-iter for λ{} receives {cube} without that \
+                                     loop's tag",
+                                    loop_id.0
+                                ),
+                            ));
+                        } else if cube.guards.is_empty() {
+                            defects.push(defect(
+                                DefectKind::PrevIterMisuse,
+                                op,
+                                format!(
+                                    "prev-iter input context {cube} is unguarded: it \
+                                     would retag iteration 0 and fault"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                // Output discipline: only merge ports may consume it.
+                for a in arcs {
+                    if a.from.op == op && !g.kind(a.to.op).is_merge_like(a.to.port as usize) {
+                        defects.push(defect(
+                            DefectKind::PrevIterMisuse,
+                            op,
+                            format!(
+                                "prev-iter output feeds strict port {}.{} of a \
+                                 {} (must feed a merge)",
+                                a.to.op.index(),
+                                a.to.port,
+                                g.kind(a.to.op).mnemonic()
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    an.defects = defects;
+    an
+}
+
+/// Compare two cube sets for rendezvous, ignoring `crossiter` flags.
+fn same_contexts(a: &CubeSet, b: &CubeSet) -> bool {
+    let strip = |s: &CubeSet| -> BTreeSet<(BTreeSet<LoopId>, BTreeMap<GuardKey, (u16, u16)>)> {
+        s.iter()
+            .map(|c| (c.loops.clone(), c.guards.clone()))
+            .collect()
+    };
+    strip(a) == strip(b)
+}
+
+/// Merge two rendezvous-equal sets, OR-ing `crossiter` per cube.
+fn merge_crossiter(a: &CubeSet, b: &CubeSet) -> CubeSet {
+    let mut out = CubeSet::new();
+    for ca in a {
+        let ci = ca.crossiter
+            || b.iter().any(|cb| cb.crossiter && ca.same_context(cb));
+        let mut c = ca.clone();
+        c.crossiter = ci;
+        out.insert(c);
+    }
+    out
+}
+
+/// Cancel complete sibling sets: cubes differing only in one guard's arm,
+/// with all arms present, reduce to the cube without that guard. Iterated
+/// to a fixpoint so nested conditionals fully cancel.
+fn reduce(mut set: CubeSet) -> CubeSet {
+    loop {
+        let mut replaced = None;
+        'search: for cube in &set {
+            for (&key, &(_, arms)) in &cube.guards {
+                let mut base = cube.clone();
+                base.guards.remove(&key);
+                let all = (0..arms).all(|arm| {
+                    let mut sib = base.clone();
+                    sib.guards.insert(key, (arm, arms));
+                    set.contains(&sib)
+                });
+                if all {
+                    replaced = Some((base, key, arms));
+                    break 'search;
+                }
+            }
+        }
+        let Some((base, key, arms)) = replaced else {
+            return set;
+        };
+        for arm in 0..arms {
+            let mut sib = base.clone();
+            sib.guards.insert(key, (arm, arms));
+            set.remove(&sib);
+        }
+        set.insert(base);
+    }
+}
+
+/// Weaken a merge output whose port also receives a `PrevIter` arc of
+/// `loop_id`: the cross-iteration chain delivers the union once per
+/// iteration of that loop, so guards introduced inside it are stripped and
+/// the result is flagged `crossiter`.
+fn weaken_crossiter(
+    set: &CubeSet,
+    loop_id: LoopId,
+    guard_loops: &BTreeMap<GuardKey, BTreeSet<LoopId>>,
+) -> CubeSet {
+    set.iter()
+        .map(|c| {
+            let mut c = c.clone();
+            c.guards
+                .retain(|k, _| guard_loops.get(k).is_none_or(|gl| !gl.contains(&loop_id)));
+            c.crossiter = true;
+            c
+        })
+        .collect()
+}
+
+/// Subtract cube `b` from cube `a`: the family of contexts described by
+/// `a` but not by `b`, as a disjoint list of cubes. Cubes over different
+/// loop sets or with contradictory guards are disjoint.
+fn subtract(a: &Cube, b: &Cube) -> Vec<Cube> {
+    if a.loops != b.loops || a.conflicts(b) {
+        return vec![a.clone()];
+    }
+    let extra: Vec<(GuardKey, (u16, u16))> = b
+        .guards
+        .iter()
+        .filter(|(k, _)| !a.guards.contains_key(k))
+        .map(|(&k, &v)| (k, v))
+        .collect();
+    if extra.is_empty() {
+        return Vec::new(); // every context of `a` is in `b`
+    }
+    // Peel off one guard of `b` at a time: contexts that disagree on it
+    // are kept, contexts that agree continue to the next guard.
+    let mut out = Vec::new();
+    let mut base = a.clone();
+    for (k, (arm, arms)) in extra {
+        for other in 0..arms {
+            if other != arm {
+                let mut c = base.clone();
+                c.guards.insert(k, (other, arms));
+                out.push(c);
+            }
+        }
+        base.guards.insert(k, (arm, arms));
+    }
+    out
+}
+
+/// Subtract `b` from every cube of a disjoint list.
+fn subtract_all(cubes: Vec<Cube>, b: &Cube) -> Vec<Cube> {
+    cubes.iter().flat_map(|a| subtract(a, b)).collect()
+}
+
+/// Strip a loop's tag and every guard introduced inside it; exits clear
+/// the `crossiter` flag (the exit token is unique per entry by the
+/// guarded-exit assumption).
+fn strip_loop(
+    cube: &Cube,
+    loop_id: LoopId,
+    guard_loops: &BTreeMap<GuardKey, BTreeSet<LoopId>>,
+) -> Cube {
+    let mut c = cube.clone();
+    c.loops.remove(&loop_id);
+    c.guards
+        .retain(|k, _| guard_loops.get(k).is_none_or(|gl| !gl.contains(&loop_id)));
+    c.crossiter = false;
+    c
+}
+
+/// BFS parents from `Start`, for path witnesses.
+struct Witnesses {
+    parent: Vec<Option<OpId>>,
+    reached: Vec<bool>,
+}
+
+impl Witnesses {
+    fn new(g: &Dfg) -> Witnesses {
+        let mut parent = vec![None; g.len()];
+        let mut reached = vec![false; g.len()];
+        if let Ok(start) = g.start() {
+            let mut adj: Vec<Vec<OpId>> = vec![Vec::new(); g.len()];
+            for a in g.arcs() {
+                adj[a.from.op.index()].push(a.to.op);
+            }
+            reached[start.index()] = true;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(v) = queue.pop_front() {
+                for &s in &adj[v.index()] {
+                    if !reached[s.index()] {
+                        reached[s.index()] = true;
+                        parent[s.index()] = Some(v);
+                        queue.push_back(s);
+                    }
+                }
+            }
+        }
+        Witnesses { parent, reached }
+    }
+
+    fn path_to(&self, op: OpId) -> Vec<OpId> {
+        if op.index() >= self.reached.len() || !self.reached[op.index()] {
+            return Vec::new();
+        }
+        let mut path = vec![op];
+        let mut cur = op;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ArcKind, Dfg, Port};
+    use cf2df_cfg::{BinOp, VarId};
+
+    fn connect(g: &mut Dfg, from: (OpId, usize), to: (OpId, usize)) {
+        g.connect(
+            Port::new(from.0, from.1),
+            Port::new(to.0, to.1),
+            ArcKind::Value,
+        );
+    }
+
+    #[test]
+    fn straight_line_is_clean() {
+        let mut g = Dfg::new();
+        let s = g.add(OpKind::Start);
+        let l = g.add(OpKind::Load { var: VarId(0) });
+        let e = g.add(OpKind::End { inputs: 2 });
+        connect(&mut g, (s, 0), (l, 0));
+        connect(&mut g, (l, 0), (e, 0));
+        connect(&mut g, (l, 1), (e, 1));
+        certify(&g).unwrap();
+    }
+
+    /// A conditional diamond: switch → two arms → merge; both rejoin.
+    fn diamond() -> (Dfg, OpId, OpId, OpId) {
+        let mut g = Dfg::new();
+        let s = g.add(OpKind::Start);
+        let pred = g.add(OpKind::Binary { op: BinOp::Lt });
+        g.set_imm(pred, 1, 10);
+        let sw = g.add(OpKind::Switch);
+        let a0 = g.add(OpKind::Identity);
+        let a1 = g.add(OpKind::Identity);
+        let m = g.add(OpKind::Merge);
+        let e = g.add(OpKind::End { inputs: 1 });
+        connect(&mut g, (s, 0), (pred, 0));
+        connect(&mut g, (s, 0), (sw, 0));
+        connect(&mut g, (pred, 0), (sw, 1));
+        connect(&mut g, (sw, 0), (a0, 0));
+        connect(&mut g, (sw, 1), (a1, 0));
+        connect(&mut g, (a0, 0), (m, 0));
+        connect(&mut g, (a1, 0), (m, 0));
+        connect(&mut g, (m, 0), (e, 0));
+        (g, sw, a0, m)
+    }
+
+    #[test]
+    fn diamond_rejoins_cleanly() {
+        let (g, ..) = diamond();
+        certify(&g).unwrap();
+    }
+
+    #[test]
+    fn unbalanced_merge_is_conditional_end() {
+        // Remove one arm's arc into the merge: End becomes conditional.
+        let (mut g, _, a0, m) = diamond();
+        assert!(g.disconnect(Port::new(a0, 0), Port::new(m, 0)));
+        let defects = certify(&g).unwrap_err();
+        assert!(
+            defects.iter().any(|d| matches!(
+                d.kind,
+                DefectKind::ConditionalEnd | DefectKind::Structural
+            )),
+            "defects: {defects:?}"
+        );
+    }
+
+    #[test]
+    fn both_arms_to_same_dest_is_a_collision() {
+        // Retarget arm 1's arc so arm 0's destination gets both.
+        let (mut g, sw, a0, _) = diamond();
+        assert!(g.retarget_input(Port::new(a1_of(&g, sw), 0), Port::new(a0, 0)) > 0);
+        let defects = certify(&g).unwrap_err();
+        assert!(
+            defects
+                .iter()
+                .any(|d| matches!(d.kind, DefectKind::Structural)),
+            "two arcs into a strict identity port: {defects:?}"
+        );
+    }
+
+    fn a1_of(g: &Dfg, sw: OpId) -> OpId {
+        g.arcs()
+            .iter()
+            .find(|a| a.from.op == sw && a.from.port == 1)
+            .map(|a| a.to.op)
+            .unwrap()
+    }
+
+    /// A minimal well-formed loop:
+    /// start → LE ⇄ body(add) → switch(pred) → [backedge | LX → end].
+    fn simple_loop() -> (Dfg, OpId, OpId, OpId) {
+        let mut g = Dfg::new();
+        let lid = cf2df_cfg::LoopId(0);
+        let s = g.add(OpKind::Start);
+        let le = g.add(OpKind::LoopEntry { loop_id: lid });
+        let add = g.add(OpKind::Binary { op: BinOp::Add });
+        g.set_imm(add, 1, 1);
+        let pred = g.add(OpKind::Binary { op: BinOp::Lt });
+        g.set_imm(pred, 1, 10);
+        let sw = g.add(OpKind::Switch);
+        let lx = g.add(OpKind::LoopExit { loop_id: lid });
+        let e = g.add(OpKind::End { inputs: 1 });
+        connect(&mut g, (s, 0), (le, 0));
+        connect(&mut g, (le, 0), (add, 0));
+        connect(&mut g, (add, 0), (pred, 0));
+        connect(&mut g, (add, 0), (sw, 0));
+        connect(&mut g, (pred, 0), (sw, 1));
+        connect(&mut g, (sw, 0), (le, 1)); // true: continue
+        connect(&mut g, (sw, 1), (lx, 0)); // false: exit
+        connect(&mut g, (lx, 0), (e, 0));
+        (g, le, sw, lx)
+    }
+
+    #[test]
+    fn gated_loop_is_clean() {
+        let (g, ..) = simple_loop();
+        certify(&g).unwrap();
+    }
+
+    #[test]
+    fn missing_loop_exit_is_a_tag_leak() {
+        let (mut g, _, _, lx) = simple_loop();
+        g.set_kind(lx, OpKind::Identity);
+        let defects = certify(&g).unwrap_err();
+        assert!(
+            defects.iter().any(|d| d.kind == DefectKind::TagLeak),
+            "defects: {defects:?}"
+        );
+    }
+
+    #[test]
+    fn ungated_cycle_is_rejected() {
+        let (mut g, le, sw, _) = simple_loop();
+        // Replace the loop entry with a plain merge: the cycle is no
+        // longer gated by a loop operator.
+        g.set_kind(le, OpKind::Synch { inputs: 2 });
+        let _ = sw;
+        let defects = certify(&g).unwrap_err();
+        assert!(
+            defects.iter().any(|d| d.kind == DefectKind::UngatedCycle),
+            "defects: {defects:?}"
+        );
+    }
+
+    #[test]
+    fn exit_from_continue_arm_is_ungated() {
+        // Move the exit arc to originate from the *continue* arm: the exit
+        // no longer contradicts the backedge.
+        let (mut g, _, sw, lx) = simple_loop();
+        assert!(g.disconnect(Port::new(sw, 1), Port::new(lx, 0)));
+        g.connect(Port::new(sw, 0), Port::new(lx, 0), ArcKind::Value);
+        let defects = certify(&g).unwrap_err();
+        assert!(
+            defects.iter().any(|d| d.kind == DefectKind::UngatedLoopExit),
+            "defects: {defects:?}"
+        );
+    }
+
+    #[test]
+    fn unguarded_backedge_is_rejected() {
+        // Wire the body straight back to the entry, bypassing the switch:
+        // every iteration re-enters.
+        let (mut g, le, sw, lx) = simple_loop();
+        assert!(g.disconnect(Port::new(sw, 0), Port::new(le, 1)));
+        // The body's add output loops straight back.
+        let add = g
+            .arcs()
+            .iter()
+            .find(|a| a.to.op == sw && a.to.port == 0)
+            .map(|a| a.from.op)
+            .unwrap();
+        g.connect(Port::new(add, 0), Port::new(le, 1), ArcKind::Value);
+        // Keep sw's true arm consumed to stay structurally valid.
+        let _ = lx;
+        let defects = certify(&g).unwrap_err();
+        assert!(
+            defects
+                .iter()
+                .any(|d| d.kind == DefectKind::UnguardedBackedge),
+            "defects: {defects:?}"
+        );
+    }
+
+    #[test]
+    fn defects_carry_path_witnesses() {
+        let (mut g, _, _, lx) = simple_loop();
+        g.set_kind(lx, OpKind::Identity);
+        let defects = certify(&g).unwrap_err();
+        let d = defects
+            .iter()
+            .find(|d| d.kind == DefectKind::TagLeak)
+            .unwrap();
+        assert!(!d.witness.is_empty(), "witness path present");
+        let start = g.start().unwrap();
+        assert_eq!(d.witness.first(), Some(&start), "witness starts at Start");
+        assert_eq!(d.witness.last(), d.op.as_ref(), "witness ends at defect");
+        let rendered = d.to_string();
+        assert!(rendered.contains("witness"), "{rendered}");
+    }
+
+    #[test]
+    fn sibling_reduction_cancels_nested_guards() {
+        let mut s = CubeSet::new();
+        let key_outer = GuardKey::Pred(Port::new(OpId(7), 0));
+        let key_inner = GuardKey::Pred(Port::new(OpId(9), 0));
+        let mk = |pairs: &[(GuardKey, u16)]| Cube {
+            loops: BTreeSet::new(),
+            guards: pairs.iter().map(|&(k, a)| (k, (a, 2))).collect(),
+            crossiter: false,
+        };
+        s.insert(mk(&[(key_outer, 0)]));
+        s.insert(mk(&[(key_outer, 1), (key_inner, 0)]));
+        s.insert(mk(&[(key_outer, 1), (key_inner, 1)]));
+        let r = reduce(s);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&mk(&[])));
+    }
+}

@@ -1,6 +1,7 @@
 //! The dataflow graph structure.
 
 use crate::op::OpKind;
+use crate::validate::DfgError;
 use std::fmt;
 
 /// A dense index identifying a dataflow operator.
@@ -22,7 +23,7 @@ impl fmt::Debug for OpId {
 }
 
 /// A port reference: operator plus port index.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Port {
     /// The operator.
     pub op: OpId,
@@ -101,16 +102,36 @@ impl Dfg {
         self.arcs.len()
     }
 
+    /// The `OpId` a graph with `len` operators would assign next, or a
+    /// typed error once the 32-bit id space is exhausted.
+    pub fn op_id_for_len(len: usize) -> Result<OpId, DfgError> {
+        u32::try_from(len)
+            .map(OpId)
+            .map_err(|_| DfgError::OpSpaceExhausted { ops: len })
+    }
+
     /// Add an operator; all input ports start arc-fed (no immediates).
-    pub fn add(&mut self, kind: OpKind) -> OpId {
-        let id = OpId(u32::try_from(self.ops.len()).expect("too many operators"));
+    /// Returns a typed error instead of aborting when the operator id
+    /// space (`u32`) is exhausted.
+    pub fn try_add(&mut self, kind: OpKind) -> Result<OpId, DfgError> {
+        let id = Self::op_id_for_len(self.ops.len())?;
         let n_in = kind.n_inputs();
         self.ops.push(OpNode {
             kind,
             imm: vec![None; n_in],
             label: String::new(),
         });
-        id
+        Ok(id)
+    }
+
+    /// Add an operator; all input ports start arc-fed (no immediates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator id space is exhausted; builders that must
+    /// not panic use [`Dfg::try_add`].
+    pub fn add(&mut self, kind: OpKind) -> OpId {
+        self.try_add(kind).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Add an operator with a label.
@@ -275,24 +296,35 @@ impl Dfg {
         found
     }
 
-    /// The `Start` operator.
-    ///
-    /// # Panics
-    ///
-    /// Panics if there is not exactly one.
-    pub fn start(&self) -> OpId {
-        self.find(|k| matches!(k, OpKind::Start))
-            .expect("graph must have exactly one Start")
+    /// The unique `Start` operator, or a [`DfgError::StartCount`] carrying
+    /// the actual count. Graphs loaded from external sources hit this
+    /// path, so it must not panic.
+    pub fn start(&self) -> Result<OpId, DfgError> {
+        match self.find(|k| matches!(k, OpKind::Start)) {
+            Some(id) => Ok(id),
+            None => {
+                let n = self
+                    .op_ids()
+                    .filter(|&o| matches!(self.kind(o), OpKind::Start))
+                    .count();
+                Err(DfgError::StartCount(n))
+            }
+        }
     }
 
-    /// The `End` operator.
-    ///
-    /// # Panics
-    ///
-    /// Panics if there is not exactly one.
-    pub fn end(&self) -> OpId {
-        self.find(|k| matches!(k, OpKind::End { .. }))
-            .expect("graph must have exactly one End")
+    /// The unique `End` operator, or a [`DfgError::EndCount`] carrying the
+    /// actual count.
+    pub fn end(&self) -> Result<OpId, DfgError> {
+        match self.find(|k| matches!(k, OpKind::End { .. })) {
+            Some(id) => Ok(id),
+            None => {
+                let n = self
+                    .op_ids()
+                    .filter(|&o| matches!(self.kind(o), OpKind::End { .. }))
+                    .count();
+                Err(DfgError::EndCount(n))
+            }
+        }
     }
 
     /// Incoming arcs of each operator, indexed by destination port:
@@ -387,7 +419,7 @@ mod tests {
         let (g, start, load, add, store) = tiny();
         assert_eq!(g.len(), 5);
         assert_eq!(g.arc_count(), 5);
-        assert_eq!(g.start(), start);
+        assert_eq!(g.start(), Ok(start));
         assert_eq!(g.imm(add, 1), Some(1));
         assert_eq!(g.imm(add, 0), None);
         assert!(matches!(g.kind(load), OpKind::Load { .. }));
@@ -425,6 +457,30 @@ mod tests {
         g.add(OpKind::Start);
         g.add(OpKind::Start);
         assert!(g.find(|k| matches!(k, OpKind::Start)).is_none());
+    }
+
+    #[test]
+    fn start_end_report_actual_counts() {
+        let g = Dfg::new();
+        assert_eq!(g.start(), Err(DfgError::StartCount(0)));
+        assert_eq!(g.end(), Err(DfgError::EndCount(0)));
+        let mut g = Dfg::new();
+        g.add(OpKind::Start);
+        g.add(OpKind::Start);
+        g.add(OpKind::End { inputs: 1 });
+        assert_eq!(g.start(), Err(DfgError::StartCount(2)));
+        assert_eq!(g.end(), Ok(OpId(2)));
+    }
+
+    #[test]
+    fn op_id_space_exhaustion_is_typed() {
+        assert_eq!(Dfg::op_id_for_len(0), Ok(OpId(0)));
+        assert_eq!(Dfg::op_id_for_len(u32::MAX as usize), Ok(OpId(u32::MAX)));
+        let over = (u32::MAX as usize) + 1;
+        assert_eq!(
+            Dfg::op_id_for_len(over),
+            Err(DfgError::OpSpaceExhausted { ops: over })
+        );
     }
 
     #[test]

@@ -302,6 +302,11 @@ pub fn write_module(g: &Dfg, vars: &cf2df_cfg::VarTable) -> String {
 }
 
 /// Parse a module produced by [`write_module`].
+///
+/// Unlike [`read_text`] (which accepts any syntactically valid graph,
+/// including deliberately incomplete fragments), a module is an
+/// *executable* unit: the parsed graph is structurally validated so an
+/// externally loaded graph can never reach the executor unchecked.
 pub fn read_module(text: &str) -> Result<(Dfg, cf2df_cfg::VarTable), ParseError> {
     let mut vars = cf2df_cfg::VarTable::new();
     let mut graph_lines = vec!["dfg v1".to_owned()];
@@ -355,6 +360,18 @@ pub fn read_module(text: &str) -> Result<(Dfg, cf2df_cfg::VarTable), ParseError>
         }
     }
     let g = read_text(&graph_lines.join("\n"))?;
+    if let Err(errs) = crate::validate::validate(&g) {
+        let rendered: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        return Err(ParseError {
+            line: 0,
+            msg: format!(
+                "module graph failed validation ({} defect{}): {}",
+                errs.len(),
+                if errs.len() == 1 { "" } else { "s" },
+                rendered.join("; ")
+            ),
+        });
+    }
     Ok((g, vars))
 }
 
@@ -472,6 +489,17 @@ mod tests {
             vars2.kind(cf2df_cfg::VarId(1)),
             cf2df_cfg::VarKind::Array { len: 16 }
         );
+    }
+
+    #[test]
+    fn module_rejects_structurally_invalid_graphs() {
+        // An unfed load: fine for `read_text` (a fragment), rejected by
+        // `read_module` (an executable unit).
+        let text = "dfg v1\nop 0 start\nop 1 load 0\nop 2 end 1\narc 0.0 -> 2.0 access\n";
+        assert!(read_text(text).is_ok());
+        let e = read_module(text).unwrap_err();
+        assert!(e.msg.contains("failed validation"), "{e}");
+        assert!(e.msg.contains("unfed"), "{e}");
     }
 
     #[test]

@@ -18,15 +18,19 @@
 //! the write-once enhancement of §6.3.
 
 pub mod build;
+pub mod certify;
 pub mod dot;
 pub mod graph;
 pub mod io;
+pub mod mutate;
 pub mod op;
 pub mod stats;
 pub mod validate;
 
 pub use build::synch_tree;
+pub use certify::{certify, Defect, DefectKind};
 pub use graph::{Arc, ArcKind, Dfg, OpId, Port};
+pub use mutate::{mutate, Mutation, MutationClass};
 pub use op::OpKind;
 pub use stats::DfgStats;
 pub use validate::{validate, DfgError};

@@ -29,6 +29,12 @@ pub enum DfgError {
     AllImmediate(OpId),
     /// The operator is not reachable from `Start` along arcs.
     Unreachable(OpId),
+    /// The 32-bit operator id space is exhausted: a graph already holding
+    /// `ops` operators cannot assign another id.
+    OpSpaceExhausted {
+        /// Number of operators already in the graph.
+        ops: usize,
+    },
 }
 
 impl fmt::Display for DfgError {
@@ -45,6 +51,9 @@ impl fmt::Display for DfgError {
             }
             DfgError::AllImmediate(op) => write!(f, "{op:?} has only immediate inputs"),
             DfgError::Unreachable(op) => write!(f, "{op:?} unreachable from Start"),
+            DfgError::OpSpaceExhausted { ops } => {
+                write!(f, "operator id space exhausted at {ops} operators")
+            }
         }
     }
 }
@@ -96,8 +105,7 @@ pub fn validate(g: &Dfg) -> Result<(), Vec<DfgError>> {
     }
 
     // Reachability from Start along arcs (any port).
-    if starts == 1 {
-        let start = g.start();
+    if let Ok(start) = g.start() {
         let mut adj: Vec<Vec<OpId>> = vec![Vec::new(); g.len()];
         for a in g.arcs() {
             adj[a.from.op.index()].push(a.to.op);

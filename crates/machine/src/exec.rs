@@ -175,6 +175,14 @@ pub enum MachineError {
         /// The configured bound, in milliseconds.
         millis: u64,
     },
+    /// The graph is not executable (e.g. it has no unique `Start`): the
+    /// executor refused to seed it. Graphs from the translators always
+    /// pass [`cf2df_dfg::validate`]; this arises only for hand-built or
+    /// externally loaded graphs.
+    InvalidGraph {
+        /// What structural property failed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for MachineError {
@@ -208,6 +216,9 @@ impl std::fmt::Display for MachineError {
             }
             MachineError::WatchdogTimeout { millis } => {
                 write!(f, "watchdog expired after {millis} ms")
+            }
+            MachineError::InvalidGraph { detail } => {
+                write!(f, "graph is not executable: {detail}")
             }
         }
     }
@@ -312,7 +323,7 @@ struct Sim<'g, S: TraceSink> {
 /// Execute a dataflow graph to completion.
 pub fn run(g: &Dfg, layout: &MemLayout, config: MachineConfig) -> Result<Outcome, MachineError> {
     let mut sim = Sim::new(g, layout, config, NoTrace);
-    sim.seed();
+    sim.seed()?;
     sim.main_loop()?;
     Ok(sim.finish().0)
 }
@@ -325,7 +336,7 @@ pub fn run_traced(
     config: MachineConfig,
 ) -> Result<(Outcome, crate::trace::Trace), MachineError> {
     let mut sim = Sim::new(g, layout, config, crate::trace::Trace::default());
-    sim.seed();
+    sim.seed()?;
     sim.main_loop()?;
     Ok(sim.finish())
 }
@@ -365,8 +376,10 @@ impl<'g, S: TraceSink> Sim<'g, S> {
         }
     }
 
-    fn seed(&mut self) {
-        let start = self.g.start();
+    fn seed(&mut self) -> Result<(), MachineError> {
+        let start = self.g.start().map_err(|e| MachineError::InvalidGraph {
+            detail: e.to_string(),
+        })?;
         let initial: Vec<Port> = self.dests[start.index()][0].clone();
         for to in initial {
             self.events.entry(0).or_default().push(Token {
@@ -375,6 +388,7 @@ impl<'g, S: TraceSink> Sim<'g, S> {
                 value: 0,
             });
         }
+        Ok(())
     }
 
     fn main_loop(&mut self) -> Result<(), MachineError> {

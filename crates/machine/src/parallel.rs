@@ -746,7 +746,15 @@ fn run_inner(
     // Seed initial tokens round-robin across the worker queues, so every
     // worker starts with work instead of all seeds funnelling through
     // the injector into whichever worker looks first.
-    let start = g.start();
+    let start = match g.start() {
+        Ok(op) => op,
+        Err(e) => {
+            let err = MachineError::InvalidGraph {
+                detail: e.to_string(),
+            };
+            return (Err(err), ParMetrics::default(), Vec::new());
+        }
+    };
     sched.seed(shared.dests[start.index()][0].iter().map(|&to| Token {
         to,
         tag: TagId::ROOT,

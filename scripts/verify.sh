@@ -16,6 +16,13 @@ cargo test -q --offline
 echo "==> default features must be warning-free (full build, all targets)"
 RUSTFLAGS="-Dwarnings" cargo build --workspace --all-targets --offline
 
+echo "==> validate: certify corpus x schemas x optimized, + mutation slice"
+# The static translation validator must certify the full corpus matrix
+# with zero defects, and the seeded mutation harness must detect every
+# injected translator bug (drop-arc, retarget-switch-output,
+# delete-loop-exit, swap-merge-for-strict).
+target/release/cf2df validate corpus --mutations --seeds 4
+
 echo "==> chaos smoke: fault-injection campaign (cf2df chaos --quick)"
 # Every run must match the deterministic simulator or return a typed
 # machine error within the watchdog bound — no hangs, no aborts.

@@ -8,6 +8,8 @@
 //! cf2df run-graph  <file.dfg> [MACHINE]
 //! cf2df run        <file.imp> [SCHEMA] [TRANSFORMS] [MACHINE] [--trace]
 //! cf2df compare    <file.imp> [MACHINE]
+//! cf2df validate   <file.imp|file.dfg|corpus> [SCHEMA] [TRANSFORMS]
+//!                  [--json] [--mutations] [--seeds <n>]
 //! cf2df bench      [--quick] [--out-dir <dir>]
 //! cf2df check-bench <artifact.json> [<artifact.json>…]
 //!                   [--compare <old.json>] [--tolerance <frac>]
@@ -26,6 +28,20 @@
 //! `translate --time-passes` prints a per-pass table on stderr: wall
 //! time, analyses computed vs. served from the cache, and CFG/DFG sizes
 //! in and out of every pipeline stage.
+//!
+//! `validate` runs the static translation validator and prints its
+//! certification report. With the literal target `corpus`, every corpus
+//! program is certified under the full option matrix — Schema 1,
+//! Schema 2 (singleton cover), Schema 3 (alias-class cover), the §4
+//! optimized construction, and the fully parallelized Schema 3 — and
+//! the process exits non-zero on the first defect. A `.imp` file (or
+//! corpus program name) is certified under the schema flags; a `.dfg`
+//! file is loaded and checked against the graph-level obligations only
+//! (token linearity, gated cycles, tag stripping). `--json` emits one
+//! machine-readable report per line. `--mutations` additionally runs
+//! the seeded mutation slice: every mutation class × `--seeds` seeds
+//! (default 4) is injected into each certified-clean graph, and every
+//! injected bug must be detected or the run fails.
 //!
 //! `chaos` runs the seeded fault-injection campaign: every corpus
 //! program (or `--programs`) under every fault profile (off, perturb,
@@ -393,12 +409,208 @@ fn run_chaos(mut args: Args) {
     }
 }
 
+/// The certification matrix `cf2df validate corpus` sweeps: Schemas 1–3
+/// with both cover strategies, optimized construction off and on.
+fn validate_matrix() -> Vec<(&'static str, TranslateOptions)> {
+    vec![
+        ("schema1", TranslateOptions::schema1()),
+        ("schema2", TranslateOptions::schema3(CoverStrategy::Singletons)),
+        (
+            "schema3-alias",
+            TranslateOptions::schema3(CoverStrategy::AliasClasses),
+        ),
+        (
+            "optimized",
+            TranslateOptions::schema3(CoverStrategy::Singletons).with_optimized(true),
+        ),
+        ("full", TranslateOptions::full_parallel_schema3()),
+    ]
+}
+
+/// One `validate` unit of work: certify `label`'s translation and print
+/// the report. Returns the clean graph for the mutation slice, or `None`
+/// (having recorded the defect) when certification failed.
+fn validate_one(
+    label: &str,
+    parsed: &cf2df::lang::Parsed,
+    opts: &TranslateOptions,
+    json: bool,
+    failures: &mut Vec<String>,
+) -> Option<cf2df::dfg::Dfg> {
+    use cf2df::core::TranslateError;
+    let opts = opts.clone().with_certify(true);
+    let (report, dfg) = match translate(&parsed.cfg, &parsed.alias, &opts) {
+        Ok(t) => (t.certify.clone().expect("certify pass ran"), Some(t.dfg)),
+        Err(TranslateError::Certify(report)) => (*report, None),
+        Err(e) => {
+            failures.push(format!("{label}: translation error: {e}"));
+            if !json {
+                println!("{label}: translation error: {e}");
+            }
+            return None;
+        }
+    };
+    if json {
+        println!("{{\"target\":\"{label}\",\"report\":{}}}", report.to_json());
+    } else {
+        println!("{label}: {report}");
+    }
+    if report.is_clean() {
+        dfg
+    } else {
+        failures.push(format!("{label}: {} defects", report.defect_count()));
+        None
+    }
+}
+
+/// The seeded mutation slice: inject every mutation class × `seeds`
+/// seeds into a certified-clean graph; each applied mutation must be
+/// detected by the graph-level certifier.
+fn mutation_slice(
+    label: &str,
+    dfg: &cf2df::dfg::Dfg,
+    seeds: u64,
+    counts: &mut std::collections::BTreeMap<&'static str, (u64, u64)>,
+    failures: &mut Vec<String>,
+) {
+    use cf2df::dfg::{certify, mutate, MutationClass};
+    for class in MutationClass::ALL {
+        for seed in 0..seeds {
+            let mut g = dfg.clone();
+            let Some(m) = mutate(&mut g, class, seed) else {
+                continue;
+            };
+            let row = counts.entry(class.name()).or_insert((0, 0));
+            row.0 += 1;
+            if certify(&g).is_err() {
+                row.1 += 1;
+            } else {
+                failures.push(format!(
+                    "{label}: {} seed {seed} UNDETECTED: {}",
+                    class.name(),
+                    m.description
+                ));
+            }
+        }
+    }
+}
+
+/// `cf2df validate`: the static translation validator as a command.
+fn run_validate(mut args: Args) {
+    let json = args.flag("--json");
+    let mutations = args.flag("--mutations");
+    let seeds: u64 = args
+        .value("--seeds")
+        .map(|s| s.parse().expect("numeric --seeds"))
+        .unwrap_or(4);
+    let opts = parse_schema(&mut args);
+    if args.rest.len() != 1 {
+        eprintln!("validate takes exactly one target (a file, corpus name, or `corpus`)");
+        usage();
+    }
+    let target = args.rest.remove(0);
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut counts: std::collections::BTreeMap<&'static str, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    let mut certified = 0usize;
+
+    if target.ends_with(".dfg") {
+        // Graph file: graph-level obligations only (no CFG to check
+        // switch placement or conservation against).
+        let text = std::fs::read_to_string(&target).unwrap_or_else(|e| {
+            eprintln!("cannot read {target}: {e}");
+            exit(2)
+        });
+        let (g, _vars) = cf2df::dfg::io::read_module(&text).unwrap_or_else(|e| {
+            eprintln!("bad graph file: {e}");
+            exit(1)
+        });
+        let report = cf2df::core::CertifyReport {
+            graph_defects: cf2df::dfg::certify(&g).err().unwrap_or_default(),
+            ..Default::default()
+        };
+        if json {
+            println!("{{\"target\":\"{target}\",\"report\":{}}}", report.to_json());
+        } else {
+            println!("{target}: {report}");
+        }
+        if report.is_clean() {
+            certified += 1;
+            if mutations {
+                mutation_slice(&target, &g, seeds, &mut counts, &mut failures);
+            }
+        } else {
+            failures.push(format!("{target}: {} defects", report.defect_count()));
+        }
+    } else if target == "corpus" {
+        for (name, src) in cf2df::lang::corpus::all() {
+            let parsed = cf2df::lang::parse_to_cfg(src).unwrap_or_else(|e| {
+                eprintln!("corpus program {name} failed to parse: {e}");
+                exit(1)
+            });
+            for (slabel, opts) in validate_matrix() {
+                let label = format!("{name}/{slabel}");
+                if let Some(dfg) = validate_one(&label, &parsed, &opts, json, &mut failures) {
+                    certified += 1;
+                    if mutations {
+                        mutation_slice(&label, &dfg, seeds, &mut counts, &mut failures);
+                    }
+                }
+            }
+        }
+    } else {
+        let src = load_source(&target);
+        let parsed = cf2df::lang::parse_to_cfg(&src).unwrap_or_else(|e| {
+            eprintln!("parse error: {e}");
+            exit(1)
+        });
+        if let Some(dfg) = validate_one(&target, &parsed, &opts, json, &mut failures) {
+            certified += 1;
+            if mutations {
+                mutation_slice(&target, &dfg, seeds, &mut counts, &mut failures);
+            }
+        }
+    }
+
+    if mutations && !json {
+        println!("{:<24} {:>8} {:>9}", "mutation class", "applied", "detected");
+        for (class, (applied, detected)) in &counts {
+            println!("{class:<24} {applied:>8} {detected:>9}");
+        }
+    }
+    for f in failures.iter().take(20) {
+        eprintln!("DEFECT: {f}");
+    }
+    if failures.len() > 20 {
+        eprintln!("… and {} more", failures.len() - 20);
+    }
+    if failures.is_empty() {
+        if !json {
+            let injected: u64 = counts.values().map(|&(a, _)| a).sum();
+            let tail = if mutations {
+                format!(", {injected} injected mutations all detected")
+            } else {
+                String::new()
+            };
+            println!("validate: {certified} translation(s) certified clean{tail}");
+        }
+    } else {
+        eprintln!("validate: {} defect(s) across {certified} clean translation(s)", failures.len());
+        exit(1)
+    }
+}
+
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
         usage();
     }
     let cmd = argv.remove(0);
+    if cmd == "validate" {
+        run_validate(Args { rest: argv });
+        return;
+    }
     if cmd == "chaos" {
         run_chaos(Args { rest: argv });
         return;

@@ -1,0 +1,190 @@
+//! Integration tests for the static translation validator.
+//!
+//! Three obligations from the certify design:
+//!
+//! 1. The unmutated corpus certifies 100% clean across the full option
+//!    matrix (Schemas 1–3, both cover strategies, optimized construction
+//!    off and on, full parallelization).
+//! 2. The seeded mutation harness detects every injected translator-bug
+//!    class, and each detection reports a defect variant the class is
+//!    expected to produce — a `drop-arc` caught only as, say, a tag leak
+//!    would mean the checker fired for the wrong reason.
+//! 3. A graph whose loop exit was deleted is rejected *statically*: it
+//!    passes structural validation (so pre-certify tooling would have
+//!    handed it to the machine, which leaks the iteration tag) but the
+//!    certifier refuses it before anything runs.
+
+use cf2df::cfg::CoverStrategy;
+use cf2df::core::pipeline::{translate, TranslateOptions};
+use cf2df::dfg::{certify, mutate, validate, DefectKind, MutationClass};
+
+/// The certification matrix: Schemas 1–3 × optimized off/on.
+fn matrix() -> Vec<(&'static str, TranslateOptions)> {
+    vec![
+        ("schema1", TranslateOptions::schema1()),
+        ("schema2", TranslateOptions::schema3(CoverStrategy::Singletons)),
+        (
+            "schema3-alias",
+            TranslateOptions::schema3(CoverStrategy::AliasClasses),
+        ),
+        (
+            "optimized",
+            TranslateOptions::schema3(CoverStrategy::Singletons).with_optimized(true),
+        ),
+        ("full", TranslateOptions::full_parallel_schema3()),
+    ]
+}
+
+#[test]
+fn unmutated_corpus_certifies_clean_across_the_matrix() {
+    let mut certified = 0;
+    for (name, src) in cf2df::lang::corpus::all() {
+        let parsed = cf2df::lang::parse_to_cfg(src).unwrap();
+        for (label, opts) in matrix() {
+            let t = translate(&parsed.cfg, &parsed.alias, &opts)
+                .unwrap_or_else(|e| panic!("{name}/{label}: {e}"));
+            let report = t
+                .certify
+                .unwrap_or_else(|| panic!("{name}/{label}: certify pass did not run"));
+            assert!(report.is_clean(), "{name}/{label}: {report}");
+            certified += 1;
+        }
+    }
+    assert!(certified >= 75, "corpus matrix shrank to {certified} cells");
+}
+
+/// Defect variants each mutation class is expected to surface as. A
+/// detection outside this set means the checker tripped over collateral
+/// damage rather than the injected bug.
+fn expected_variants(class: MutationClass) -> &'static [DefectKind] {
+    match class {
+        // A dropped arc starves a port (structural / dead input), breaks a
+        // rendezvous rate, unbalances a merge family, or severs a loop's
+        // backedge or exit coverage.
+        MutationClass::DropArc => &[
+            DefectKind::Structural,
+            DefectKind::DeadInput,
+            DefectKind::RateMismatch,
+            DefectKind::ConditionalEnd,
+            DefectKind::BackedgeGap,
+            DefectKind::DroppedToken,
+            DefectKind::TagLeak,
+        ],
+        // A retargeted switch output delivers under the wrong guard:
+        // colliding or mismatched contexts downstream, a loop exit that no
+        // longer contradicts its backedge, an uncovered iteration context,
+        // or an emptied arm that now silently drops its tokens.
+        MutationClass::RetargetSwitchOutput => &[
+            DefectKind::DroppedToken,
+            DefectKind::MergeCollision,
+            DefectKind::RateMismatch,
+            DefectKind::DeadInput,
+            DefectKind::UngatedLoopExit,
+            DefectKind::UnguardedBackedge,
+            DefectKind::BackedgeGap,
+            DefectKind::ConditionalEnd,
+        ],
+        // Without its exit the loop's iteration tag survives outward, the
+        // backedge loses coverage, and downstream rendezvous see tagged
+        // against untagged contexts.
+        MutationClass::DeleteLoopExit => &[
+            DefectKind::TagLeak,
+            DefectKind::MissingLoopTag,
+            DefectKind::BackedgeGap,
+            DefectKind::UnguardedBackedge,
+            DefectKind::RateMismatch,
+            DefectKind::ConditionalEnd,
+            DefectKind::UngatedCycle,
+        ],
+        // A merge demoted to a strict rendezvous has several arcs into one
+        // strict port — a structural defect (or a rate/collision one when
+        // structure alone cannot tell).
+        MutationClass::SwapMergeForStrict => &[
+            DefectKind::Structural,
+            DefectKind::RateMismatch,
+            DefectKind::MergeCollision,
+        ],
+    }
+}
+
+#[test]
+fn mutation_harness_detects_every_class_with_an_expected_variant() {
+    let mut applied_per_class = [0usize; MutationClass::ALL.len()];
+    for (name, src) in cf2df::lang::corpus::all() {
+        let parsed = cf2df::lang::parse_to_cfg(src).unwrap();
+        for (label, opts) in matrix() {
+            let t = translate(&parsed.cfg, &parsed.alias, &opts)
+                .unwrap_or_else(|e| panic!("{name}/{label}: {e}"));
+            for (ci, class) in MutationClass::ALL.into_iter().enumerate() {
+                for seed in 0..4u64 {
+                    let mut g = t.dfg.clone();
+                    let Some(m) = mutate(&mut g, class, seed) else {
+                        continue;
+                    };
+                    applied_per_class[ci] += 1;
+                    let defects = certify(&g).expect_err(&format!(
+                        "{name}/{label}: {} seed {seed} undetected: {}",
+                        class.name(),
+                        m.description
+                    ));
+                    assert!(
+                        defects
+                            .iter()
+                            .any(|d| expected_variants(class).contains(&d.kind)),
+                        "{name}/{label}: {} seed {seed} ({}) detected only as {:?}",
+                        class.name(),
+                        m.description,
+                        defects.iter().map(|d| d.kind).collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+    }
+    for (ci, class) in MutationClass::ALL.into_iter().enumerate() {
+        assert!(
+            applied_per_class[ci] > 0,
+            "{}: no corpus graph offered a mutation site",
+            class.name()
+        );
+    }
+}
+
+#[test]
+fn missing_loop_exit_is_rejected_statically_not_at_runtime() {
+    // Any looping corpus program will do; gcd is the smallest.
+    let parsed = cf2df::lang::parse_to_cfg(
+        cf2df::lang::corpus::all()
+            .iter()
+            .find(|(n, _)| *n == "gcd")
+            .expect("gcd is in the corpus")
+            .1,
+    )
+    .unwrap();
+    let t = translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2()).unwrap();
+    let mut g = t.dfg.clone();
+    let m = mutate(&mut g, MutationClass::DeleteLoopExit, 0).expect("gcd has a loop exit");
+
+    // Structural validation alone accepts the graph — this bug class used
+    // to reach the simulator, which stalls or leaks the iteration tag.
+    validate(&g).unwrap_or_else(|e| {
+        panic!("structural validate should accept the mutant ({}): {e:?}", m.description)
+    });
+    // The certifier rejects it statically, as a tag leak.
+    let defects = certify(&g).expect_err("deleted loop exit must not certify");
+    assert!(
+        defects.iter().any(|d| matches!(
+            d.kind,
+            DefectKind::TagLeak | DefectKind::MissingLoopTag
+        )),
+        "expected a tag-leak defect, got {defects:?}"
+    );
+}
+
+#[test]
+fn certify_report_renders_machine_readable_json() {
+    let parsed = cf2df::lang::parse_to_cfg("x := 1; y := x + 2;").unwrap();
+    let t = translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2()).unwrap();
+    let json = t.certify.expect("certify ran").to_json();
+    assert!(json.starts_with("{\"clean\":true"), "unexpected JSON: {json}");
+    assert!(json.contains("\"memory_pairs_checked\":"), "unexpected JSON: {json}");
+}
