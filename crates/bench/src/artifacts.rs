@@ -38,9 +38,14 @@ pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// Current artifact schema version. Version 2 added `p95_ns` to every
 /// wall-clock stats block and, on the executor artifact,
 /// `speedup_vs_1w`/`fast_path_fires` per thread entry plus
-/// `batches`/`fast_path` per worker. [`validate_artifact`] still accepts
-/// version-1 documents so old committed baselines keep validating.
-pub const SCHEMA_VERSION: u64 = 2;
+/// `batches`/`fast_path` per worker. Version 3 records macro-op fusion:
+/// a top-level `fused` flag on every artifact (the suites run fused by
+/// default and unfused under `--no-fuse`), `macro_fires`/`ops_elided`
+/// per executor thread entry plus `fired_unfused` per workload, and
+/// `macros`/`fused_ops` per translate config. [`validate_artifact`]
+/// still accepts version-1/-2 documents so old committed baselines keep
+/// validating.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The canonical workload suite, sized for `quick` (CI smoke) or full
 /// (trajectory baseline) mode.
@@ -73,19 +78,25 @@ pub fn suite(quick: bool) -> Vec<(&'static str, String)> {
 fn executor_suite(quick: bool) -> Vec<(&'static str, String)> {
     if quick {
         vec![
-            ("loop_nest", workloads::loop_nest(2, 4)),
+            ("loop_nest", workloads::loop_nest(3, 4)),
             ("independent_updates", workloads::independent_updates(8)),
+            ("loop_nest_wide", workloads::loop_nest(2, 16)),
+            ("array_update_kernel", workloads::array_update_kernel(4, 16)),
         ]
     } else {
         // loop_nest is sized so one execution takes milliseconds: the
         // scaling comparison must measure the executor, not the fixed
         // per-run cost of waking and parking pool threads (~µs), which
         // would otherwise dominate the 1-vs-N-worker delta on small
-        // hosts.
+        // hosts. loop_nest_wide and array_update_kernel fire thousands
+        // of operators each, so multi-worker scaling clears scheduler
+        // noise.
         vec![
             ("loop_nest", workloads::loop_nest(4, 10)),
             ("independent_updates", workloads::independent_updates(24)),
             ("array_store_loop", workloads::array_store_loop(64)),
+            ("loop_nest_wide", workloads::loop_nest(3, 16)),
+            ("array_update_kernel", workloads::array_update_kernel(8, 64)),
         ]
     }
 }
@@ -119,8 +130,9 @@ fn stats_json(s: &Stats) -> String {
 
 /// Render the pipeline artifact: every suite workload through the
 /// baseline interpreter and three translation configurations on the
-/// simulator.
-pub fn pipeline_artifact(quick: bool) -> Result<String, String> {
+/// simulator. `fuse` selects whether the pipelines run macro-op fusion
+/// (the committed baselines do; `--no-fuse` produces the contrast).
+pub fn pipeline_artifact(quick: bool, fuse: bool) -> Result<String, String> {
     let mc = MachineConfig::unbounded();
     let mut entries = Vec::new();
     for (name, src) in suite(quick) {
@@ -128,9 +140,9 @@ pub fn pipeline_artifact(quick: bool) -> Result<String, String> {
             .map_err(|e| format!("workload {name} failed to parse: {e}"))?;
         let rows: Vec<Measurement> = vec![
             measure_baseline(&parsed, &mc),
-            measure(&parsed, &TranslateOptions::schema1(), &mc, "schema1"),
-            measure(&parsed, &TranslateOptions::schema2(), &mc, "schema2"),
-            measure(&parsed, &TranslateOptions::optimized(), &mc, "optimized"),
+            measure(&parsed, &TranslateOptions::schema1().with_fuse(fuse), &mc, "schema1"),
+            measure(&parsed, &TranslateOptions::schema2().with_fuse(fuse), &mc, "schema2"),
+            measure(&parsed, &TranslateOptions::optimized().with_fuse(fuse), &mc, "optimized"),
         ];
         for pair in rows.windows(2) {
             if pair[0].memory != pair[1].memory {
@@ -149,6 +161,7 @@ pub fn pipeline_artifact(quick: bool) -> Result<String, String> {
     doc.str("artifact", "pipeline")
         .num("schema_version", SCHEMA_VERSION)
         .bool("quick", quick)
+        .bool("fused", fuse)
         .raw("workloads", &json::array(entries));
     let text = doc.finish();
     validate_artifact(&text)?;
@@ -161,8 +174,11 @@ pub fn pipeline_artifact(quick: bool) -> Result<String, String> {
 
 /// Render the executor artifact: wall-clock timings of the simulator and
 /// the threaded executor at [`WORKER_COUNTS`], plus the executor's
-/// scheduler/rendezvous metrics, per workload.
-pub fn executor_artifact(quick: bool) -> Result<String, String> {
+/// scheduler/rendezvous metrics, per workload. `fuse` selects macro-op
+/// fusion; each workload entry also records `fired_unfused` (=`fired +
+/// ops_elided`, deterministic) so a fused artifact carries its own
+/// token-traffic contrast.
+pub fn executor_artifact(quick: bool, fuse: bool) -> Result<String, String> {
     let mut t = timer(quick);
     // One persistent pool per worker count, shared by every workload:
     // thread spawn latency stays outside the timed region, which is what
@@ -172,8 +188,16 @@ pub fn executor_artifact(quick: bool) -> Result<String, String> {
     for (name, src) in executor_suite(quick) {
         let parsed = cf2df_lang::parse_to_cfg(&src)
             .map_err(|e| format!("workload {name} failed to parse: {e}"))?;
-        let tr = translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2())
-            .map_err(|e| format!("workload {name} failed to translate: {e}"))?;
+        // The full pipeline: memory elision is what exposes the long
+        // same-tag operator chains the fusion pass coarsens, so the
+        // executor artifact's token-traffic numbers reflect what fusion
+        // actually buys in the best-optimized configuration.
+        let tr = translate(
+            &parsed.cfg,
+            &parsed.alias,
+            &TranslateOptions::full_parallel_schema3().with_fuse(fuse),
+        )
+        .map_err(|e| format!("workload {name} failed to translate: {e}"))?;
         let layout = MemLayout::distinct(&tr.cfg.vars);
         let sim = run(&tr.dfg, &layout, MachineConfig::unbounded())
             .map_err(|e| format!("workload {name}: simulator fault: {e}"))?;
@@ -253,6 +277,8 @@ pub fn executor_artifact(quick: bool) -> Result<String, String> {
                 .num("tokens_processed", m.tokens_processed)
                 .num("merged", m.merged)
                 .num("fast_path_fires", m.fast_path_fires)
+                .num("macro_fires", m.macro_fires)
+                .num("ops_elided", m.ops_elided)
                 .num("max_pending_slots", m.max_pending_slots)
                 .num("tags_created", m.tags_created)
                 .num("deferred_reads", m.deferred_reads)
@@ -264,6 +290,7 @@ pub fn executor_artifact(quick: bool) -> Result<String, String> {
         let mut o = Obj::new();
         o.str("name", name)
             .num("fired", sim.stats.fired)
+            .num("fired_unfused", sim.stats.fired + sim.stats.ops_elided)
             .raw("simulator_wall_ns", &sim_wall)
             .raw("threads", &json::array(threads));
         entries.push(o.finish());
@@ -272,6 +299,7 @@ pub fn executor_artifact(quick: bool) -> Result<String, String> {
     doc.str("artifact", "executor")
         .num("schema_version", SCHEMA_VERSION)
         .bool("quick", quick)
+        .bool("fused", fuse)
         .raw(
             "worker_counts",
             &json::array(WORKER_COUNTS.iter().map(|w| w.to_string())),
@@ -287,14 +315,24 @@ pub fn executor_artifact(quick: bool) -> Result<String, String> {
 // ---------------------------------------------------------------------
 
 /// Translation configurations the translate artifact sweeps, labeled as
-/// in `cf2df compare`.
-fn translate_configs() -> [(&'static str, TranslateOptions); 4] {
-    [
-        ("schema1", TranslateOptions::schema1()),
-        ("schema2", TranslateOptions::schema2()),
-        ("optimized", TranslateOptions::optimized()),
-        ("full", TranslateOptions::full_parallel_schema3()),
-    ]
+/// in `cf2df compare`. With fusion on, a `full-nofuse` contrast config
+/// rides along so the artifact shows what the fusion pass costs and
+/// saves; with `--no-fuse` everything is already unfused and the
+/// contrast would be a duplicate.
+fn translate_configs(fuse: bool) -> Vec<(&'static str, TranslateOptions)> {
+    let mut v = vec![
+        ("schema1", TranslateOptions::schema1().with_fuse(fuse)),
+        ("schema2", TranslateOptions::schema2().with_fuse(fuse)),
+        ("optimized", TranslateOptions::optimized().with_fuse(fuse)),
+        ("full", TranslateOptions::full_parallel_schema3().with_fuse(fuse)),
+    ];
+    if fuse {
+        v.push((
+            "full-nofuse",
+            TranslateOptions::full_parallel_schema3().with_fuse(false),
+        ));
+    }
+    v
 }
 
 /// Render the translate artifact: wall-clock timings of the translation
@@ -303,14 +341,14 @@ fn translate_configs() -> [(&'static str, TranslateOptions); 4] {
 /// performance; `analyses_computed` gates the cache discipline — any
 /// increase means a stage started recomputing an analysis it used to
 /// share.
-pub fn translate_artifact(quick: bool) -> Result<String, String> {
+pub fn translate_artifact(quick: bool, fuse: bool) -> Result<String, String> {
     let mut t = timer(quick);
     let mut entries = Vec::new();
     for (name, src) in suite(quick) {
         let parsed = cf2df_lang::parse_to_cfg(&src)
             .map_err(|e| format!("workload {name} failed to parse: {e}"))?;
         let mut rows = Vec::new();
-        for (label, opts) in translate_configs() {
+        for (label, opts) in translate_configs(fuse) {
             let tr = translate(&parsed.cfg, &parsed.alias, &opts)
                 .map_err(|e| format!("workload {name}/{label} failed to translate: {e}"))?;
             let wall = stats_json(t.bench(&format!("{name}/translate/{label}"), || {
@@ -327,7 +365,9 @@ pub fn translate_artifact(quick: bool) -> Result<String, String> {
                 .num("cache_hits", tr.cache_stats.total_hits())
                 .num("ops", tr.stats.ops as u64)
                 .num("arcs", tr.stats.arcs as u64)
-                .num("switches", tr.stats.switches as u64);
+                .num("switches", tr.stats.switches as u64)
+                .num("macros", tr.stats.macros as u64)
+                .num("fused_ops", tr.stats.fused_ops as u64);
             rows.push(o.finish());
         }
         let mut o = Obj::new();
@@ -338,6 +378,7 @@ pub fn translate_artifact(quick: bool) -> Result<String, String> {
     doc.str("artifact", "translate")
         .num("schema_version", SCHEMA_VERSION)
         .bool("quick", quick)
+        .bool("fused", fuse)
         .raw("workloads", &json::array(entries));
     let text = doc.finish();
     validate_artifact(&text)?;
@@ -388,7 +429,8 @@ fn check_stats(v: &Json, ctx: &str, version: u64) -> Result<(), String> {
 }
 
 /// The document's declared schema version — required, and must be one
-/// this validator understands (1 or 2).
+/// this validator understands (1 through [`SCHEMA_VERSION`]). Version 3
+/// documents additionally declare `fused` as a boolean.
 fn schema_version(doc: &Json, ctx: &str) -> Result<u64, String> {
     let v = req_num(doc, ctx, "schema_version")?;
     let v = v as u64;
@@ -396,6 +438,9 @@ fn schema_version(doc: &Json, ctx: &str) -> Result<u64, String> {
         return Err(format!(
             "{ctx}: unsupported schema_version {v} (understood: 1..={SCHEMA_VERSION})"
         ));
+    }
+    if v >= 3 && !matches!(req(doc, ctx, "fused")?, Json::Bool(_)) {
+        return Err(format!("{ctx}: field 'fused' is not a boolean"));
     }
     Ok(v)
 }
@@ -434,6 +479,12 @@ fn validate_executor_value(doc: &Json) -> Result<(), String> {
     for (wi, w) in req_arr(doc, "executor", "workloads")?.iter().enumerate() {
         let name = req_str(w, &format!("workloads[{wi}]"), "name")?.to_owned();
         req_num(w, &name, "fired")?;
+        if version >= 3 {
+            let unfused = req_num(w, &name, "fired_unfused")?;
+            if unfused < req_num(w, &name, "fired")? {
+                return Err(format!("{name}: fired_unfused below fired"));
+            }
+        }
         check_stats(
             req(w, &name, "simulator_wall_ns")?,
             &format!("{name}.simulator_wall_ns"),
@@ -469,6 +520,10 @@ fn validate_executor_value(doc: &Json) -> Result<(), String> {
                     return Err(format!("{ctx}: speedup_vs_1w must be positive"));
                 }
                 req_num(t, &ctx, "fast_path_fires")?;
+            }
+            if version >= 3 {
+                req_num(t, &ctx, "macro_fires")?;
+                req_num(t, &ctx, "ops_elided")?;
             }
             let per_worker = req_arr(t, &ctx, "per_worker")?;
             if per_worker.len() != workers as usize {
@@ -522,6 +577,10 @@ fn validate_translate_value(doc: &Json) -> Result<(), String> {
             if req_num(c, &ctx, "passes")? < 1.0 {
                 return Err(format!("{ctx}: no passes recorded"));
             }
+            if version >= 3 {
+                req_num(c, &ctx, "macros")?;
+                req_num(c, &ctx, "fused_ops")?;
+            }
         }
     }
     Ok(())
@@ -545,7 +604,7 @@ mod tests {
 
     #[test]
     fn quick_pipeline_artifact_validates() {
-        let doc = pipeline_artifact(true).unwrap();
+        let doc = pipeline_artifact(true, true).unwrap();
         validate_artifact(&doc).unwrap();
         let v = json::parse(&doc).unwrap();
         assert_eq!(v.get("artifact").unwrap().as_str(), Some("pipeline"));
@@ -562,7 +621,7 @@ mod tests {
 
     #[test]
     fn quick_executor_artifact_validates_and_sweeps_workers() {
-        let doc = executor_artifact(true).unwrap();
+        let doc = executor_artifact(true, true).unwrap();
         validate_artifact(&doc).unwrap();
         let v = json::parse(&doc).unwrap();
         let w0 = &v.get("workloads").unwrap().as_arr().unwrap()[0];
@@ -580,6 +639,11 @@ mod tests {
             assert_eq!(processed, fired + merged);
             assert!(t.get("speedup_vs_1w").unwrap().as_num().unwrap() > 0.0);
             assert!(t.get("fast_path_fires").unwrap().as_num().is_some());
+            // Fusion accounting: elided ops explain the gap to the
+            // unfused firing count recorded on the workload.
+            let elided = t.get("ops_elided").unwrap().as_num().unwrap();
+            let unfused = w0.get("fired_unfused").unwrap().as_num().unwrap();
+            assert_eq!(fired + elided, unfused);
             let by_worker: f64 = t
                 .get("per_worker")
                 .unwrap()
@@ -594,7 +658,7 @@ mod tests {
 
     #[test]
     fn quick_translate_artifact_validates_and_counts_passes() {
-        let doc = translate_artifact(true).unwrap();
+        let doc = translate_artifact(true, true).unwrap();
         validate_artifact(&doc).unwrap();
         let v = json::parse(&doc).unwrap();
         assert_eq!(v.get("artifact").unwrap().as_str(), Some("translate"));

@@ -70,6 +70,44 @@ impl Comparison {
     pub fn regressions(&self) -> Vec<&Delta> {
         self.deltas.iter().filter(|d| d.regressed).collect()
     }
+
+    /// Enforce a *minimum improvement*: every `tokens_processed` delta
+    /// for a workload whose name starts with `prefix` must show `new`
+    /// at least `frac` below `old`. This is the fusion acceptance gate —
+    /// comparing a fused artifact against its unfused twin must show
+    /// the promised token-traffic reduction, not merely "no increase".
+    /// Token counts are deterministic, so no tolerance applies. Returns
+    /// the violations as report lines (empty = gate passed).
+    pub fn require_token_reduction(&self, frac: f64, prefix: &str) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut matched = false;
+        for d in &self.deltas {
+            let Some(rest) = d.what.strip_suffix(" tokens_processed") else {
+                continue;
+            };
+            if !rest.starts_with(prefix) {
+                continue;
+            }
+            matched = true;
+            let reduction = if d.old > 0.0 { 1.0 - d.new / d.old } else { 0.0 };
+            if reduction < frac {
+                violations.push(format!(
+                    "{}: tokens {} -> {} is only a {:.1}% reduction (need >= {:.1}%)",
+                    rest,
+                    d.old,
+                    d.new,
+                    reduction * 100.0,
+                    frac * 100.0
+                ));
+            }
+        }
+        if !matched {
+            violations.push(format!(
+                "no tokens_processed deltas matched workload prefix '{prefix}'"
+            ));
+        }
+        violations
+    }
 }
 
 fn wall_median(v: &Json, ctx: &str) -> Result<f64, String> {
@@ -196,6 +234,20 @@ fn compare_executor(
                 new: n,
                 regressed: wall_regressed(o, n, tolerance),
             });
+            // Token traffic is deterministic per workload: more tokens
+            // through the rendezvous store than the baseline means a
+            // coarsening (fusion) or scheduling change went backwards.
+            if let (Some(o), Some(n)) = (
+                ot.get("tokens_processed").and_then(Json::as_num),
+                nt.get("tokens_processed").and_then(Json::as_num),
+            ) {
+                out.deltas.push(Delta {
+                    what: format!("{ctx} tokens_processed"),
+                    old: o,
+                    new: n,
+                    regressed: n > o,
+                });
+            }
         }
     }
     for (name, _) in &old_rows {
@@ -311,9 +363,9 @@ mod tests {
     #[test]
     fn identical_artifacts_never_regress() {
         for doc in [
-            pipeline_artifact(true).unwrap(),
-            executor_artifact(true).unwrap(),
-            translate_artifact(true).unwrap(),
+            pipeline_artifact(true, true).unwrap(),
+            executor_artifact(true, true).unwrap(),
+            translate_artifact(true, true).unwrap(),
         ] {
             let cmp = compare_artifacts(&doc, &doc, DEFAULT_TOLERANCE).unwrap();
             assert!(!cmp.deltas.is_empty());
@@ -336,7 +388,7 @@ mod tests {
 
     #[test]
     fn deterministic_pipeline_counters_gate_exactly() {
-        let doc = pipeline_artifact(true).unwrap();
+        let doc = pipeline_artifact(true, true).unwrap();
         // Inflate every fired count in the "new" artifact by editing the
         // JSON: any increase must be flagged.
         // Prepending a digit makes every count strictly larger.
@@ -353,8 +405,28 @@ mod tests {
     }
 
     #[test]
+    fn executor_token_traffic_gates_exactly() {
+        let doc = executor_artifact(true, true).unwrap();
+        let inflated = doc.replace("\"tokens_processed\":", "\"tokens_processed\":1");
+        let cmp = compare_artifacts(&doc, &inflated, DEFAULT_TOLERANCE).unwrap();
+        assert!(
+            cmp.regressions()
+                .iter()
+                .any(|d| d.what.contains("tokens_processed")),
+            "inflated token traffic must regress: {:?}",
+            cmp.deltas
+        );
+        // A reduction (what fusion buys) is an improvement, not a flag.
+        let cmp = compare_artifacts(&inflated, &doc, DEFAULT_TOLERANCE).unwrap();
+        assert!(cmp
+            .regressions()
+            .iter()
+            .all(|d| !d.what.contains("tokens_processed")));
+    }
+
+    #[test]
     fn translate_cache_counters_gate_exactly() {
-        let doc = translate_artifact(true).unwrap();
+        let doc = translate_artifact(true, true).unwrap();
         let inflated = doc.replace("\"analyses_computed\":", "\"analyses_computed\":1");
         let cmp = compare_artifacts(&doc, &inflated, DEFAULT_TOLERANCE).unwrap();
         assert!(
@@ -370,9 +442,32 @@ mod tests {
     }
 
     #[test]
+    fn token_reduction_floor_flags_insufficient_improvement() {
+        let doc = executor_artifact(true, true).unwrap();
+        // Identical artifacts: 0% reduction, so any positive floor fails
+        // for the matching workloads and passes at a 0% floor.
+        let cmp = compare_artifacts(&doc, &doc, DEFAULT_TOLERANCE).unwrap();
+        assert!(!cmp.require_token_reduction(0.25, "loop_nest").is_empty());
+        assert!(cmp.require_token_reduction(0.0, "loop_nest").is_empty());
+        // A prefix matching nothing is itself a violation, not a pass.
+        let misses = cmp.require_token_reduction(0.25, "no_such_workload");
+        assert_eq!(misses.len(), 1, "{misses:?}");
+        // A genuine 30% reduction clears the 25% floor. Scaling every
+        // token count up in the *old* document fakes an unfused
+        // baseline with more traffic.
+        let unfused_like = executor_artifact(true, false).unwrap();
+        let cmp = compare_artifacts(&unfused_like, &doc, DEFAULT_TOLERANCE).unwrap();
+        let violations = cmp.require_token_reduction(0.25, "loop_nest");
+        assert!(
+            violations.is_empty(),
+            "fused-vs-unfused quick loop_nest must clear the 25% floor: {violations:?}"
+        );
+    }
+
+    #[test]
     fn mismatched_kinds_and_modes_are_rejected() {
-        let p = pipeline_artifact(true).unwrap();
-        let e = executor_artifact(true).unwrap();
+        let p = pipeline_artifact(true, true).unwrap();
+        let e = executor_artifact(true, true).unwrap();
         assert!(compare_artifacts(&p, &e, DEFAULT_TOLERANCE)
             .unwrap_err()
             .contains("kinds differ"));
@@ -384,7 +479,7 @@ mod tests {
 
     #[test]
     fn suite_changes_surface_as_unmatched_not_errors() {
-        let doc = pipeline_artifact(true).unwrap();
+        let doc = pipeline_artifact(true, true).unwrap();
         let renamed = doc.replace("\"name\":\"loop_nest\"", "\"name\":\"loop_nest_v2\"");
         let cmp = compare_artifacts(&doc, &renamed, DEFAULT_TOLERANCE).unwrap();
         assert!(cmp.unmatched.iter().any(|u| u.contains("new only")), "{:?}", cmp.unmatched);

@@ -105,6 +105,34 @@ pub fn read_fanout(n: usize) -> String {
     s
 }
 
+/// A wide array-update kernel: `arrays` arrays, each walked by one
+/// counted loop that reads the previous element, combines it with a few
+/// scalars, and stores the next — `arrays * iters` store iterations with
+/// long serial arithmetic chains inside each body (macro-op fusion's
+/// best case) and cross-array independence for the workers to exploit.
+pub fn array_update_kernel(arrays: usize, iters: usize) -> String {
+    let mut s = String::new();
+    for a in 0..arrays {
+        let _ = writeln!(s, "array b{a}[{}];", iters + 1);
+    }
+    for a in 0..arrays {
+        let _ = writeln!(s, "b{a}[0] := {};", a + 1);
+    }
+    for a in 0..arrays {
+        let _ = writeln!(s, "for i{a} := 1 to {iters} do {{");
+        let _ = writeln!(s, "  t{a} := b{a}[i{a} - 1] * 3 + i{a};");
+        let _ = writeln!(s, "  t{a} := t{a} - t{a} / 7 + {a};");
+        let _ = writeln!(s, "  b{a}[i{a}] := t{a} % 1000;");
+        let _ = writeln!(s, "}}");
+    }
+    let mut sum = String::from("0");
+    for a in 0..arrays {
+        sum = format!("{sum} + b{a}[{iters}]");
+    }
+    let _ = writeln!(s, "total := {sum};");
+    s
+}
+
 /// Nested counted loops, `depth` deep, `width` iterations each.
 pub fn loop_nest(depth: usize, width: usize) -> String {
     let mut s = String::from("acc := 0;\n");
@@ -335,6 +363,7 @@ mod tests {
             array_store_loop(10),
             read_fanout(5),
             loop_nest(3, 3),
+            array_update_kernel(3, 4),
         ] {
             parse_to_cfg(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
         }

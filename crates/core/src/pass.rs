@@ -61,6 +61,10 @@ pub struct PassCtx<'a> {
     pub istructure_ops: usize,
     /// Operators removed by the CSE/DCE cleanup passes.
     pub ops_cleaned: usize,
+    /// Linear chains collapsed into `Macro` operators by the fusion pass.
+    pub chains_fused: usize,
+    /// Operators eliminated by fusion (chain interiors).
+    pub ops_fused: usize,
 }
 
 impl<'a> PassCtx<'a> {
@@ -81,6 +85,8 @@ impl<'a> PassCtx<'a> {
             stores_forwarded: 0,
             istructure_ops: 0,
             ops_cleaned: 0,
+            chains_fused: 0,
+            ops_fused: 0,
         }
     }
 

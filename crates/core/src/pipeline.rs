@@ -80,6 +80,14 @@ pub struct TranslateOptions {
     pub loop_control: bool,
     /// Make irreducible CFGs reducible by node splitting first.
     pub split_irreducible: bool,
+    /// Fuse maximal linear operator chains into compound `Macro` actors
+    /// ([`cf2df_dfg::fuse`]) after certification, eliding their interior
+    /// tokens, rendezvous slots, and firings at execution time. On by
+    /// default; a pure machine-level coarsening that leaves Schema 1–3
+    /// semantics and tag allocation untouched. Runs only with loop
+    /// control on (like `certify` — the Fig 8 reproduction graphs are
+    /// left byte-for-byte as the paper draws them).
+    pub fuse: bool,
 }
 
 impl TranslateOptions {
@@ -98,6 +106,7 @@ impl TranslateOptions {
             certify: true,
             loop_control: true,
             split_irreducible: true,
+            fuse: true,
         }
     }
 
@@ -180,6 +189,12 @@ impl TranslateOptions {
     /// Toggle the static translation validator.
     pub fn with_certify(mut self, on: bool) -> Self {
         self.certify = on;
+        self
+    }
+
+    /// Toggle macro-op fusion (the post-certify chain coarsening).
+    pub fn with_fuse(mut self, on: bool) -> Self {
+        self.fuse = on;
         self
     }
 
@@ -289,6 +304,11 @@ pub struct Translated {
     pub istructure_ops: usize,
     /// Operators removed by the CSE/DCE cleanup passes.
     pub ops_cleaned: usize,
+    /// Linear chains collapsed into `Macro` operators by the fusion pass.
+    pub chains_fused: usize,
+    /// Operators eliminated by fusion (chain interiors; each macro firing
+    /// elides this many individual firings in total across the graph).
+    pub ops_fused: usize,
     /// The clean certification report, when the `certify` pass ran.
     pub certify: Option<crate::certify::CertifyReport>,
 }
@@ -532,6 +552,27 @@ impl Pass for IStructurePass {
     }
 }
 
+/// Macro-op fusion ([`cf2df_dfg::fuse`]): collapse maximal linear chains
+/// of strict operators into compound `Macro` actors. Scheduled *after*
+/// `certify` — the validator certifies the graph the schemas produced,
+/// and fusion is a machine-level coarsening of that certified graph
+/// (itself re-checkable: a fused graph still certifies, macros being
+/// ordinary strict operators to the token-rate analysis).
+struct FusePass;
+impl Pass for FusePass {
+    fn name(&self) -> &'static str {
+        "fuse"
+    }
+    fn run(&mut self, ctx: &mut PassCtx) -> Result<(), TranslateError> {
+        let built = ctx.built_mut();
+        let (stats, map) = cf2df_dfg::fuse(&mut built.dfg);
+        built.ops.remap(&map);
+        ctx.chains_fused = stats.chains;
+        ctx.ops_fused = stats.ops_fused;
+        Ok(())
+    }
+}
+
 /// The static translation validator (always scheduled last): token-rate
 /// certification, the Theorem 1 cross-check, and access-token
 /// conservation. See [`crate::certify`].
@@ -620,6 +661,9 @@ fn schedule(opts: &TranslateOptions) -> PassManager {
     if opts.certify && opts.loop_control {
         pm.add(CertifyPass);
     }
+    if opts.fuse && opts.loop_control {
+        pm.add(FusePass);
+    }
     pm
 }
 
@@ -669,6 +713,8 @@ pub fn translate_cfg(
         stores_forwarded: ctx.stores_forwarded,
         istructure_ops: ctx.istructure_ops,
         ops_cleaned: ctx.ops_cleaned,
+        chains_fused: ctx.chains_fused,
+        ops_fused: ctx.ops_fused,
         certify: ctx.certify_report,
     })
 }
@@ -826,6 +872,7 @@ mod tests {
                 "forward-stores",
                 "cleanup",
                 "certify",
+                "fuse",
             ]
         );
         // The schedule shrinks with the options.
@@ -839,7 +886,8 @@ mod tests {
                 "reducibility",
                 "loop-control",
                 "translate-full",
-                "certify"
+                "certify",
+                "fuse"
             ]
         );
     }

@@ -379,7 +379,7 @@ pub fn analyze(g: &Dfg) -> Analysis {
     let cut: Vec<bool> = arcs
         .iter()
         .map(|a| match g.kind(a.to.op) {
-            OpKind::LoopEntry { .. } => a.to.port == 1,
+            OpKind::LoopEntry { .. } | OpKind::LoopSwitch { .. } => a.to.port == 1,
             OpKind::PrevIter { .. } => true,
             _ => false,
         })
@@ -473,6 +473,14 @@ pub fn analyze(g: &Dfg) -> Analysis {
                         if g.imm(src.op, 1).is_none() =>
                     {
                         let pred = arcs[ins[src.op.index()][1][0]].from;
+                        SiteKey::Arm(pred, src.port)
+                    }
+                    // A fused loop-entry/switch steers by the same
+                    // predicate its unfused switch did, so the (predicate,
+                    // arm) pair still identifies the site — fused and
+                    // unfused exits of one fork unify.
+                    OpKind::LoopSwitch { .. } if g.imm(src.op, 2).is_none() => {
+                        let pred = arcs[ins[src.op.index()][2][0]].from;
                         SiteKey::Arm(pred, src.port)
                     }
                     OpKind::LoopExit { loop_id: inner } => {
@@ -712,6 +720,89 @@ pub fn analyze(g: &Dfg) -> Analysis {
                     an.firing[op.index()] = out.clone();
                     an.out_ctx[op.index()][0] = out;
                 }
+                OpKind::LoopSwitch { loop_id } => {
+                    // Fused loop-entry/switch. The entry side (port 0,
+                    // merge-like) acquires the loop's λ exactly as the
+                    // loop-entry did; the predicate (port 2) must match
+                    // that tagged context — the rendezvous the unfused
+                    // switch performed; the arms refine by the
+                    // predicate's guard. Port 1 (backedge) is cut and
+                    // checked in the post-pass, like a loop-entry's.
+                    let r0 = merge_union(&an, &mut defects, 0);
+                    let tagged: CubeSet = r0
+                        .iter()
+                        .map(|c| {
+                            let mut c = c.clone();
+                            c.loops.insert(loop_id);
+                            c
+                        })
+                        .collect();
+                    let firing = match port_ctx(&an, 2) {
+                        None => {
+                            // Constant predicate (never produced by the
+                            // fusion pass): one arm statically receives
+                            // everything, like a constant-predicate switch.
+                            let sel = usize::from(g.imm(op, 2) == Some(0));
+                            an.out_ctx[op.index()][sel] = tagged.clone();
+                            tagged.clone()
+                        }
+                        Some(pred) => {
+                            if pred.is_empty() != tagged.is_empty() {
+                                let (dead, live, ctx) = if pred.is_empty() {
+                                    (2, 0, &tagged)
+                                } else {
+                                    (0, 2, &pred)
+                                };
+                                defects.push(defect(
+                                    DefectKind::DeadInput,
+                                    op,
+                                    format!(
+                                        "input port {dead} never receives a token while \
+                                         port {live} receives {}: tokens leak at the \
+                                         rendezvous",
+                                        render_set(ctx)
+                                    ),
+                                ));
+                            } else if !same_contexts(&pred, &tagged) {
+                                defects.push(defect(
+                                    DefectKind::RateMismatch,
+                                    op,
+                                    format!(
+                                        "the retagged entry context is {} but the \
+                                         predicate port receives {}: some context \
+                                         delivers 0 or ≥2 tokens",
+                                        render_set(&tagged),
+                                        render_set(&pred)
+                                    ),
+                                ));
+                            }
+                            let firing = merge_crossiter(&tagged, &pred);
+                            let pred_arc = &arcs[ins[op.index()][2][0]];
+                            let key = GuardKey::Pred(pred_arc.from);
+                            let key_loops = firing
+                                .iter()
+                                .flat_map(|c| c.loops.iter().copied())
+                                .collect();
+                            guard_loops.entry(key).or_insert(key_loops);
+                            for arm in 0..2usize {
+                                let mut set = CubeSet::new();
+                                for cube in &firing {
+                                    match cube.guards.get(&key) {
+                                        Some(&(have, _)) if have as usize != arm => {}
+                                        _ => {
+                                            let mut c = cube.clone();
+                                            c.guards.insert(key, (arm as u16, 2));
+                                            set.insert(c);
+                                        }
+                                    }
+                                }
+                                an.out_ctx[op.index()][arm] = set;
+                            }
+                            firing
+                        }
+                    };
+                    an.firing[op.index()] = firing;
+                }
                 OpKind::LoopExit { loop_id } => {
                     let input = port_ctx(&an, 0).unwrap_or_default();
                     let mut out = CubeSet::new();
@@ -888,10 +979,14 @@ pub fn analyze(g: &Dfg) -> Analysis {
     // Backedge cubes per loop id.
     let mut backedge_cubes: BTreeMap<LoopId, Vec<Cube>> = BTreeMap::new();
     for op in g.op_ids() {
-        let OpKind::LoopEntry { loop_id } = *g.kind(op) else {
-            continue;
+        // A fused loop-entry/switch has the same backedge obligations as a
+        // loop-entry; its entry-tagged context is its firing context (for
+        // a loop-entry the two coincide).
+        let loop_id = match *g.kind(op) {
+            OpKind::LoopEntry { loop_id } | OpKind::LoopSwitch { loop_id } => loop_id,
+            _ => continue,
         };
-        let out = an.out_ctx[op.index()][0].clone();
+        let out = an.firing[op.index()].clone();
         let mut mine: Vec<Cube> = Vec::new();
         for &ai in &ins[op.index()][1] {
             let a = &arcs[ai];
@@ -971,7 +1066,7 @@ pub fn analyze(g: &Dfg) -> Analysis {
             // them, starving whatever the route was supposed to feed (a
             // rate the rendezvous checks cannot see when the loss hides
             // behind a cut or cross-iteration arc).
-            OpKind::Switch | OpKind::CaseSwitch { .. } => {
+            OpKind::Switch | OpKind::CaseSwitch { .. } | OpKind::LoopSwitch { .. } => {
                 for (pc, ctx) in an.out_ctx[op.index()].iter().enumerate() {
                     if !ctx.is_empty() && !consumed.contains(&(op, pc as u16)) {
                         defects.push(defect(

@@ -27,6 +27,7 @@ pub fn dfg_to_dot(g: &Dfg, title: &str) -> String {
             | OpKind::IstLoad { .. }
             | OpKind::IstStore { .. } => "box3d",
             OpKind::LoopEntry { .. }
+            | OpKind::LoopSwitch { .. }
             | OpKind::LoopExit { .. }
             | OpKind::PrevIter { .. }
             | OpKind::IterIndex { .. } => {
@@ -60,6 +61,13 @@ pub fn dfg_to_dot(g: &Dfg, title: &str) -> String {
                     "else".to_owned()
                 } else {
                     a.from.port.to_string()
+                }
+            }
+            OpKind::LoopSwitch { .. } => {
+                if a.from.port == 0 {
+                    "next".to_owned()
+                } else {
+                    "exit".to_owned()
                 }
             }
             _ => String::new(),

@@ -176,6 +176,19 @@ impl Dfg {
         self.ops[op.index()].kind = kind;
     }
 
+    /// Replace an operator's kind, allowing the input arity to change.
+    /// The new kind gets a fresh, fully arc-fed port layout (all
+    /// immediate slots cleared). Used by graph rewrites that change port
+    /// layouts (e.g. macro-op fusion, which bakes immediates into the
+    /// micro-program); the caller must fix up the arcs afterwards.
+    pub fn replace_kind(&mut self, op: OpId, kind: OpKind) {
+        let n_in = kind.n_inputs();
+        let node = &mut self.ops[op.index()];
+        node.imm.clear();
+        node.imm.resize(n_in, None);
+        node.kind = kind;
+    }
+
     /// The operator's label.
     pub fn label(&self, op: OpId) -> &str {
         &self.ops[op.index()].label
@@ -228,6 +241,19 @@ impl Dfg {
         for a in &mut self.arcs {
             if a.to == old {
                 a.to = new;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Re-source every arc currently leaving output port `old` to leave
+    /// `new` instead; returns how many arcs moved.
+    pub fn retarget_output(&mut self, old: Port, new: Port) -> usize {
+        let mut n = 0;
+        for a in &mut self.arcs {
+            if a.from == old {
+                a.from = new;
                 n += 1;
             }
         }

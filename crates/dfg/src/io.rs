@@ -17,7 +17,7 @@
 //! ```
 
 use crate::graph::{ArcKind, Dfg, OpId, Port};
-use crate::op::OpKind;
+use crate::op::{MacroSrc, MacroStep, OpKind};
 use cf2df_cfg::{BinOp, LoopId, UnOp, VarId};
 use std::fmt::Write as _;
 
@@ -79,6 +79,61 @@ fn binop_from(name: &str) -> Option<BinOp> {
     })
 }
 
+fn src_word(src: MacroSrc) -> String {
+    match src {
+        MacroSrc::Chain => "p".into(),
+        MacroSrc::In(q) => format!("i{q}"),
+        MacroSrc::Imm(c) => format!("k{c}"),
+    }
+}
+
+fn src_from(word: &str) -> Option<MacroSrc> {
+    if word == "p" {
+        return Some(MacroSrc::Chain);
+    }
+    if let Some(rest) = word.strip_prefix('i') {
+        return Some(MacroSrc::In(rest.parse().ok()?));
+    }
+    if let Some(rest) = word.strip_prefix('k') {
+        return Some(MacroSrc::Imm(rest.parse().ok()?));
+    }
+    None
+}
+
+fn step_word(step: &MacroStep) -> String {
+    match step {
+        MacroStep::Un(UnOp::Neg, a) => format!("un:neg:{}", src_word(*a)),
+        MacroStep::Un(UnOp::Not, a) => format!("un:not:{}", src_word(*a)),
+        MacroStep::Bin(op, a, b) => {
+            format!("bin:{}:{}:{}", binop_name(*op), src_word(*a), src_word(*b))
+        }
+        MacroStep::Fwd(a) => format!("fwd:{}", src_word(*a)),
+        MacroStep::Zero => "zero".into(),
+    }
+}
+
+fn step_from(word: &str) -> Option<MacroStep> {
+    let parts: Vec<&str> = word.split(':').collect();
+    Some(match *parts.first()? {
+        "un" => {
+            let op = match *parts.get(1)? {
+                "neg" => UnOp::Neg,
+                "not" => UnOp::Not,
+                _ => return None,
+            };
+            MacroStep::Un(op, src_from(parts.get(2)?)?)
+        }
+        "bin" => MacroStep::Bin(
+            binop_from(parts.get(1)?)?,
+            src_from(parts.get(2)?)?,
+            src_from(parts.get(3)?)?,
+        ),
+        "fwd" => MacroStep::Fwd(src_from(parts.get(1)?)?),
+        "zero" => MacroStep::Zero,
+        _ => return None,
+    })
+}
+
 fn kind_to_words(kind: &OpKind) -> String {
     match kind {
         OpKind::Start => "start".into(),
@@ -99,9 +154,18 @@ fn kind_to_words(kind: &OpKind) -> String {
         OpKind::IstLoad { var } => format!("istload {}", var.0),
         OpKind::IstStore { var } => format!("iststore {}", var.0),
         OpKind::LoopEntry { loop_id } => format!("loopentry {}", loop_id.0),
+        OpKind::LoopSwitch { loop_id } => format!("loopswitch {}", loop_id.0),
         OpKind::LoopExit { loop_id } => format!("loopexit {}", loop_id.0),
         OpKind::PrevIter { loop_id } => format!("previter {}", loop_id.0),
         OpKind::IterIndex { loop_id } => format!("iterindex {}", loop_id.0),
+        OpKind::Macro { inputs, steps } => {
+            let mut s = format!("macro {inputs}");
+            for step in steps {
+                s.push(' ');
+                s.push_str(&step_word(step));
+            }
+            s
+        }
     }
 }
 
@@ -133,6 +197,9 @@ fn kind_from_words(words: &[&str]) -> Option<OpKind> {
         "loopentry" => OpKind::LoopEntry {
             loop_id: LoopId(num(1)?),
         },
+        "loopswitch" => OpKind::LoopSwitch {
+            loop_id: LoopId(num(1)?),
+        },
         "loopexit" => OpKind::LoopExit {
             loop_id: LoopId(num(1)?),
         },
@@ -142,6 +209,18 @@ fn kind_from_words(words: &[&str]) -> Option<OpKind> {
         "iterindex" => OpKind::IterIndex {
             loop_id: LoopId(num(1)?),
         },
+        "macro" => {
+            let steps: Option<Vec<MacroStep>> =
+                words[2..].iter().map(|w| step_from(w)).collect();
+            let steps = steps?;
+            if steps.is_empty() {
+                return None;
+            }
+            OpKind::Macro {
+                inputs: num(1)?,
+                steps,
+            }
+        }
         _ => return None,
     })
 }
@@ -455,9 +534,19 @@ mod tests {
         g.add(OpKind::IstLoad { var: VarId(4) });
         g.add(OpKind::IstStore { var: VarId(5) });
         g.add(OpKind::LoopEntry { loop_id: LoopId(0) });
+        g.add(OpKind::LoopSwitch { loop_id: LoopId(4) });
         g.add(OpKind::LoopExit { loop_id: LoopId(1) });
         g.add(OpKind::PrevIter { loop_id: LoopId(2) });
         g.add(OpKind::IterIndex { loop_id: LoopId(3) });
+        g.add(OpKind::Macro {
+            inputs: 2,
+            steps: vec![
+                MacroStep::Bin(BinOp::Add, MacroSrc::In(0), MacroSrc::Imm(-7)),
+                MacroStep::Un(UnOp::Neg, MacroSrc::Chain),
+                MacroStep::Fwd(MacroSrc::In(1)),
+                MacroStep::Zero,
+            ],
+        });
         let g2 = read_text(&write_text(&g)).unwrap();
         assert!(graphs_equal(&g, &g2));
     }

@@ -20,6 +20,7 @@
 pub mod build;
 pub mod certify;
 pub mod dot;
+pub mod fuse;
 pub mod graph;
 pub mod io;
 pub mod mutate;
@@ -29,8 +30,9 @@ pub mod validate;
 
 pub use build::synch_tree;
 pub use certify::{certify, Defect, DefectKind};
+pub use fuse::{fuse, FuseStats};
 pub use graph::{Arc, ArcKind, Dfg, OpId, Port};
 pub use mutate::{mutate, Mutation, MutationClass};
-pub use op::OpKind;
+pub use op::{macro_eval, MacroSrc, MacroStep, OpKind};
 pub use stats::DfgStats;
 pub use validate::{validate, DfgError};

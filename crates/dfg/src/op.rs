@@ -8,6 +8,57 @@
 
 use cf2df_cfg::{BinOp, LoopId, UnOp, VarId};
 
+/// Where a micro-program step reads an operand from (see
+/// [`OpKind::Macro`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MacroSrc {
+    /// The value produced by the previous step of the micro-program
+    /// (the chain value). Invalid in step 0, which has no predecessor.
+    Chain,
+    /// The macro-op's external input port with this index.
+    In(u16),
+    /// An immediate constant baked into the step.
+    Imm(i64),
+}
+
+/// One step of a macro-op's straight-line micro-program. Each step
+/// produces exactly one value; the last step's value is the macro-op's
+/// output.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MacroStep {
+    /// Unary arithmetic/logic over one operand.
+    Un(UnOp, MacroSrc),
+    /// Binary arithmetic/logic over two operands.
+    Bin(BinOp, MacroSrc, MacroSrc),
+    /// Forward an operand unchanged (a fused Identity or Gate: the
+    /// gating token was already consumed as a macro input port).
+    Fwd(MacroSrc),
+    /// Produce the dummy value 0 (a fused Synch: its operand tokens are
+    /// macro input ports consumed purely for synchronization).
+    Zero,
+}
+
+/// Evaluate a macro-op micro-program over the values deposited on its
+/// external input ports. Shared by both backends so a macro firing is
+/// bit-identical in the simulator and the threaded executor.
+pub fn macro_eval(steps: &[MacroStep], vals: &[i64]) -> i64 {
+    let mut acc = 0i64;
+    for step in steps {
+        let read = |src: MacroSrc| match src {
+            MacroSrc::Chain => acc,
+            MacroSrc::In(p) => vals[p as usize],
+            MacroSrc::Imm(c) => c,
+        };
+        acc = match *step {
+            MacroStep::Un(op, a) => op.eval(read(a)),
+            MacroStep::Bin(op, a, b) => op.eval(read(a), read(b)),
+            MacroStep::Fwd(a) => read(a),
+            MacroStep::Zero => 0,
+        };
+    }
+    acc
+}
+
 /// The kind of a dataflow operator. Input/output port layouts are listed
 /// with each variant.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -121,6 +172,33 @@ pub enum OpKind {
         /// The loop whose iteration index is read.
         loop_id: LoopId,
     },
+    /// A fused loop-entry/switch pair (the fusion pass's second rule):
+    /// the per-variable circulation step `loop-entry → switch` collapsed
+    /// into one compound actor. In: `[from-outside, from-backedge,
+    /// pred]` — ports 0 and 1 are merge-like and retag exactly as the
+    /// loop-entry would (outside → iteration 0, backedge → next
+    /// iteration); the retagged data then waits for the predicate (port
+    /// 2, already at the iteration tag) in a single rendezvous. Out:
+    /// `[continue, exit]` — one firing steers the data token like the
+    /// switch (pred ≠ 0 → continue). Tag allocation is unchanged; the
+    /// loop-entry's separate output token and firing are elided.
+    LoopSwitch {
+        /// The loop whose iteration tags this operator manages.
+        loop_id: LoopId,
+    },
+    /// A compound actor produced by the fusion pass
+    /// ([`crate::fuse`]): a maximal linear chain of strict same-tag
+    /// operators collapsed into one node carrying a straight-line
+    /// micro-program. In: `inputs` strict ports (the union of the
+    /// chain's external live inputs); out: `[result]` — the last step's
+    /// value. Firing evaluates every step at once: no intermediate
+    /// tokens, no rendezvous slots, no scheduler round-trips.
+    Macro {
+        /// Number of external input ports.
+        inputs: u32,
+        /// The micro-program, in chain order; step 0 is the chain head.
+        steps: Vec<MacroStep>,
+    },
 }
 
 impl OpKind {
@@ -129,6 +207,7 @@ impl OpKind {
         match self {
             OpKind::Start => 0,
             OpKind::End { inputs } | OpKind::Synch { inputs } => *inputs as usize,
+            OpKind::Macro { inputs, .. } => *inputs as usize,
             OpKind::Unary { .. } | OpKind::Identity | OpKind::Merge => 1,
             OpKind::Load { .. } | OpKind::LoopExit { .. } => 1,
             OpKind::PrevIter { .. } | OpKind::IterIndex { .. } => 1,
@@ -137,7 +216,7 @@ impl OpKind {
             OpKind::CaseSwitch { .. } => 2,
             OpKind::Store { .. } | OpKind::LoadIdx { .. } | OpKind::IstStore { .. } => 2,
             OpKind::LoopEntry { .. } => 2,
-            OpKind::StoreIdx { .. } => 3,
+            OpKind::StoreIdx { .. } | OpKind::LoopSwitch { .. } => 3,
         }
     }
 
@@ -146,7 +225,7 @@ impl OpKind {
         match self {
             OpKind::Start => 1,
             OpKind::End { .. } => 0,
-            OpKind::Switch => 2,
+            OpKind::Switch | OpKind::LoopSwitch { .. } => 2,
             OpKind::CaseSwitch { arms } => *arms as usize,
             OpKind::Load { .. } | OpKind::LoadIdx { .. } => 2,
             _ => 1,
@@ -158,7 +237,7 @@ impl OpKind {
     pub fn is_merge_like(&self, port: usize) -> bool {
         match self {
             OpKind::Merge => port == 0,
-            OpKind::LoopEntry { .. } => port <= 1,
+            OpKind::LoopEntry { .. } | OpKind::LoopSwitch { .. } => port <= 1,
             _ => false,
         }
     }
@@ -205,9 +284,11 @@ impl OpKind {
             OpKind::IstLoad { var } => format!("ist-load {var:?}[·]"),
             OpKind::IstStore { var } => format!("ist-store {var:?}[·]"),
             OpKind::LoopEntry { loop_id } => format!("loop-entry {loop_id:?}"),
+            OpKind::LoopSwitch { loop_id } => format!("loop-switch {loop_id:?}"),
             OpKind::LoopExit { loop_id } => format!("loop-exit {loop_id:?}"),
             OpKind::PrevIter { loop_id } => format!("prev-iter {loop_id:?}"),
             OpKind::IterIndex { loop_id } => format!("iter-index {loop_id:?}"),
+            OpKind::Macro { inputs, steps } => format!("macro{inputs}x{}", steps.len()),
         }
     }
 }
@@ -239,6 +320,12 @@ mod tests {
         assert!(le.is_merge_like(0));
         assert!(le.is_merge_like(1));
         assert!(!OpKind::PrevIter { loop_id: LoopId(0) }.is_merge_like(0));
+        let ls = OpKind::LoopSwitch { loop_id: LoopId(0) };
+        assert!(ls.is_merge_like(0));
+        assert!(ls.is_merge_like(1));
+        assert!(!ls.is_merge_like(2), "the predicate port is strict");
+        assert_eq!(ls.n_inputs(), 3);
+        assert_eq!(ls.n_outputs(), 2);
     }
 
     #[test]
@@ -248,6 +335,28 @@ mod tests {
         assert!(!OpKind::Switch.is_memory());
         assert!(OpKind::Store { var: VarId(0) }.is_store());
         assert!(!OpKind::Load { var: VarId(0) }.is_store());
+    }
+
+    #[test]
+    fn macro_eval_folds_the_micro_program() {
+        use MacroSrc::*;
+        // (in0 + in1) * 3 - in2, as a fused Binary chain.
+        let steps = [
+            MacroStep::Bin(BinOp::Add, In(0), In(1)),
+            MacroStep::Bin(BinOp::Mul, Chain, Imm(3)),
+            MacroStep::Bin(BinOp::Sub, Chain, In(2)),
+        ];
+        assert_eq!(macro_eval(&steps, &[4, 2, 5]), 13);
+        // Head variants: unary, forward, synch.
+        assert_eq!(macro_eval(&[MacroStep::Un(UnOp::Neg, In(0))], &[7]), -7);
+        assert_eq!(macro_eval(&[MacroStep::Fwd(In(0))], &[9]), 9);
+        assert_eq!(macro_eval(&[MacroStep::Zero], &[1, 2]), 0);
+        let k = OpKind::Macro { inputs: 3, steps: steps.to_vec() };
+        assert_eq!(k.n_inputs(), 3);
+        assert_eq!(k.n_outputs(), 1);
+        assert!(!k.is_merge_like(0));
+        assert!(!k.is_memory());
+        assert_eq!(k.mnemonic(), "macro3x3");
     }
 
     #[test]

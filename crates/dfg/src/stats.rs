@@ -26,6 +26,11 @@ pub struct DfgStats {
     pub alu: usize,
     /// Loop-control operators (entry + exit + iteration collectors).
     pub loop_control: usize,
+    /// Compound macro operators produced by the fusion pass.
+    pub macros: usize,
+    /// Operators folded *inside* macros (micro-program steps in total);
+    /// `ops + fused_ops - macros` recovers the unfused operator count.
+    pub fused_ops: usize,
     /// Total arcs.
     pub arcs: usize,
     /// Arcs carrying dummy access tokens.
@@ -54,6 +59,17 @@ impl DfgStats {
                 | OpKind::IterIndex { .. } => {
                     s.loop_control += 1
                 }
+                OpKind::Macro { steps, .. } => {
+                    s.macros += 1;
+                    s.fused_ops += steps.len();
+                }
+                // A fused loop-entry/switch pair is both loop control and
+                // a compound: one node standing for two unfused operators.
+                OpKind::LoopSwitch { .. } => {
+                    s.loop_control += 1;
+                    s.macros += 1;
+                    s.fused_ops += 2;
+                }
                 k if k.is_memory() => {
                     s.memory_ops += 1;
                     if k.is_store() {
@@ -77,7 +93,7 @@ impl DfgStats {
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "ops={} (switch={} merge={} synch={} mem={} alu={} loopctl={}) arcs={} (access={} value={})",
+            "ops={} (switch={} merge={} synch={} mem={} alu={} loopctl={} macro={}/{}) arcs={} (access={} value={})",
             self.ops,
             self.switches,
             self.merges,
@@ -85,6 +101,8 @@ impl DfgStats {
             self.memory_ops,
             self.alu,
             self.loop_control,
+            self.macros,
+            self.fused_ops,
             self.arcs,
             self.access_arcs,
             self.value_arcs

@@ -485,9 +485,86 @@ impl<'g, S: TraceSink> Sim<'g, S> {
         out
     }
 
+    /// Deposit for a fused loop-entry/switch pair: ports 0/1 retag the
+    /// data token exactly as the loop-entry would (outside → iteration 0,
+    /// backedge → next iteration), then wait for the predicate in a
+    /// two-value slot keyed by the *iteration* tag; the predicate (port
+    /// 2) already carries that tag and fills the other half.
+    fn deposit_loop_switch(
+        &mut self,
+        op: OpId,
+        port: usize,
+        t: Token,
+        loop_id: cf2df_cfg::LoopId,
+    ) -> Result<(), MachineError> {
+        let (slot_tag, idx) = match port {
+            0 => (self.child_tag(t.tag, loop_id, 0)?, 0),
+            1 => match self.tags.info(t.tag) {
+                Some((p, l, i)) if l == loop_id => (self.child_tag(p, loop_id, i + 1)?, 0),
+                other => {
+                    return Err(MachineError::TagMismatch {
+                        op,
+                        detail: format!(
+                            "backedge token tagged {other:?}, expected loop {loop_id:?}"
+                        ),
+                    })
+                }
+            },
+            _ => (t.tag, 1),
+        };
+        if let Some(cap) = self.cfgc.frame_capacity {
+            if !self.rendezvous.contains_key(&(op, slot_tag)) && self.rendezvous.len() >= cap {
+                // Park the original token: re-depositing re-runs the
+                // (deterministic) retag.
+                self.throttled.push_back(t);
+                return Ok(());
+            }
+        }
+        let slot = self.rendezvous.entry((op, slot_tag)).or_insert(Slot {
+            vals: vec![None, None],
+            remaining: 2,
+        });
+        if slot.vals[idx].is_some() {
+            if self.cfgc.collisions_fatal {
+                return Err(MachineError::TokenCollision {
+                    op,
+                    port,
+                    tag: self.tags.render(slot_tag),
+                });
+            }
+            self.stats.collisions += 1;
+            return Ok(());
+        }
+        slot.vals[idx] = Some(t.value);
+        slot.remaining -= 1;
+        let complete = slot.remaining == 0;
+        let pending = self.rendezvous.len() as u64;
+        self.stats.max_pending_slots = self.stats.max_pending_slots.max(pending);
+        if complete {
+            let slot = self
+                .rendezvous
+                .remove(&(op, slot_tag))
+                .expect("slot inserted above");
+            let vals: Vec<i64> = slot
+                .vals
+                .into_iter()
+                .map(|v| v.expect("all ports filled when remaining == 0"))
+                .collect();
+            self.ready.push_back(Firing {
+                op,
+                tag: slot_tag,
+                inputs: Inputs::Full(vals),
+            });
+        }
+        Ok(())
+    }
+
     fn deposit(&mut self, t: Token) -> Result<(), MachineError> {
         let op = t.to.op;
         let port = t.to.port as usize;
+        if let OpKind::LoopSwitch { loop_id } = *self.g.kind(op) {
+            return self.deposit_loop_switch(op, port, t, loop_id);
+        }
         match self.g.kind(op) {
             OpKind::Merge | OpKind::LoopEntry { .. } => {
                 self.ready.push_back(Firing {
@@ -648,6 +725,17 @@ impl<'g, S: TraceSink> Sim<'g, S> {
             OpKind::Gate => {
                 self.emit_from(op, 0, full(0), f.tag, t);
             }
+            OpKind::Macro { steps, .. } => {
+                // One firing evaluates the whole fused chain: interior
+                // tokens, slots, and firings are all elided.
+                let Inputs::Full(vals) = &f.inputs else {
+                    unreachable!("macro has strict ports");
+                };
+                self.stats.macro_fires += 1;
+                self.stats.ops_elided += steps.len() as u64 - 1;
+                let v = cf2df_dfg::macro_eval(&steps, vals);
+                self.emit_from(op, 0, v, f.tag, t);
+            }
             OpKind::Load { var } => {
                 let v = self.mem.read_scalar(self.layout, var);
                 self.emit_from(op, 0, v, f.tag, t);
@@ -701,6 +789,15 @@ impl<'g, S: TraceSink> Sim<'g, S> {
                     }
                 };
                 self.emit_from(op, 0, value, new_tag, t);
+            }
+            OpKind::LoopSwitch { .. } => {
+                // One compound firing replaces the fused loop-entry's
+                // separate firing and output token: the data value was
+                // retagged at deposit time, so steering is all that's left.
+                self.stats.macro_fires += 1;
+                self.stats.ops_elided += 1;
+                let out = if full(1) != 0 { 0 } else { 1 };
+                self.emit_from(op, out, full(0), f.tag, t);
             }
             OpKind::LoopExit { loop_id } => match self.tags.info(f.tag) {
                 Some((p, l, _)) if l == loop_id => {

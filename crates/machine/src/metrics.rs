@@ -37,6 +37,12 @@ pub struct ExecStats {
     /// waiting-matching (frame memory) pressure, a first-order hardware
     /// cost on explicit-token-store machines like Monsoon.
     pub max_pending_slots: u64,
+    /// Compound `Macro` operator firings (each counts once in `fired`).
+    pub macro_fires: u64,
+    /// Operators whose individual firings were elided by macro-op fusion:
+    /// each macro firing of an n-step micro-program adds n−1. Adding this
+    /// back to `fired` recovers the unfused firing count.
+    pub ops_elided: u64,
 }
 
 impl ExecStats {
@@ -52,14 +58,16 @@ impl ExecStats {
     /// One-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "fired={} makespan={} avg_par={:.2} max_par={} reads={} writes={} leftover={}",
+            "fired={} makespan={} avg_par={:.2} max_par={} reads={} writes={} leftover={} macro={}/{}",
             self.fired,
             self.makespan,
             self.avg_parallelism(),
             self.max_parallelism,
             self.mem_reads,
             self.mem_writes,
-            self.leftover_tokens
+            self.leftover_tokens,
+            self.macro_fires,
+            self.ops_elided
         )
     }
 }
@@ -137,6 +145,11 @@ pub struct ParMetrics {
     pub deferred_reads: u64,
     /// Peak number of simultaneously outstanding deferred reads.
     pub deferred_read_peak: u64,
+    /// Compound `Macro` operator firings across all workers.
+    pub macro_fires: u64,
+    /// Operator firings elided by macro-op fusion (n−1 per firing of an
+    /// n-step macro); `fired + ops_elided` recovers the unfused count.
+    pub ops_elided: u64,
     /// Faults actually injected by the chaos plan (all zero on
     /// ordinary runs — asserted by the bench harness).
     pub chaos: crate::chaos::ChaosTallies,
@@ -148,10 +161,12 @@ impl ParMetrics {
         let steals: u64 = self.workers.iter().map(|w| w.steals).sum();
         let parks: u64 = self.workers.iter().map(|w| w.parks).sum();
         format!(
-            "processed={} merged={} fastpath={} steals={} parks={} max_slots={} tags={} deferred={}",
+            "processed={} merged={} fastpath={} macro={}/{} steals={} parks={} max_slots={} tags={} deferred={}",
             self.tokens_processed,
             self.merged,
             self.fast_path_fires,
+            self.macro_fires,
+            self.ops_elided,
             steals,
             parks,
             self.max_pending_slots,

@@ -526,6 +526,9 @@ struct Shared {
     fired: AtomicU64,
     /// Tokens that rendezvoused into a slot without completing it.
     merged: AtomicU64,
+    /// Compound `Macro` firings and the operator firings they elided.
+    macro_fires: AtomicU64,
+    ops_elided: AtomicU64,
     /// Currently occupied rendezvous slots (whole table) and the peak.
     slots_occupied: AtomicU64,
     slots_peak: AtomicU64,
@@ -736,6 +739,8 @@ fn run_inner(
         failed: Mutex::new(None),
         fired: AtomicU64::new(0),
         merged: AtomicU64::new(0),
+        macro_fires: AtomicU64::new(0),
+        ops_elided: AtomicU64::new(0),
         slots_occupied: AtomicU64::new(0),
         slots_peak: AtomicU64::new(0),
         slot_high: (0..SLOT_SHARDS).map(|_| AtomicU64::new(0)).collect(),
@@ -743,9 +748,13 @@ fn run_inner(
     };
 
     let sched: Scheduler<Token> = Scheduler::new(n_threads).with_chaos(cfg.chaos);
-    // Seed initial tokens round-robin across the worker queues, so every
-    // worker starts with work instead of all seeds funnelling through
-    // the injector into whichever worker looks first.
+    // Seed initial tokens by *operator locality*, not round-robin: the
+    // start fan-out frequently feeds both halves of two-input joins, and
+    // spreading those halves across workers defeats the worker-local
+    // rendezvous fast path before the run even begins. Blocking the
+    // operator-id space over the workers keeps join halves together
+    // (destination ports of one op are adjacent ids) while still giving
+    // every worker a contiguous share of the graph to start on.
     let start = match g.start() {
         Ok(op) => op,
         Err(e) => {
@@ -755,11 +764,15 @@ fn run_inner(
             return (Err(err), ParMetrics::default(), Vec::new());
         }
     };
-    sched.seed(shared.dests[start.index()][0].iter().map(|&to| Token {
-        to,
-        tag: TagId::ROOT,
-        value: 0,
-    }));
+    let n_ops = g.len().max(1);
+    sched.seed_with(
+        shared.dests[start.index()][0].iter().map(|&to| Token {
+            to,
+            tag: TagId::ROOT,
+            value: 0,
+        }),
+        |t: &Token| t.to.op.index() * n_threads / n_ops,
+    );
 
     let body = |ctx: &Ctx<'_, Token>, batch: &mut Vec<Token>| {
         let local = &shared.locals[ctx.worker()];
@@ -856,6 +869,8 @@ fn run_inner(
         tags_created: shared.tags.created(),
         deferred_reads: shared.mem.deferred_reads.load(Ordering::Relaxed),
         deferred_read_peak: shared.mem.deferred_peak.load(Ordering::Relaxed),
+        macro_fires: shared.macro_fires.load(Ordering::Relaxed),
+        ops_elided: shared.ops_elided.load(Ordering::Relaxed),
         chaos: chaos_tallies,
     };
     let trace: Vec<FireEvent> = match &shared.trace {
@@ -932,6 +947,9 @@ fn process(g: &Dfg, sh: &Shared, ctx: &Ctx<'_, Token>, t: Token) {
         OpKind::Merge | OpKind::LoopEntry { .. } => {
             fire_single(g, sh, ctx, op, t.tag, port, t.value);
         }
+        OpKind::LoopSwitch { loop_id } => {
+            deposit_loop_switch(g, sh, ctx, op, port, t, *loop_id);
+        }
         _ => {
             let n_in = kind.n_inputs();
             if sh.live[op.index()] <= 1 {
@@ -989,6 +1007,87 @@ fn process(g: &Dfg, sh: &Shared, ctx: &Ctx<'_, Token>, t: Token) {
                 fire_full(g, sh, ctx, op, t.tag, vals);
             }
         }
+    }
+}
+
+/// Deposit for a fused loop-entry/switch pair: a token on port 0 or 1 is
+/// retagged exactly as the fused loop-entry would retag it (outside →
+/// iteration 0, backedge → next iteration), then joins the predicate in a
+/// two-value slot keyed by the *iteration* tag. The predicate (port 2)
+/// already carries that tag and fills the other half. The incomplete
+/// deposit counts as `merged` — the same wait the unfused switch's
+/// rendezvous recorded — so fused and unfused runs agree on `merged`
+/// while the loop-entry's separate firing and output token are elided.
+fn deposit_loop_switch(
+    g: &Dfg,
+    sh: &Shared,
+    ctx: &Ctx<'_, Token>,
+    op: OpId,
+    port: usize,
+    t: Token,
+    loop_id: cf2df_cfg::LoopId,
+) {
+    let (slot_tag, idx) = match port {
+        0 => match sh.tags.child(t.tag, loop_id, 0) {
+            Ok(nt) => (nt, 0),
+            Err(e) => return sh.fail(ctx, e),
+        },
+        1 => match sh.tags.info(t.tag) {
+            Some((p, l, i)) if l == loop_id => match sh.tags.child(p, loop_id, i + 1) {
+                Ok(nt) => (nt, 0),
+                Err(e) => return sh.fail(ctx, e),
+            },
+            other => {
+                return sh.fail(
+                    ctx,
+                    MachineError::TagMismatch {
+                        op,
+                        detail: format!("backedge token tagged {other:?}"),
+                    },
+                )
+            }
+        },
+        _ => (t.tag, 1),
+    };
+    let complete = {
+        let shard_idx = sh.shard(op, slot_tag);
+        let mut shard = lock(&sh.slots[shard_idx]);
+        let mut inserted = false;
+        let slot = shard.entry((op, slot_tag)).or_insert_with(|| {
+            inserted = true;
+            vec![None, None]
+        });
+        if slot[idx].is_some() {
+            drop(shard);
+            let tag = sh.tags.render(slot_tag);
+            sh.fail(ctx, MachineError::TokenCollision { op, port, tag });
+            return;
+        }
+        slot[idx] = Some(t.value);
+        let complete = slot.iter().all(|v| v.is_some());
+        if inserted {
+            let occupied = sh.slots_occupied.fetch_add(1, Ordering::Relaxed) + 1;
+            sh.slots_peak.fetch_max(occupied, Ordering::Relaxed);
+            sh.slot_high[shard_idx].fetch_max(shard.len() as u64, Ordering::Relaxed);
+        }
+        if complete {
+            let vals = shard
+                .remove(&(op, slot_tag))
+                .expect("present")
+                .into_iter()
+                .map(|v| v.expect("full"))
+                .collect::<Vec<_>>();
+            drop(shard);
+            sh.slots_occupied.fetch_sub(1, Ordering::Relaxed);
+            Some(vals)
+        } else {
+            drop(shard);
+            sh.merged.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    };
+    if let Some(vals) = complete {
+        fire_full(g, sh, ctx, op, slot_tag, vals);
     }
 }
 
@@ -1209,6 +1308,14 @@ fn fire_full(
         }
         OpKind::Synch { .. } => emit(sh, ctx, op, 0, 0, tag),
         OpKind::Identity | OpKind::Gate => emit(sh, ctx, op, 0, vals[0], tag),
+        OpKind::Macro { steps, .. } => {
+            // One firing evaluates the fused chain's whole micro-program:
+            // no interior tokens, rendezvous slots, or scheduler trips.
+            sh.macro_fires.fetch_add(1, Ordering::Relaxed);
+            sh.ops_elided
+                .fetch_add(steps.len() as u64 - 1, Ordering::Relaxed);
+            emit(sh, ctx, op, 0, cf2df_dfg::macro_eval(steps, &vals), tag);
+        }
         OpKind::Load { var } => {
             let v = sh.mem.read_scalar(&sh.layout, *var);
             emit(sh, ctx, op, 0, v, tag);
@@ -1288,6 +1395,15 @@ fn fire_full(
                 },
             ),
         },
+        OpKind::LoopSwitch { .. } => {
+            // One compound firing replaces the fused loop-entry's separate
+            // firing and output token (the data value was retagged at
+            // deposit time), then steers like the fused switch.
+            sh.macro_fires.fetch_add(1, Ordering::Relaxed);
+            sh.ops_elided.fetch_add(1, Ordering::Relaxed);
+            let out = if vals[1] != 0 { 0 } else { 1 };
+            emit(sh, ctx, op, out, vals[0], tag);
+        }
         OpKind::Merge | OpKind::LoopEntry { .. } => unreachable!("merge-like"),
     }
 }

@@ -225,6 +225,30 @@ impl<T: Send> Scheduler<T> {
         self.queued.fetch_add(count, Ordering::SeqCst);
     }
 
+    /// Seed initial tasks onto the queues chosen by `place` (clamped to
+    /// the worker count by modulus). Unlike the round-robin [`seed`],
+    /// this lets the caller co-locate tasks that will rendezvous — e.g.
+    /// both halves of a two-input join — so the worker-local fast path
+    /// is not defeated by the seeding pattern.
+    ///
+    /// [`seed`]: Scheduler::seed
+    pub fn seed_with<I, F>(&self, tasks: I, place: F)
+    where
+        I: IntoIterator<Item = T>,
+        F: Fn(&T) -> usize,
+    {
+        let n = self.queues.len();
+        let mut count = 0usize;
+        for t in tasks {
+            let w = place(&t) % n;
+            lock(&self.queues[w]).push_back(t);
+            self.mark_fed(w);
+            count += 1;
+        }
+        self.pending.fetch_add(count, Ordering::SeqCst);
+        self.queued.fetch_add(count, Ordering::SeqCst);
+    }
+
     /// Record that worker `w` has been given work (seed, donation, or
     /// its own first batch), retiring it as a donation target.
     fn mark_fed(&self, w: usize) {

@@ -35,6 +35,18 @@ target/release/cf2df check-bench \
     target/bench-smoke/BENCH_executor.json \
     target/bench-smoke/BENCH_translate.json
 
+echo "==> fusion gate: corpus equivalence + token-traffic reduction"
+# Macro-op fusion must be execution-invisible (every corpus program x
+# schema computes identical results fused and unfused) and must pay its
+# way: on the loop_nest executor workloads the fused run processes at
+# least 25% fewer tokens than the unfused one, at every worker count.
+target/release/cf2df fuse-check
+target/release/cf2df bench --quick --no-fuse --out-dir target/bench-smoke-nofuse
+target/release/cf2df check-bench \
+    target/bench-smoke/BENCH_executor.json \
+    --compare target/bench-smoke-nofuse/BENCH_executor.json \
+    --min-token-reduction 0.25:loop_nest
+
 echo "==> bench regression gate: compare against committed quick baselines"
 # Fails on schema errors, >25% wall-clock regression (median, with a
 # 10 µs absolute floor), or any increase in deterministic counters

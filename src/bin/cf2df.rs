@@ -10,15 +10,17 @@
 //! cf2df compare    <file.imp> [MACHINE]
 //! cf2df validate   <file.imp|file.dfg|corpus> [SCHEMA] [TRANSFORMS]
 //!                  [--json] [--mutations] [--seeds <n>]
-//! cf2df bench      [--quick] [--out-dir <dir>]
+//! cf2df bench      [--quick] [--out-dir <dir>] [--no-fuse]
 //! cf2df check-bench <artifact.json> [<artifact.json>…]
 //!                   [--compare <old.json>] [--tolerance <frac>]
+//!                   [--min-token-reduction <frac>:<workload-prefix>]
+//! cf2df fuse-check [--workers <n>]
 //! cf2df chaos      [--quick] [--seeds <n>] [--workers <a,b,…>]
 //!                  [--programs <p1,p2,…>] [--fuel <n>] [--watchdog-ms <n>]
 //!
 //! SCHEMA:     --schema1 | --schema2 (default) | --schema3 | --optimized | --full
 //! TRANSFORMS: --memelim --readpar --arraypar --forward --no-loop-control
-//!             --istructure <array>[,<array>…]
+//!             --no-fuse --istructure <array>[,<array>…]
 //! MACHINE:    --processors <n> --mem-latency <n> --op-latency <n>
 //! ```
 //!
@@ -57,12 +59,20 @@
 //! `BENCH_executor.json`, and `BENCH_translate.json` — the last times the
 //! translation pipeline itself and records its deterministic pass/cache
 //! counters (`--quick` shrinks workloads and timing budgets for CI smoke
-//! runs). `check-bench` validates artifact files
+//! runs; `--no-fuse` benches with macro-op fusion disabled, for
+//! fused-vs-unfused baselines). `check-bench` validates artifact files
 //! against the schema and exits non-zero on the first invalid one; with
 //! `--compare OLD.json` it additionally diffs the (single) artifact
 //! against the old baseline and fails on wall-clock regressions beyond
 //! the tolerance (default 0.25 = 25%, plus a 10 µs absolute floor) or on
-//! any increase in deterministic counters (fired, makespan).
+//! any increase in deterministic counters (fired, makespan,
+//! tokens_processed).
+//!
+//! `fuse-check` is the macro-op fusion equivalence gate: every corpus
+//! program is translated fused and unfused under each schema, both
+//! graphs run through the simulator (and a threaded spot-check), and the
+//! run fails unless final memory is identical and the firing accounting
+//! balances exactly (`fired_unfused == fired_fused + ops_elided`).
 
 use cf2df::cfg::{CoverStrategy, MemLayout};
 use cf2df::core::pipeline::{translate, TranslateOptions};
@@ -149,6 +159,9 @@ fn parse_schema(args: &mut Args) -> TranslateOptions {
     if args.flag("--no-loop-control") {
         opts = opts.with_loop_control(false);
     }
+    if args.flag("--no-fuse") {
+        opts = opts.with_fuse(false);
+    }
     if let Some(arrays) = args.value("--istructure") {
         opts = opts.with_istructure_arrays(arrays.split(','));
     }
@@ -169,20 +182,20 @@ fn parse_machine(args: &mut Args) -> MachineConfig {
     mc
 }
 
-/// `cf2df bench`: render both artifacts into `out_dir`.
-fn run_bench(quick: bool, out_dir: &str) {
+/// `cf2df bench`: render the three artifacts into `out_dir`.
+fn run_bench(quick: bool, fuse: bool, out_dir: &str) {
     std::fs::create_dir_all(out_dir).unwrap_or_else(|e| {
         eprintln!("cannot create {out_dir}: {e}");
         exit(2)
     });
-    type Render = fn(bool) -> Result<String, String>;
+    type Render = fn(bool, bool) -> Result<String, String>;
     let artifacts: [(&str, Render); 3] = [
         ("BENCH_pipeline.json", cf2df::bench::artifacts::pipeline_artifact),
         ("BENCH_executor.json", cf2df::bench::artifacts::executor_artifact),
         ("BENCH_translate.json", cf2df::bench::artifacts::translate_artifact),
     ];
     for (name, render) in artifacts {
-        let doc = render(quick).unwrap_or_else(|e| {
+        let doc = render(quick, fuse).unwrap_or_else(|e| {
             eprintln!("bench failed rendering {name}: {e}");
             exit(1)
         });
@@ -192,6 +205,112 @@ fn run_bench(quick: bool, out_dir: &str) {
             exit(2)
         });
         eprintln!("wrote {}", path.display());
+    }
+}
+
+/// `cf2df fuse-check`: the macro-op fusion equivalence gate. Every
+/// corpus program is translated with fusion on and off under each
+/// schema; both graphs run through the deterministic simulator and must
+/// produce identical final memory, with the firing accounting balancing
+/// exactly: `fired_unfused == fired_fused + ops_elided`. A threaded
+/// spot-check (default 4 workers) guards the parallel backend's
+/// compound-firing path. Exits non-zero on the first mismatch.
+fn run_fuse_check(mut args: Args) {
+    use cf2df::machine::parallel::run_threaded;
+
+    let workers: usize = args
+        .value("--workers")
+        .map(|w| w.parse().expect("numeric --workers"))
+        .unwrap_or(4);
+    if !args.rest.is_empty() {
+        eprintln!("fuse-check: unrecognized arguments {:?}", args.rest);
+        usage();
+    }
+
+    let schemas: [(&str, TranslateOptions); 3] = [
+        ("schema1", TranslateOptions::schema1()),
+        ("schema2", TranslateOptions::schema2()),
+        ("full", TranslateOptions::full_parallel_schema3()),
+    ];
+    let mut failures: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    let mut fired_total = (0u64, 0u64); // (unfused, fused)
+
+    for (name, src) in cf2df::lang::corpus::all() {
+        let parsed = cf2df::lang::parse_to_cfg(src).unwrap_or_else(|e| {
+            eprintln!("corpus program {name} failed to parse: {e}");
+            exit(1)
+        });
+        for (slabel, opts) in &schemas {
+            let ctx = format!("{name}/{slabel}");
+            let fused = match translate(&parsed.cfg, &parsed.alias, opts) {
+                Ok(t) => t,
+                Err(_) => continue, // stricter schemas reject some programs
+            };
+            let unfused = translate(
+                &parsed.cfg,
+                &parsed.alias,
+                &opts.clone().with_fuse(false),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("{ctx}: unfused translation failed: {e}");
+                exit(1)
+            });
+            let layout = MemLayout::distinct(&fused.cfg.vars);
+            let run_sim = |dfg, label: &str| {
+                run(dfg, &layout, MachineConfig::unbounded()).unwrap_or_else(|e| {
+                    eprintln!("{ctx}: {label} simulation failed: {e}");
+                    exit(1)
+                })
+            };
+            let fo = run_sim(&fused.dfg, "fused");
+            let uo = run_sim(&unfused.dfg, "unfused");
+            checked += 1;
+            fired_total.0 += uo.stats.fired;
+            fired_total.1 += fo.stats.fired;
+            if fo.memory != uo.memory || fo.ist_memory != uo.ist_memory {
+                failures.push(format!("{ctx}: fusion changed observable memory"));
+                continue;
+            }
+            if uo.stats.fired != fo.stats.fired + fo.stats.ops_elided {
+                failures.push(format!(
+                    "{ctx}: firing accounting broken: unfused {} != fused {} + elided {}",
+                    uo.stats.fired, fo.stats.fired, fo.stats.ops_elided
+                ));
+                continue;
+            }
+            // Threaded spot-check: the compound-firing path in the
+            // parallel backend must agree with the simulator.
+            match run_threaded(&fused.dfg, &layout, workers) {
+                Ok(par) => {
+                    if par.memory != uo.memory
+                        || par.ist_memory != uo.ist_memory
+                        || par.fired != fo.stats.fired
+                    {
+                        failures.push(format!(
+                            "{ctx}: threaded fused run diverged at {workers} workers"
+                        ));
+                    }
+                }
+                Err(e) => {
+                    failures.push(format!("{ctx}: threaded fused run failed: {e}"))
+                }
+            }
+        }
+    }
+
+    for f in failures.iter().take(20) {
+        eprintln!("MISMATCH: {f}");
+    }
+    if failures.is_empty() {
+        println!(
+            "fuse-check: {checked} program×schema combinations equivalent \
+             (fired {} unfused -> {} fused)",
+            fired_total.0, fired_total.1
+        );
+    } else {
+        eprintln!("fuse-check: {} mismatch(es) across {checked} combinations", failures.len());
+        exit(1)
     }
 }
 
@@ -618,12 +737,17 @@ fn main() {
     if cmd == "bench" {
         let mut args = Args { rest: argv };
         let quick = args.flag("--quick");
+        let fuse = !args.flag("--no-fuse");
         let out_dir = args.value("--out-dir").unwrap_or_else(|| ".".to_owned());
         if !args.rest.is_empty() {
             eprintln!("bench: unrecognized arguments {:?}", args.rest);
             usage();
         }
-        run_bench(quick, &out_dir);
+        run_bench(quick, fuse, &out_dir);
+        return;
+    }
+    if cmd == "fuse-check" {
+        run_fuse_check(Args { rest: argv });
         return;
     }
     if cmd == "check-bench" {
@@ -636,6 +760,20 @@ fn main() {
             }),
             None => cf2df::bench::compare::DEFAULT_TOLERANCE,
         };
+        // `--min-token-reduction FRAC:PREFIX` — with --compare, demand
+        // that every tokens_processed delta on workloads matching PREFIX
+        // improved by at least FRAC (the fusion acceptance gate).
+        let min_reduction = args.value("--min-token-reduction").map(|spec| {
+            let Some((frac, prefix)) = spec.split_once(':') else {
+                eprintln!("--min-token-reduction needs FRAC:PREFIX, e.g. 0.25:loop_nest");
+                exit(2)
+            };
+            let frac: f64 = frac.parse().unwrap_or_else(|_| {
+                eprintln!("--min-token-reduction needs a numeric fraction, e.g. 0.25:loop_nest");
+                exit(2)
+            });
+            (frac, prefix.to_owned())
+        });
         if args.rest.is_empty() {
             usage();
         }
@@ -661,6 +799,19 @@ fn main() {
             }
             for u in &cmp.unmatched {
                 println!("unmatched workload: {u}");
+            }
+            if let Some((frac, prefix)) = &min_reduction {
+                let violations = cmp.require_token_reduction(*frac, prefix);
+                if !violations.is_empty() {
+                    for v in &violations {
+                        eprintln!("token-reduction gate: {v}");
+                    }
+                    exit(1)
+                }
+                println!(
+                    "token-reduction gate: '{prefix}' workloads improved >= {:.0}%",
+                    frac * 100.0
+                );
             }
             let regressions = cmp.regressions();
             if regressions.is_empty() {

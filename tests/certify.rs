@@ -53,6 +53,37 @@ fn unmutated_corpus_certifies_clean_across_the_matrix() {
     assert!(certified >= 75, "corpus matrix shrank to {certified} cells");
 }
 
+/// Certify-after-fuse: the pipeline certifies the graph the schemas
+/// produced and *then* fuses, so re-running the certifier on the final
+/// fused graph checks that macro-op fusion preserves every token-rate
+/// obligation — compound `Macro` actors as ordinary strict operators,
+/// fused `LoopSwitch` pairs unifying with unfused switches of the same
+/// predicate fork.
+#[test]
+fn fused_corpus_graphs_recertify_clean_across_the_matrix() {
+    use cf2df::dfg::OpKind;
+    let (mut macros, mut pairs) = (0usize, 0usize);
+    for (name, src) in cf2df::lang::corpus::all() {
+        let parsed = cf2df::lang::parse_to_cfg(src).unwrap();
+        for (label, opts) in matrix() {
+            let t = translate(&parsed.cfg, &parsed.alias, &opts)
+                .unwrap_or_else(|e| panic!("{name}/{label}: {e}"));
+            certify(&t.dfg).unwrap_or_else(|defects| {
+                panic!("{name}/{label}: fused graph no longer certifies: {defects:?}")
+            });
+            for op in t.dfg.op_ids() {
+                match t.dfg.kind(op) {
+                    OpKind::Macro { .. } => macros += 1,
+                    OpKind::LoopSwitch { .. } => pairs += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    assert!(macros > 0, "no corpus graph grew a macro — vacuous test");
+    assert!(pairs > 0, "no corpus graph fused a loop-entry/switch pair");
+}
+
 /// Defect variants each mutation class is expected to surface as. A
 /// detection outside this set means the checker tripped over collateral
 /// damage rather than the injected bug.

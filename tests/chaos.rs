@@ -306,6 +306,59 @@ fn benign_chaos_preserves_corpus_equivalence() {
     }
 }
 
+/// Chaos under fusion: compound actors (macros and fused loop-switches)
+/// go through the same containment paths as fine-grain operators. Under
+/// benign chaos a fully-fused graph still matches its unfused twin
+/// bit-for-bit; under injected duplicates the compound loop-switch slot
+/// either trips the collision detector or stays equivalent.
+#[test]
+fn fused_graphs_survive_chaos_like_unfused_ones() {
+    quiet_chaos_panics();
+    for (name, src) in [
+        ("gcd", cf2df::lang::corpus::GCD),
+        ("nested", cf2df::lang::corpus::NESTED),
+    ] {
+        let parsed = parse_to_cfg(src).unwrap();
+        let opts = TranslateOptions::full_parallel_schema3();
+        let unfused =
+            translate(&parsed.cfg, &parsed.alias, &opts.clone().with_fuse(false)).unwrap();
+        let fused = translate(&parsed.cfg, &parsed.alias, &opts).unwrap();
+        assert!(
+            fused.chains_fused + fused.ops_fused > 0,
+            "{name}: nothing fused — vacuous chaos case"
+        );
+        let layout = MemLayout::distinct(&unfused.cfg.vars);
+        let oracle = run(&unfused.dfg, &layout, MachineConfig::unbounded()).unwrap();
+        for seed in [3, 17] {
+            for workers in [2, 8] {
+                // Benign chaos: schedule perturbation only, results exact.
+                let cfg = with_watchdog(Some(ChaosConfig::perturb(seed)));
+                let (result, _, _) = run_threaded_with(&fused.dfg, &layout, workers, &cfg);
+                let out = result.unwrap_or_else(|e| {
+                    panic!("{name} seed {seed} workers {workers}: fused benign chaos: {e}")
+                });
+                assert_eq!(out.memory, oracle.memory, "{name} seed {seed} w{workers}");
+                assert_eq!(out.ist_memory, oracle.ist_memory, "{name} seed {seed} w{workers}");
+                // Duplicated tokens: collide in the waiting-matching
+                // store (compound slots included) or change nothing.
+                let cfg = with_watchdog(Some(ChaosConfig {
+                    dup_prob: 1.0,
+                    ..ChaosConfig::off(seed)
+                }));
+                let (result, metrics, _) = run_threaded_with(&fused.dfg, &layout, workers, &cfg);
+                match result {
+                    Ok(out) => assert_eq!(out.memory, oracle.memory, "{name} dup w{workers}"),
+                    Err(MachineError::TokenCollision { .. }) => {}
+                    Err(other) => {
+                        panic!("{name} seed {seed} workers {workers}: unexpected error {other}")
+                    }
+                }
+                assert!(metrics.chaos.dups > 0, "dups were injected");
+            }
+        }
+    }
+}
+
 /// Ordinary runs (no chaos config at all) must tally zero faults.
 #[test]
 fn ordinary_runs_inject_nothing() {

@@ -102,6 +102,35 @@ fn every_worker_processes_tokens_on_loop_nest() {
     }
 }
 
+/// The fast-path regression test: locality-aware seeding must keep the
+/// worker-local two-input rendezvous fast path alive at *every* width.
+/// (BENCH_executor.quick.json once showed `fast_path_fires` collapsing
+/// from 48 to 0 on `loop_nest` at 8 workers because round-robin seeding
+/// spread the halves of each join across different workers.)
+#[test]
+fn fast_path_fires_at_every_width_on_join_heavy_graphs() {
+    let src = cf2df::bench::workloads::loop_nest(3, 6);
+    let parsed = parse_to_cfg(&src).unwrap();
+    // Both the original regression configuration (schema 2, unfused —
+    // the loop switches are the joins) and the shipping bench
+    // configuration (full pipeline, fused — the macros' joins remain).
+    for (label, opts) in [
+        ("schema2-unfused", TranslateOptions::schema2().with_fuse(false)),
+        ("full-fused", TranslateOptions::full_parallel_schema3()),
+    ] {
+        let t = translate(&parsed.cfg, &parsed.alias, &opts).unwrap();
+        let layout = MemLayout::distinct(&t.cfg.vars);
+        for workers in WORKERS {
+            let out = run_threaded(&t.dfg, &layout, workers).unwrap();
+            assert!(
+                out.metrics.fast_path_fires > 0,
+                "{label}: fast path dead at {workers} workers: {:?}",
+                out.metrics.workers
+            );
+        }
+    }
+}
+
 /// A graph whose Synch never receives its second input must deadlock,
 /// and the error must name the starving slot: operator, tag, and which
 /// ports did arrive.

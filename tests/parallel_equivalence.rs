@@ -71,6 +71,67 @@ fn corpus_matches_simulator_full_parallel() {
     check_corpus(&TranslateOptions::full_parallel(), "full_parallel");
 }
 
+/// Macro-op fusion is execution-invisible: across the corpus, at every
+/// schema and worker count, a fused run computes the same final memory
+/// as its unfused twin, and the elided-operator tally exactly explains
+/// the missing firings (`fired_unfused == fired_fused + ops_elided`).
+#[test]
+fn fused_runs_match_unfused_across_the_corpus() {
+    let schemas = [
+        ("schema1", TranslateOptions::schema1()),
+        ("schema2", TranslateOptions::schema2()),
+        (
+            "schema3",
+            TranslateOptions::schema3(cf2df::cfg::CoverStrategy::Singletons),
+        ),
+        ("full", TranslateOptions::full_parallel_schema3()),
+    ];
+    let mut elided_total = 0u64;
+    for (label, opts) in schemas {
+        for (name, src) in cf2df::lang::corpus::all() {
+            let parsed = parse_to_cfg(src).unwrap();
+            let (unfused, fused) = match (
+                translate(&parsed.cfg, &parsed.alias, &opts.clone().with_fuse(false)),
+                translate(&parsed.cfg, &parsed.alias, &opts.clone().with_fuse(true)),
+            ) {
+                (Ok(u), Ok(f)) => (u, f),
+                _ => continue, // rejected by the stricter schema; covered elsewhere
+            };
+            let layout = MemLayout::distinct(&unfused.cfg.vars);
+            let oracle = run(&unfused.dfg, &layout, MachineConfig::unbounded())
+                .unwrap_or_else(|e| panic!("{label}/{name}: unfused simulator failed: {e:?}"));
+            for workers in WORKERS {
+                let base = run_threaded(&unfused.dfg, &layout, workers).unwrap_or_else(|e| {
+                    panic!("{label}/{name} unfused at {workers} workers: {e:?}")
+                });
+                let coarse = run_threaded(&fused.dfg, &layout, workers).unwrap_or_else(|e| {
+                    panic!("{label}/{name} fused at {workers} workers: {e:?}")
+                });
+                assert_eq!(
+                    coarse.memory, oracle.memory,
+                    "{label}/{name}: fusion changed memory at {workers} workers"
+                );
+                assert_eq!(
+                    coarse.ist_memory, oracle.ist_memory,
+                    "{label}/{name}: fusion changed I-structures at {workers} workers"
+                );
+                assert_eq!(
+                    base.fired,
+                    coarse.fired + coarse.metrics.ops_elided,
+                    "{label}/{name} at {workers} workers: elided ops must exactly \
+                     explain the firing gap"
+                );
+                assert_eq!(
+                    base.metrics.ops_elided, 0,
+                    "{label}/{name}: an unfused run has nothing to elide"
+                );
+                elided_total += coarse.metrics.ops_elided;
+            }
+        }
+    }
+    assert!(elided_total > 0, "no corpus graph actually fused — vacuous test");
+}
+
 /// Repeated runs at the widest width: schedule nondeterminism must
 /// never leak into results (a smoke test for rendezvous/tag races).
 #[test]
