@@ -29,7 +29,10 @@ use crate::timing::{Stats, Timer};
 use crate::workloads;
 use cf2df_cfg::MemLayout;
 use cf2df_core::pipeline::{translate, TranslateOptions};
-use cf2df_machine::{run, run_threaded_pooled, ExecutorPool, MachineConfig};
+use cf2df_machine::{
+    compile, run_compiled, run_threaded_compiled_pooled_with, CompiledGraph, ExecutorPool,
+    MachineConfig, ParConfig,
+};
 use std::time::Duration;
 
 /// Worker counts the executor artifact sweeps.
@@ -42,10 +45,17 @@ pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// a top-level `fused` flag on every artifact (the suites run fused by
 /// default and unfused under `--no-fuse`), `macro_fires`/`ops_elided`
 /// per executor thread entry plus `fired_unfused` per workload, and
-/// `macros`/`fused_ops` per translate config. [`validate_artifact`]
-/// still accepts version-1/-2 documents so old committed baselines keep
-/// validating.
-pub const SCHEMA_VERSION: u64 = 3;
+/// `macros`/`fused_ops` per translate config. Version 4 records the
+/// compiled-graph lowering ([`cf2df_machine::compile`]): every executor
+/// run goes through the compile-once entry points (the graph is lowered
+/// to its dense [`cf2df_machine::CompiledGraph`] exactly once per
+/// workload, outside the timed region), and each executor workload
+/// entry gains `compile_wall_ns` (wall-clock stats of the lowering
+/// itself) plus a `compiled` footprint block (`ops`, `out_ports`,
+/// `dest_slots`, `imm_slots`, `macro_steps`, `bytes`, `max_hot_arity`).
+/// [`validate_artifact`] still accepts version-1/-2/-3 documents so old
+/// committed baselines keep validating.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The canonical workload suite, sized for `quick` (CI smoke) or full
 /// (trajectory baseline) mode.
@@ -124,6 +134,23 @@ fn stats_json(s: &Stats) -> String {
     o.finish()
 }
 
+/// The static footprint of a workload's [`CompiledGraph`] — the v4
+/// executor artifact records it so table growth (more dest slots per
+/// op, wider immediates) is visible in the trajectory, not just wall
+/// time.
+fn footprint_json(cg: &CompiledGraph) -> String {
+    let f = cg.footprint();
+    let mut o = Obj::new();
+    o.num("ops", f.ops as u64)
+        .num("out_ports", f.out_ports as u64)
+        .num("dest_slots", f.dest_slots as u64)
+        .num("imm_slots", f.imm_slots as u64)
+        .num("macro_steps", f.macro_steps as u64)
+        .num("bytes", f.bytes as u64)
+        .num("max_hot_arity", cg.max_hot_arity() as u64);
+    o.finish()
+}
+
 // ---------------------------------------------------------------------
 // BENCH_pipeline.json
 // ---------------------------------------------------------------------
@@ -199,18 +226,31 @@ pub fn executor_artifact(quick: bool, fuse: bool) -> Result<String, String> {
         )
         .map_err(|e| format!("workload {name} failed to translate: {e}"))?;
         let layout = MemLayout::distinct(&tr.cfg.vars);
-        let sim = run(&tr.dfg, &layout, MachineConfig::unbounded())
+        // Compile once per workload: every run below — simulator and
+        // threaded, timed and untimed — reuses the same dense tables, so
+        // the wall numbers measure execution, not graph lowering. The
+        // lowering cost gets its own stats block instead.
+        let cg = compile(&tr.dfg)
+            .map_err(|e| format!("workload {name}: compile fault: {e}"))?;
+        let compile_wall = stats_json(t.bench(&format!("{name}/compile"), || {
+            std::hint::black_box(compile(&tr.dfg).unwrap().footprint().bytes)
+        }));
+        let sim = run_compiled(&cg, &layout, MachineConfig::unbounded())
             .map_err(|e| format!("workload {name}: simulator fault: {e}"))?;
         let sim_wall = stats_json(t.bench(&format!("{name}/simulator"), || {
-            std::hint::black_box(run(&tr.dfg, &layout, MachineConfig::unbounded()).unwrap().stats.fired)
+            std::hint::black_box(
+                run_compiled(&cg, &layout, MachineConfig::unbounded()).unwrap().stats.fired,
+            )
         }));
 
         // Verification pass (untimed): correctness and scheduler metrics
         // per worker count.
+        let par_cfg = ParConfig::default();
         let mut outs = Vec::new();
         for (pool, workers) in pools.iter().zip(WORKER_COUNTS) {
-            let out = run_threaded_pooled(&tr.dfg, &layout, pool)
-                .map_err(|e| format!("workload {name} at {workers} workers: {e}"))?;
+            let (res, _, _) = run_threaded_compiled_pooled_with(&cg, &layout, pool, &par_cfg);
+            let out =
+                res.map_err(|e| format!("workload {name} at {workers} workers: {e}"))?;
             if out.memory != sim.memory {
                 return Err(format!(
                     "workload {name} at {workers} workers: memory diverges from simulator"
@@ -238,9 +278,11 @@ pub fn executor_artifact(quick: bool, fuse: bool) -> Result<String, String> {
         let mut closures: Vec<Box<dyn FnMut() + '_>> = pools
             .iter()
             .map(|pool| {
-                let (dfg, layout) = (&tr.dfg, &layout);
+                let (cg, layout, par_cfg) = (&cg, &layout, &par_cfg);
                 Box::new(move || {
-                    std::hint::black_box(run_threaded_pooled(dfg, layout, pool).unwrap().fired);
+                    let (res, _, _) =
+                        run_threaded_compiled_pooled_with(cg, layout, pool, par_cfg);
+                    std::hint::black_box(res.unwrap().fired);
                 }) as Box<dyn FnMut() + '_>
             })
             .collect();
@@ -291,6 +333,8 @@ pub fn executor_artifact(quick: bool, fuse: bool) -> Result<String, String> {
         o.str("name", name)
             .num("fired", sim.stats.fired)
             .num("fired_unfused", sim.stats.fired + sim.stats.ops_elided)
+            .raw("compile_wall_ns", &compile_wall)
+            .raw("compiled", &footprint_json(&cg))
             .raw("simulator_wall_ns", &sim_wall)
             .raw("threads", &json::array(threads));
         entries.push(o.finish());
@@ -430,7 +474,7 @@ fn check_stats(v: &Json, ctx: &str, version: u64) -> Result<(), String> {
 
 /// The document's declared schema version — required, and must be one
 /// this validator understands (1 through [`SCHEMA_VERSION`]). Version 3
-/// documents additionally declare `fused` as a boolean.
+/// and later documents additionally declare `fused` as a boolean.
 fn schema_version(doc: &Json, ctx: &str) -> Result<u64, String> {
     let v = req_num(doc, ctx, "schema_version")?;
     let v = v as u64;
@@ -483,6 +527,26 @@ fn validate_executor_value(doc: &Json) -> Result<(), String> {
             let unfused = req_num(w, &name, "fired_unfused")?;
             if unfused < req_num(w, &name, "fired")? {
                 return Err(format!("{name}: fired_unfused below fired"));
+            }
+        }
+        if version >= 4 {
+            check_stats(
+                req(w, &name, "compile_wall_ns")?,
+                &format!("{name}.compile_wall_ns"),
+                version,
+            )?;
+            let c = req(w, &name, "compiled")?;
+            let cctx = format!("{name}.compiled");
+            for key in [
+                "ops",
+                "out_ports",
+                "dest_slots",
+                "imm_slots",
+                "macro_steps",
+                "bytes",
+                "max_hot_arity",
+            ] {
+                req_num(c, &cctx, key)?;
             }
         }
         check_stats(
@@ -631,6 +695,13 @@ mod tests {
             .map(|t| t.get("workers").unwrap().as_num().unwrap())
             .collect();
         assert_eq!(counts, vec![1.0, 2.0, 4.0, 8.0]);
+        // v4: the compile-once lowering is measured and its footprint
+        // recorded per workload.
+        assert!(w0.get("compile_wall_ns").unwrap().get("median_ns").unwrap().as_num().is_some());
+        let fp = w0.get("compiled").unwrap();
+        assert!(fp.get("ops").unwrap().as_num().unwrap() >= 1.0);
+        assert!(fp.get("bytes").unwrap().as_num().unwrap() >= 1.0);
+        assert!(fp.get("max_hot_arity").unwrap().as_num().is_some());
         // Per-worker steal/park counters are present and self-consistent.
         for t in threads {
             let fired = t.get("fired").unwrap().as_num().unwrap();
@@ -719,6 +790,12 @@ mod tests {
         let v2_missing = v1.replace("\"schema_version\":1", "\"schema_version\":2");
         let err = validate_artifact(&v2_missing).unwrap_err();
         assert!(err.contains("p95_ns"), "{err}");
+        // The same document claiming version 4 must fail: v4 requires
+        // the v3 fusion fields and the compile-once lowering record
+        // (the first missing one — `fused` — is what it trips on).
+        let v4_missing = v1.replace("\"schema_version\":1", "\"schema_version\":4");
+        let err = validate_artifact(&v4_missing).unwrap_err();
+        assert!(err.contains("fused"), "{err}");
         // A version this validator does not understand is rejected.
         let v9 = v1.replace("\"schema_version\":1", "\"schema_version\":9");
         let err = validate_artifact(&v9).unwrap_err();

@@ -27,6 +27,16 @@ pub const DEFAULT_TOLERANCE: f64 = 0.25;
 /// well inside scheduler jitter.
 pub const ABSOLUTE_FLOOR_NS: f64 = 10_000.0;
 
+/// Jitter allowance for [`Comparison::require_wall_leq`] (20%): the
+/// ceiling gate means "at or below the baseline", but two honest runs
+/// of the same binary differ by double-digit percentages on a busy
+/// single-core host (the in-verify bench runs right after full builds,
+/// which leave the box measurably warmer than a standalone run), so a
+/// literal `<=` would flake. 20% is under the margin the compiled
+/// representation actually holds (25–40% on the gated workloads) and
+/// strictly tighter than the 25% ordinary regression tolerance.
+pub const WALL_CEILING_JITTER: f64 = 0.20;
+
 /// Outcome of comparing one measured quantity across two artifacts.
 #[derive(Clone, Debug)]
 pub struct Delta {
@@ -105,6 +115,41 @@ impl Comparison {
             violations.push(format!(
                 "no tokens_processed deltas matched workload prefix '{prefix}'"
             ));
+        }
+        violations
+    }
+
+    /// Enforce a *ceiling*: every executor/simulator `wall_ns` median
+    /// for a workload whose name starts with `prefix` must be at or
+    /// below the baseline's, modulo [`WALL_CEILING_JITTER`] and the
+    /// [`ABSOLUTE_FLOOR_NS`] floor — much tighter than the ordinary
+    /// regression tolerance. This is the compiled-graph acceptance
+    /// gate: lowering to the dense runtime representation must not cost
+    /// wall time against the committed baseline on the named workloads,
+    /// at any worker width. Returns the violations as report lines
+    /// (empty = gate passed).
+    pub fn require_wall_leq(&self, prefix: &str) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut matched = false;
+        for d in &self.deltas {
+            let Some(rest) = d.what.strip_suffix(" wall_ns") else {
+                continue;
+            };
+            if !rest.starts_with(prefix) {
+                continue;
+            }
+            matched = true;
+            let ceiling = d.old * (1.0 + WALL_CEILING_JITTER) + ABSOLUTE_FLOOR_NS;
+            if d.new > ceiling {
+                violations.push(format!(
+                    "{}: median wall {:.0} ns -> {:.0} ns exceeds the baseline \
+                     (ceiling {:.0} ns)",
+                    rest, d.old, d.new, ceiling
+                ));
+            }
+        }
+        if !matched {
+            violations.push(format!("no wall_ns deltas matched workload prefix '{prefix}'"));
         }
         violations
     }
@@ -198,6 +243,19 @@ fn compare_executor(
             out.unmatched.push(format!("{name} (new only)"));
             continue;
         };
+        // Compile wall (v4+): present only when both documents record
+        // the compile-once lowering; a v3-baseline upgrade simply skips
+        // the delta.
+        if let (Some(oc), Some(nc)) = (ow.get("compile_wall_ns"), nw.get("compile_wall_ns")) {
+            let o = wall_median(oc, &format!("old {name}.compile_wall_ns"))?;
+            let n = wall_median(nc, &format!("new {name}.compile_wall_ns"))?;
+            out.deltas.push(Delta {
+                what: format!("{name}/compile wall_ns"),
+                old: o,
+                new: n,
+                regressed: wall_regressed(o, n, tolerance),
+            });
+        }
         if let (Some(osim), Some(nsim)) = (ow.get("simulator_wall_ns"), nw.get("simulator_wall_ns"))
         {
             let o = wall_median(osim, &format!("old {name}.simulator_wall_ns"))?;
@@ -462,6 +520,25 @@ mod tests {
             violations.is_empty(),
             "fused-vs-unfused quick loop_nest must clear the 25% floor: {violations:?}"
         );
+    }
+
+    #[test]
+    fn wall_ceiling_gate_flags_medians_above_baseline() {
+        let doc = executor_artifact(true, true).unwrap();
+        let cmp = compare_artifacts(&doc, &doc, DEFAULT_TOLERANCE).unwrap();
+        // Identical medians sit exactly at the ceiling: the gate passes.
+        assert!(cmp.require_wall_leq("loop_nest").is_empty());
+        // A prefix matching nothing is itself a violation, not a pass.
+        assert_eq!(cmp.require_wall_leq("no_such_workload").len(), 1);
+        // Inflating every median ~10x in the new document must breach
+        // the ceiling on the loop_nest wall deltas (prepending a digit
+        // makes each positive median strictly larger).
+        let slower = doc.replace("\"median_ns\":", "\"median_ns\":9");
+        let cmp = compare_artifacts(&doc, &slower, DEFAULT_TOLERANCE).unwrap();
+        assert!(!cmp.require_wall_leq("loop_nest").is_empty());
+        // The reverse direction — the new document is faster — passes.
+        let cmp = compare_artifacts(&slower, &doc, DEFAULT_TOLERANCE).unwrap();
+        assert!(cmp.require_wall_leq("loop_nest").is_empty());
     }
 
     #[test]

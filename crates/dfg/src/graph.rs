@@ -159,6 +159,14 @@ impl Dfg {
         self.ops[op.index()].imm[port]
     }
 
+    /// All immediate slots of an operator, one per input port (`None`
+    /// means the port is fed by an arc). Export accessor for lowering
+    /// to the machine's compiled representation.
+    #[inline]
+    pub fn imms(&self, op: OpId) -> &[Option<i64>] {
+        &self.ops[op.index()].imm
+    }
+
     /// The operator kind.
     #[inline]
     pub fn kind(&self, op: OpId) -> &OpKind {

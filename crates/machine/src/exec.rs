@@ -9,13 +9,25 @@
 //!
 //! The simulation is fully deterministic: events are processed in time
 //! order, ready operators in FIFO order.
+//!
+//! The simulator runs the [`crate::compiled`] form: [`run`] lowers the
+//! graph with [`crate::compiled::compile`] and calls [`run_compiled`];
+//! callers that execute one graph many times compile once and reuse.
+//! Operator semantics live in the shared kernel
+//! [`crate::compiled::fire_op`] — the simulator only supplies the
+//! [`Engine`] effects (timestamped event-queue delivery, tag interning,
+//! the split-phase memory).
 
-use crate::memory::{MemError, Memory};
+use crate::compiled::{
+    compile, fire_op, key, unkey, CompiledGraph, Engine, FireInputs, FireVals, SlotVals,
+};
+use crate::hash::FxHashMap;
+use crate::memory::{DeferredRead, MemError, Memory};
 use crate::metrics::ExecStats;
 use crate::tag::{TagId, TagTable};
-use cf2df_cfg::MemLayout;
-use cf2df_dfg::{Dfg, OpId, OpKind, Port};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use cf2df_cfg::{LoopId, MemLayout, VarId};
+use cf2df_dfg::{Dfg, OpId, Port};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Simulator configuration.
 #[derive(Clone, Debug)]
@@ -250,12 +262,29 @@ struct Token {
     value: i64,
 }
 
+/// Input values of a queued firing. Operators with at most
+/// [`crate::compiled::INLINE_VALS`] ports (every fixed-arity kind, and
+/// every hot kind the allocation audit covers) stay inline; wide
+/// `End`/`Synch` fan-ins spill to the heap.
 #[derive(Debug)]
 enum Inputs {
-    /// All input values, immediates filled in.
-    Full(Vec<i64>),
+    /// All input values (immediates filled in), strict firing.
+    Vals(FireVals),
     /// A single token on a merge-like operator.
     Single { port: usize, value: i64 },
+}
+
+impl Inputs {
+    #[inline]
+    fn as_fire(&self) -> FireInputs<'_> {
+        match self {
+            Inputs::Vals(v) => FireInputs::Full(v.as_slice()),
+            Inputs::Single { port, value } => FireInputs::Single {
+                port: *port,
+                value: *value,
+            },
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -265,10 +294,13 @@ struct Firing {
     inputs: Inputs,
 }
 
+/// A rendezvous slot: shared inline value storage plus the simulator's
+/// countdown of still-unfilled live ports (the threaded executor scans
+/// instead, to keep its sharded slots a single word-keyed value).
 #[derive(Debug)]
 struct Slot {
-    vals: Vec<Option<i64>>,
-    remaining: usize,
+    vals: SlotVals,
+    remaining: u32,
 }
 
 /// Compile-time switch for firing-trace collection. `run` instantiates
@@ -301,29 +333,43 @@ impl TraceSink for crate::trace::Trace {
 }
 
 struct Sim<'g, S: TraceSink> {
-    g: &'g Dfg,
+    cg: &'g CompiledGraph,
     layout: &'g MemLayout,
     cfgc: MachineConfig,
-    /// Destination ports per (op, out-port).
-    dests: Vec<Vec<Vec<Port>>>,
-    /// Non-immediate input count per op.
-    live: Vec<usize>,
     events: BTreeMap<u64, Vec<Token>>,
     ready: VecDeque<Firing>,
-    rendezvous: HashMap<(OpId, TagId), Slot>,
+    /// The waiting-matching store, keyed by the packed (op, tag) word
+    /// through the vendored integer hasher.
+    rendezvous: FxHashMap<u64, Slot>,
     /// Tokens waiting for a free rendezvous slot (finite frame capacity).
     throttled: VecDeque<Token>,
     tags: TagTable,
     mem: Memory<(OpId, TagId)>,
     stats: ExecStats,
     halted: bool,
+    /// Timestamp the current firing's outputs are delivered at — set by
+    /// [`Sim::fire`] before entering the shared kernel, read by
+    /// [`Engine::emit`].
+    emit_at: u64,
     trace: S,
 }
 
-/// Execute a dataflow graph to completion.
+/// Execute a dataflow graph to completion (compiling it first; callers
+/// that run one graph repeatedly should [`compile`] once and use
+/// [`run_compiled`]).
 pub fn run(g: &Dfg, layout: &MemLayout, config: MachineConfig) -> Result<Outcome, MachineError> {
-    let mut sim = Sim::new(g, layout, config, NoTrace);
-    sim.seed()?;
+    let cg = compile(g)?;
+    run_compiled(&cg, layout, config)
+}
+
+/// Execute an already-compiled dataflow graph to completion.
+pub fn run_compiled(
+    cg: &CompiledGraph,
+    layout: &MemLayout,
+    config: MachineConfig,
+) -> Result<Outcome, MachineError> {
+    let mut sim = Sim::new(cg, layout, config, NoTrace);
+    sim.seed();
     sim.main_loop()?;
     Ok(sim.finish().0)
 }
@@ -335,60 +381,53 @@ pub fn run_traced(
     layout: &MemLayout,
     config: MachineConfig,
 ) -> Result<(Outcome, crate::trace::Trace), MachineError> {
-    let mut sim = Sim::new(g, layout, config, crate::trace::Trace::default());
-    sim.seed()?;
+    let cg = compile(g)?;
+    run_traced_compiled(&cg, layout, config)
+}
+
+/// As [`run_compiled`], additionally recording a trace of every firing.
+pub fn run_traced_compiled(
+    cg: &CompiledGraph,
+    layout: &MemLayout,
+    config: MachineConfig,
+) -> Result<(Outcome, crate::trace::Trace), MachineError> {
+    let mut sim = Sim::new(cg, layout, config, crate::trace::Trace::default());
+    sim.seed();
     sim.main_loop()?;
     Ok(sim.finish())
 }
 
 impl<'g, S: TraceSink> Sim<'g, S> {
-    fn new(g: &'g Dfg, layout: &'g MemLayout, config: MachineConfig, sink: S) -> Sim<'g, S> {
-        let mut dests: Vec<Vec<Vec<Port>>> = g
-            .op_ids()
-            .map(|o| vec![Vec::new(); g.kind(o).n_outputs()])
-            .collect();
-        for a in g.arcs() {
-            dests[a.from.op.index()][a.from.port as usize].push(a.to);
-        }
-        let live: Vec<usize> = g
-            .op_ids()
-            .map(|o| {
-                (0..g.kind(o).n_inputs())
-                    .filter(|&p| g.imm(o, p).is_none())
-                    .count()
-            })
-            .collect();
+    fn new(cg: &'g CompiledGraph, layout: &'g MemLayout, config: MachineConfig, sink: S) -> Sim<'g, S> {
         Sim {
-            g,
+            cg,
             layout,
-            dests,
-            live,
             events: BTreeMap::new(),
             ready: VecDeque::new(),
-            rendezvous: HashMap::new(),
+            rendezvous: FxHashMap::default(),
             throttled: VecDeque::new(),
             tags: TagTable::new(),
             mem: Memory::new(layout),
             stats: ExecStats::default(),
             cfgc: config,
             halted: false,
+            emit_at: 0,
             trace: sink,
         }
     }
 
-    fn seed(&mut self) -> Result<(), MachineError> {
-        let start = self.g.start().map_err(|e| MachineError::InvalidGraph {
-            detail: e.to_string(),
-        })?;
-        let initial: Vec<Port> = self.dests[start.index()][0].clone();
-        for to in initial {
-            self.events.entry(0).or_default().push(Token {
+    fn seed(&mut self) {
+        // clone() audit: the seed fan-out used to clone the Start op's
+        // destination vector; the compiled CSR slice is borrowed directly.
+        let cg = self.cg;
+        let initial = self.events.entry(0).or_default();
+        for &to in cg.dests(cg.start(), 0) {
+            initial.push(Token {
                 to,
                 tag: TagId::ROOT,
                 value: 0,
             });
         }
-        Ok(())
     }
 
     fn main_loop(&mut self) -> Result<(), MachineError> {
@@ -465,17 +504,12 @@ impl<'g, S: TraceSink> Sim<'g, S> {
         let mut out: Vec<String> = self
             .rendezvous
             .iter()
-            .map(|(&(op, tag), slot)| {
-                let filled: Vec<usize> = slot
-                    .vals
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, v)| v.is_some())
-                    .map(|(i, _)| i)
-                    .collect();
+            .map(|(&k, slot)| {
+                let (op, tag) = unkey(k);
+                let filled = slot.vals.filled_ports();
                 format!(
                     "{} {op:?} tag {} waiting (filled ports {filled:?})",
-                    self.g.kind(op).mnemonic(),
+                    self.cg.mnemonic(op),
                     self.tags.render(tag),
                 )
             })
@@ -495,7 +529,7 @@ impl<'g, S: TraceSink> Sim<'g, S> {
         op: OpId,
         port: usize,
         t: Token,
-        loop_id: cf2df_cfg::LoopId,
+        loop_id: LoopId,
     ) -> Result<(), MachineError> {
         let (slot_tag, idx) = match port {
             0 => (self.child_tag(t.tag, loop_id, 0)?, 0),
@@ -512,19 +546,20 @@ impl<'g, S: TraceSink> Sim<'g, S> {
             },
             _ => (t.tag, 1),
         };
+        let k = key(op, slot_tag);
         if let Some(cap) = self.cfgc.frame_capacity {
-            if !self.rendezvous.contains_key(&(op, slot_tag)) && self.rendezvous.len() >= cap {
+            if !self.rendezvous.contains_key(&k) && self.rendezvous.len() >= cap {
                 // Park the original token: re-depositing re-runs the
                 // (deterministic) retag.
                 self.throttled.push_back(t);
                 return Ok(());
             }
         }
-        let slot = self.rendezvous.entry((op, slot_tag)).or_insert(Slot {
-            vals: vec![None, None],
+        let slot = self.rendezvous.entry(k).or_insert(Slot {
+            vals: SlotVals::pair(),
             remaining: 2,
         });
-        if slot.vals[idx].is_some() {
+        if slot.vals.is_filled(idx) {
             if self.cfgc.collisions_fatal {
                 return Err(MachineError::TokenCollision {
                     op,
@@ -535,133 +570,99 @@ impl<'g, S: TraceSink> Sim<'g, S> {
             self.stats.collisions += 1;
             return Ok(());
         }
-        slot.vals[idx] = Some(t.value);
+        slot.vals.set(idx, t.value);
         slot.remaining -= 1;
         let complete = slot.remaining == 0;
         let pending = self.rendezvous.len() as u64;
         self.stats.max_pending_slots = self.stats.max_pending_slots.max(pending);
         if complete {
-            let slot = self
-                .rendezvous
-                .remove(&(op, slot_tag))
-                .expect("slot inserted above");
-            let vals: Vec<i64> = slot
-                .vals
-                .into_iter()
-                .map(|v| v.expect("all ports filled when remaining == 0"))
-                .collect();
+            let slot = self.rendezvous.remove(&k).expect("slot inserted above");
             self.ready.push_back(Firing {
                 op,
                 tag: slot_tag,
-                inputs: Inputs::Full(vals),
+                inputs: Inputs::Vals(slot.vals.into_vals()),
             });
         }
         Ok(())
     }
 
     fn deposit(&mut self, t: Token) -> Result<(), MachineError> {
+        let cg = self.cg;
         let op = t.to.op;
         let port = t.to.port as usize;
-        if let OpKind::LoopSwitch { loop_id } = *self.g.kind(op) {
+        let desc = cg.desc(op);
+        if let crate::compiled::CKind::LoopSwitch(loop_id) = desc.kind {
             return self.deposit_loop_switch(op, port, t, loop_id);
         }
-        match self.g.kind(op) {
-            OpKind::Merge | OpKind::LoopEntry { .. } => {
-                self.ready.push_back(Firing {
+        if desc.merge_like() {
+            self.ready.push_back(Firing {
+                op,
+                tag: t.tag,
+                inputs: Inputs::Single {
+                    port,
+                    value: t.value,
+                },
+            });
+            return Ok(());
+        }
+        if desc.live <= 1 {
+            // Single live input: fires immediately.
+            // clone() audit: values are assembled in an inline stack
+            // buffer for every fixed-arity operator; only >INLINE_VALS
+            // fan-ins (never a hot kind) heap-allocate, and those are
+            // counted by the spill audit.
+            self.ready.push_back(Firing {
+                op,
+                tag: t.tag,
+                inputs: Inputs::Vals(FireVals::from_imms(
+                    cg.imms(op),
+                    port,
+                    t.value,
+                    desc.is_hot(),
+                )),
+            });
+            return Ok(());
+        }
+        let k = key(op, t.tag);
+        if let Some(cap) = self.cfgc.frame_capacity {
+            if !self.rendezvous.contains_key(&k) && self.rendezvous.len() >= cap {
+                // Back-pressure: park the token until a slot frees.
+                self.throttled.push_back(t);
+                return Ok(());
+            }
+        }
+        let slot = self.rendezvous.entry(k).or_insert_with(|| Slot {
+            vals: SlotVals::new(cg.imms(op), desc.is_hot()),
+            remaining: desc.live,
+        });
+        if slot.vals.is_filled(port) {
+            if self.cfgc.collisions_fatal {
+                return Err(MachineError::TokenCollision {
                     op,
-                    tag: t.tag,
-                    inputs: Inputs::Single {
-                        port,
-                        value: t.value,
-                    },
+                    port,
+                    tag: self.tags.render(t.tag),
                 });
-                Ok(())
             }
-            kind => {
-                let n_in = kind.n_inputs();
-                if self.live[op.index()] <= 1 {
-                    // Single live input: fires immediately.
-                    let mut vals = Vec::with_capacity(n_in);
-                    for p in 0..n_in {
-                        vals.push(self.g.imm(op, p).unwrap_or(0));
-                    }
-                    vals[port] = t.value;
-                    self.ready.push_back(Firing {
-                        op,
-                        tag: t.tag,
-                        inputs: Inputs::Full(vals),
-                    });
-                    return Ok(());
-                }
-                let live = self.live[op.index()];
-                if let Some(cap) = self.cfgc.frame_capacity {
-                    if !self.rendezvous.contains_key(&(op, t.tag))
-                        && self.rendezvous.len() >= cap
-                    {
-                        // Back-pressure: park the token until a slot frees.
-                        self.throttled.push_back(t);
-                        return Ok(());
-                    }
-                }
-                let slot = self.rendezvous.entry((op, t.tag)).or_insert_with(|| {
-                    let mut vals = Vec::with_capacity(n_in);
-                    for p in 0..n_in {
-                        vals.push(self.g.imm(op, p));
-                    }
-                    Slot {
-                        vals,
-                        remaining: live,
-                    }
-                });
-                if slot.vals[port].is_some() {
-                    if self.cfgc.collisions_fatal {
-                        return Err(MachineError::TokenCollision {
-                            op,
-                            port,
-                            tag: self.tags.render(t.tag),
-                        });
-                    }
-                    self.stats.collisions += 1;
-                    return Ok(());
-                }
-                slot.vals[port] = Some(t.value);
-                slot.remaining -= 1;
-                let complete = slot.remaining == 0;
-                let pending = self.rendezvous.len() as u64;
-                self.stats.max_pending_slots = self.stats.max_pending_slots.max(pending);
-                if complete {
-                    // Unreachable expects, audited: the slot was obtained
-                    // from this map via `entry` a few lines up and nothing
-                    // in between can remove it (single-threaded, exclusive
-                    // `&mut self`); `remaining == 0` means every live port
-                    // was filled exactly once (collisions return above)
-                    // and immediate ports were pre-filled at insertion, so
-                    // every `vals` entry is `Some`.
-                    let slot = self.rendezvous.remove(&(op, t.tag)).expect("slot inserted above");
-                    let vals: Vec<i64> = slot
-                        .vals
-                        .into_iter()
-                        .map(|v| v.expect("all ports filled when remaining == 0"))
-                        .collect();
-                    self.ready.push_back(Firing {
-                        op,
-                        tag: t.tag,
-                        inputs: Inputs::Full(vals),
-                    });
-                }
-                Ok(())
-            }
+            self.stats.collisions += 1;
+            return Ok(());
         }
-    }
-
-    fn emit_from(&mut self, op: OpId, out_port: usize, value: i64, tag: TagId, at: u64) {
-        for i in 0..self.dests[op.index()][out_port].len() {
-            let to = self.dests[op.index()][out_port][i];
-            self.events
-                .entry(at)
-                .or_default()
-                .push(Token { to, tag, value });
+        slot.vals.set(port, t.value);
+        slot.remaining -= 1;
+        let complete = slot.remaining == 0;
+        let pending = self.rendezvous.len() as u64;
+        self.stats.max_pending_slots = self.stats.max_pending_slots.max(pending);
+        if complete {
+            // Unreachable expect, audited: the slot was obtained from
+            // this map via `entry` a few lines up and nothing in between
+            // can remove it (single-threaded, exclusive `&mut self`).
+            let slot = self.rendezvous.remove(&k).expect("slot inserted above");
+            self.ready.push_back(Firing {
+                op,
+                tag: t.tag,
+                inputs: Inputs::Vals(slot.vals.into_vals()),
+            });
         }
+        Ok(())
     }
 
     fn fire(&mut self, f: Firing, now: u64) -> Result<(), MachineError> {
@@ -670,175 +671,18 @@ impl<'g, S: TraceSink> Sim<'g, S> {
             let tag = self.tags.render(f.tag);
             self.trace.record(now, f.op, tag);
         }
-        let op = f.op;
-        let kind = self.g.kind(op).clone();
-        let lat = if kind.is_memory() {
+        // clone() audit: the per-firing `g.kind(op).clone()` is gone —
+        // the descriptor is a 24-byte Copy and the semantics live in the
+        // shared kernel.
+        let cg = self.cg;
+        let desc = cg.desc(f.op);
+        let lat = if desc.is_memory() {
             self.cfgc.mem_latency
         } else {
             self.cfgc.op_latency
         };
-        let t = now + lat;
-        let full = |i: usize| -> i64 {
-            match &f.inputs {
-                Inputs::Full(v) => v[i],
-                Inputs::Single { .. } => panic!("full inputs expected"),
-            }
-        };
-        match kind {
-            OpKind::Start => unreachable!("Start never fires"),
-            OpKind::End { .. } => {
-                self.halted = true;
-            }
-            OpKind::Unary { op: u } => {
-                let v = u.eval(full(0));
-                self.emit_from(op, 0, v, f.tag, t);
-            }
-            OpKind::Binary { op: b } => {
-                let v = b.eval(full(0), full(1));
-                self.emit_from(op, 0, v, f.tag, t);
-            }
-            OpKind::Switch => {
-                let out = if full(1) != 0 { 0 } else { 1 };
-                self.emit_from(op, out, full(0), f.tag, t);
-            }
-            OpKind::CaseSwitch { arms } => {
-                let sel = full(1);
-                let out = if sel >= 0 && (sel as u64) < u64::from(arms) - 1 {
-                    sel as usize
-                } else {
-                    arms as usize - 1
-                };
-                self.emit_from(op, out, full(0), f.tag, t);
-            }
-            OpKind::Merge => {
-                let Inputs::Single { value, .. } = f.inputs else {
-                    unreachable!("merge fires per token");
-                };
-                self.emit_from(op, 0, value, f.tag, t);
-            }
-            OpKind::Synch { .. } => {
-                self.emit_from(op, 0, 0, f.tag, t);
-            }
-            OpKind::Identity => {
-                self.emit_from(op, 0, full(0), f.tag, t);
-            }
-            OpKind::Gate => {
-                self.emit_from(op, 0, full(0), f.tag, t);
-            }
-            OpKind::Macro { steps, .. } => {
-                // One firing evaluates the whole fused chain: interior
-                // tokens, slots, and firings are all elided.
-                let Inputs::Full(vals) = &f.inputs else {
-                    unreachable!("macro has strict ports");
-                };
-                self.stats.macro_fires += 1;
-                self.stats.ops_elided += steps.len() as u64 - 1;
-                let v = cf2df_dfg::macro_eval(&steps, vals);
-                self.emit_from(op, 0, v, f.tag, t);
-            }
-            OpKind::Load { var } => {
-                let v = self.mem.read_scalar(self.layout, var);
-                self.emit_from(op, 0, v, f.tag, t);
-                self.emit_from(op, 1, 0, f.tag, t);
-            }
-            OpKind::Store { var } => {
-                self.mem.write_scalar(self.layout, var, full(0));
-                self.emit_from(op, 0, 0, f.tag, t);
-            }
-            OpKind::LoadIdx { var } => {
-                let v = self.mem.read_element(self.layout, var, full(0))?;
-                self.emit_from(op, 0, v, f.tag, t);
-                self.emit_from(op, 1, 0, f.tag, t);
-            }
-            OpKind::StoreIdx { var } => {
-                self.mem.write_element(self.layout, var, full(0), full(1))?;
-                self.emit_from(op, 0, 0, f.tag, t);
-            }
-            OpKind::IstLoad { var } => {
-                match self.mem.ist_read(self.layout, var, full(0), (op, f.tag))? {
-                    Some(v) => self.emit_from(op, 0, v, f.tag, t),
-                    None => self.stats.deferred_reads += 1,
-                }
-            }
-            OpKind::IstStore { var } => {
-                let value = full(1);
-                let released = self.mem.ist_write(self.layout, var, full(0), value)?;
-                self.emit_from(op, 0, 0, f.tag, t);
-                for d in released {
-                    let (ld_op, ld_tag) = d.ctx;
-                    self.emit_from(ld_op, 0, value, ld_tag, t);
-                }
-            }
-            OpKind::LoopEntry { loop_id } => {
-                let Inputs::Single { port, value } = f.inputs else {
-                    unreachable!("loop entry fires per token");
-                };
-                let new_tag = if port == 0 {
-                    self.child_tag(f.tag, loop_id, 0)?
-                } else {
-                    match self.tags.info(f.tag) {
-                        Some((p, l, i)) if l == loop_id => self.child_tag(p, loop_id, i + 1)?,
-                        other => {
-                            return Err(MachineError::TagMismatch {
-                                op,
-                                detail: format!(
-                                    "backedge token tagged {other:?}, expected loop {loop_id:?}"
-                                ),
-                            })
-                        }
-                    }
-                };
-                self.emit_from(op, 0, value, new_tag, t);
-            }
-            OpKind::LoopSwitch { .. } => {
-                // One compound firing replaces the fused loop-entry's
-                // separate firing and output token: the data value was
-                // retagged at deposit time, so steering is all that's left.
-                self.stats.macro_fires += 1;
-                self.stats.ops_elided += 1;
-                let out = if full(1) != 0 { 0 } else { 1 };
-                self.emit_from(op, out, full(0), f.tag, t);
-            }
-            OpKind::LoopExit { loop_id } => match self.tags.info(f.tag) {
-                Some((p, l, _)) if l == loop_id => {
-                    self.emit_from(op, 0, full(0), p, t);
-                }
-                other => {
-                    return Err(MachineError::TagMismatch {
-                        op,
-                        detail: format!("exit token tagged {other:?}, expected loop {loop_id:?}"),
-                    })
-                }
-            },
-            OpKind::PrevIter { loop_id } => match self.tags.info(f.tag) {
-                Some((p, l, i)) if l == loop_id && i > 0 => {
-                    let nt = self.child_tag(p, loop_id, i - 1)?;
-                    self.emit_from(op, 0, full(0), nt, t);
-                }
-                other => {
-                    return Err(MachineError::TagMismatch {
-                        op,
-                        detail: format!(
-                            "prev-iter token tagged {other:?}, expected loop {loop_id:?} iter > 0"
-                        ),
-                    })
-                }
-            },
-            OpKind::IterIndex { loop_id } => match self.tags.info(f.tag) {
-                Some((_, l, i)) if l == loop_id => {
-                    self.emit_from(op, 0, i as i64, f.tag, t);
-                }
-                other => {
-                    return Err(MachineError::TagMismatch {
-                        op,
-                        detail: format!(
-                            "iter-index token tagged {other:?}, expected loop {loop_id:?}"
-                        ),
-                    })
-                }
-            },
-        }
-        Ok(())
+        self.emit_at = now + lat;
+        fire_op(cg, f.op, f.tag, f.inputs.as_fire(), self)
     }
 
     /// Intern the child tag, surfacing interner overflow as the typed
@@ -846,7 +690,7 @@ impl<'g, S: TraceSink> Sim<'g, S> {
     fn child_tag(
         &mut self,
         parent: TagId,
-        loop_id: cf2df_cfg::LoopId,
+        loop_id: LoopId,
         iter: u32,
     ) -> Result<TagId, MachineError> {
         self.tags
@@ -859,7 +703,7 @@ impl<'g, S: TraceSink> Sim<'g, S> {
         let in_slots: u64 = self
             .rendezvous
             .values()
-            .map(|s| s.vals.iter().flatten().count() as u64)
+            .map(|s| s.vals.filled_count())
             .sum();
         self.stats.leftover_tokens =
             in_flight + in_slots + self.ready.len() as u64 + self.throttled.len() as u64;
@@ -877,11 +721,91 @@ impl<'g, S: TraceSink> Sim<'g, S> {
     }
 }
 
+/// The simulator's backend effects for the shared firing kernel: token
+/// emission is timestamped event-queue insertion at
+/// [`Sim::emit_at`].
+impl<S: TraceSink> Engine for Sim<'_, S> {
+    #[inline]
+    fn emit(&mut self, op: OpId, out_port: usize, value: i64, tag: TagId) {
+        let cg = self.cg;
+        let at = self.emit_at;
+        let bucket = self.events.entry(at).or_default();
+        for &to in cg.dests(op, out_port) {
+            bucket.push(Token { to, tag, value });
+        }
+    }
+
+    #[inline]
+    fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    fn tag_child(
+        &mut self,
+        parent: TagId,
+        loop_id: LoopId,
+        iter: u32,
+    ) -> Result<TagId, MachineError> {
+        self.child_tag(parent, loop_id, iter)
+    }
+
+    fn tag_info(&self, tag: TagId) -> Option<(TagId, LoopId, u32)> {
+        self.tags.info(tag)
+    }
+
+    fn read_scalar(&mut self, var: VarId) -> i64 {
+        self.mem.read_scalar(self.layout, var)
+    }
+
+    fn write_scalar(&mut self, var: VarId, value: i64) {
+        self.mem.write_scalar(self.layout, var, value)
+    }
+
+    fn read_element(&mut self, var: VarId, index: i64) -> Result<i64, MemError> {
+        self.mem.read_element(self.layout, var, index)
+    }
+
+    fn write_element(&mut self, var: VarId, index: i64, value: i64) -> Result<(), MemError> {
+        self.mem.write_element(self.layout, var, index, value)
+    }
+
+    fn ist_read(
+        &mut self,
+        var: VarId,
+        index: i64,
+        op: OpId,
+        tag: TagId,
+    ) -> Result<Option<i64>, MemError> {
+        match self.mem.ist_read(self.layout, var, index, (op, tag))? {
+            Some(v) => Ok(Some(v)),
+            None => {
+                self.stats.deferred_reads += 1;
+                Ok(None)
+            }
+        }
+    }
+
+    fn ist_write(
+        &mut self,
+        var: VarId,
+        index: i64,
+        value: i64,
+    ) -> Result<Vec<DeferredRead<(OpId, TagId)>>, MemError> {
+        self.mem.ist_write(self.layout, var, index, value)
+    }
+
+    fn macro_fired(&mut self, elided: u64) {
+        self.stats.macro_fires += 1;
+        self.stats.ops_elided += elided;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cf2df_cfg::{BinOp, LoopId, VarId, VarTable};
     use cf2df_dfg::graph::ArcKind;
+    use cf2df_dfg::OpKind;
 
     fn layout_xy() -> MemLayout {
         let mut t = VarTable::new();
@@ -920,6 +844,18 @@ mod tests {
         assert_eq!(out.stats.leftover_tokens, 0);
         // load(t0, resp t1) → add issues t1 → t2 → store t2..t3 → end t3.
         assert_eq!(out.stats.makespan, 3);
+    }
+
+    #[test]
+    fn compiled_graph_is_reusable_across_runs() {
+        let layout = layout_xy();
+        let g = increment_graph();
+        let cg = compile(&g).unwrap();
+        let a = run_compiled(&cg, &layout, MachineConfig::unbounded()).unwrap();
+        let b = run_compiled(&cg, &layout, MachineConfig::unbounded()).unwrap();
+        assert_eq!(a.memory, b.memory);
+        assert_eq!(a.stats.fired, b.stats.fired);
+        assert_eq!(a.stats.makespan, b.stats.makespan);
     }
 
     #[test]

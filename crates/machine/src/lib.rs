@@ -29,7 +29,9 @@
 //! std-only work-stealing [`scheduler`].
 
 pub mod chaos;
+pub mod compiled;
 pub mod exec;
+pub mod hash;
 pub mod memory;
 pub mod metrics;
 pub mod parallel;
@@ -39,10 +41,13 @@ pub mod trace;
 pub mod vonneumann;
 
 pub use chaos::{ChaosConfig, ChaosTallies};
-pub use exec::{run, run_traced, MachineConfig, MachineError, Outcome};
+pub use compiled::{compile, CompiledGraph, Footprint};
+pub use exec::{run, run_compiled, run_traced, MachineConfig, MachineError, Outcome};
+pub use hash::{FxBuildHasher, FxHashMap};
 pub use metrics::{ExecStats, ParMetrics, WorkerStats};
 pub use parallel::{
-    run_threaded, run_threaded_pooled, run_threaded_pooled_with, run_threaded_traced,
-    run_threaded_with, ExecutorPool, FireEvent, ParConfig, ParOutcome,
+    run_threaded, run_threaded_compiled, run_threaded_compiled_pooled_with, run_threaded_pooled,
+    run_threaded_pooled_with, run_threaded_traced, run_threaded_with, ExecutorPool, FireEvent,
+    ParConfig, ParOutcome,
 };
 pub use tag::{TagId, TagTable};

@@ -39,14 +39,18 @@
 //! fired-operator and memory-op counts.
 
 use crate::chaos::{ChaosConfig, ChaosRng, ChaosTallies};
+use crate::compiled::{
+    compile, fire_op, key, unkey, CKind, CompiledGraph, Engine, FireInputs, FireVals, SlotVals,
+};
 use crate::exec::MachineError;
+use crate::hash::FxHashMap;
 use crate::memory::{DeferredRead, MemError};
 use crate::metrics::ParMetrics;
 use crate::scheduler::{Ctx, Scheduler, WorkerPool};
 use crate::tag::TagId;
 use cf2df_cfg::{LoopId, MemLayout, VarId};
-use cf2df_dfg::{Dfg, OpId, OpKind, Port};
-use std::collections::{HashMap, VecDeque};
+use cf2df_dfg::{Dfg, OpId, Port};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
@@ -169,8 +173,11 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// One shard of the rendezvous-slot table.
-type SlotShard = Mutex<HashMap<(OpId, TagId), Vec<Option<i64>>>>;
+/// One shard of the rendezvous-slot table, keyed by the packed
+/// `(operator, tag)` word ([`crate::compiled::key`]) on the vendored
+/// integer hasher — one 64-bit hash per probe instead of SipHash over a
+/// two-field tuple.
+type SlotShard = Mutex<FxHashMap<u64, SlotVals>>;
 
 // ---------------------------------------------------------------------
 // Sharded memory
@@ -354,7 +361,10 @@ struct TagCtx {
 
 #[derive(Default)]
 struct TagShard {
-    intern: HashMap<(TagId, LoopId, u32), TagId>,
+    /// Interner on the vendored integer hasher ([`crate::hash`]): the
+    /// keys are small dense integers from the program, so SipHash's DoS
+    /// resistance buys nothing here.
+    intern: FxHashMap<(TagId, LoopId, u32), TagId>,
     /// `ctxs[k]` is the context of `TagId(k * TAG_SHARDS + shard_index)`;
     /// `None` only for the root slot in shard 0.
     ctxs: Vec<Option<TagCtx>>,
@@ -450,12 +460,13 @@ impl ParTagTable {
 /// collect counters), so the mutex is effectively uncontended.
 #[derive(Default)]
 struct WorkerLocal {
-    /// Half-filled two-input rendezvous, keyed like the global table.
-    /// Drained back to the run queue at the end of every batch.
-    pairs: HashMap<(OpId, TagId), [Option<i64>; 2]>,
+    /// Half-filled two-input rendezvous, keyed like the global table
+    /// (packed `(op, tag)` word, integer hasher). Drained back to the
+    /// run queue at the end of every batch.
+    pairs: FxHashMap<u64, [Option<i64>; 2]>,
     /// Locally completed joins awaiting firing, drained after each
     /// token (firing can complete further joins).
-    ready: Vec<(OpId, TagId, [i64; 2])>,
+    ready: Vec<(u64, [i64; 2])>,
     /// Joins completed through this fast path.
     fast_path: u64,
 }
@@ -491,24 +502,14 @@ impl ChaosState {
     }
 }
 
-struct Shared {
+struct Shared<'g> {
+    /// The dense lowered graph: CSR destination slices, Copy operator
+    /// descriptors, flattened immediates and macro steps. What used to
+    /// be per-run `dests`/`live`/`fast_ok`/`dup_ok` side tables is
+    /// computed once in [`compile`] and carried in [`crate::compiled::OpDesc`]
+    /// flags (see there for the `dup_ok` detectability argument).
+    cg: &'g CompiledGraph,
     layout: MemLayout,
-    dests: Vec<Vec<Vec<Port>>>,
-    live: Vec<usize>,
-    /// `fast_ok[op]` — the op is a plain two-input rendezvous (both
-    /// ports token-fed, not merge-like) and eligible for the
-    /// worker-local fast path.
-    fast_ok: Vec<bool>,
-    /// `dup_ok[op]` — a duplicated token into this op is *detectable*:
-    /// the op is a true rendezvous (two or more token-fed inputs, not
-    /// merge-like), so the second copy either collides in a
-    /// waiting-matching slot ([`MachineError::TokenCollision`] — the ETS
-    /// machine's architectural duplicate detector) or lands in a
-    /// harmless orphan half-slot after the original pair completed.
-    /// Chaos only duplicates tokens headed to such ops: a duplicate
-    /// into a single-input or merge-like op would fire it twice and
-    /// silently corrupt the run.
-    dup_ok: Vec<bool>,
     /// Firing budget; `u64::MAX` means unlimited.
     fuel: u64,
     /// Fault injection for panics/drops/dups. Boxed so an ordinary run
@@ -539,7 +540,7 @@ struct Shared {
     trace: Option<TraceRing>,
 }
 
-impl Shared {
+impl Shared<'_> {
     fn shard(&self, op: OpId, tag: TagId) -> usize {
         (op.0 as usize)
             .wrapping_mul(0x9e37_79b1)
@@ -562,19 +563,15 @@ impl Shared {
     /// Describe every partially-filled rendezvous slot — operator, tag,
     /// and which input ports are filled — mirroring the simulator's
     /// deadlock report. Sorted for determinism, truncated to 10.
-    fn describe_pending(&self, g: &Dfg) -> Vec<String> {
+    fn describe_pending(&self) -> Vec<String> {
         let mut out: Vec<String> = Vec::new();
         for shard in &self.slots {
-            for (&(op, tag), vals) in lock(shard).iter() {
-                let filled: Vec<usize> = vals
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, v)| v.is_some())
-                    .map(|(i, _)| i)
-                    .collect();
+            for (&k, vals) in lock(shard).iter() {
+                let (op, tag) = unkey(k);
+                let filled = vals.filled_ports();
                 out.push(format!(
                     "{} {op:?} tag {} waiting (filled ports {filled:?})",
-                    g.kind(op).mnemonic(),
+                    self.cg.mnemonic(op),
                     self.tags.render(tag),
                 ));
             }
@@ -614,13 +611,27 @@ impl ExecutorPool {
     }
 }
 
-/// Execute a dataflow graph on `n_threads` worker threads.
+/// Execute a dataflow graph on `n_threads` worker threads. Compiles the
+/// graph internally; callers running the same graph repeatedly should
+/// [`compile`] once and use [`run_threaded_compiled`].
 pub fn run_threaded(
     g: &Dfg,
     layout: &MemLayout,
     n_threads: usize,
 ) -> Result<ParOutcome, MachineError> {
-    run_inner(g, layout, n_threads, None, &ParConfig::default()).0
+    let cg = compile(g)?;
+    run_inner(&cg, layout, n_threads, None, &ParConfig::default()).0
+}
+
+/// As [`run_threaded`], but on an already-[`compile`]d graph: the
+/// lowering cost is paid once and the dense tables are reused across
+/// runs.
+pub fn run_threaded_compiled(
+    cg: &CompiledGraph,
+    layout: &MemLayout,
+    n_threads: usize,
+) -> Result<ParOutcome, MachineError> {
+    run_inner(cg, layout, n_threads, None, &ParConfig::default()).0
 }
 
 /// As [`run_threaded`], but on a pre-spawned [`ExecutorPool`] — the
@@ -631,7 +642,8 @@ pub fn run_threaded_pooled(
     layout: &MemLayout,
     pool: &ExecutorPool,
 ) -> Result<ParOutcome, MachineError> {
-    run_inner(g, layout, pool.workers(), Some(pool), &ParConfig::default()).0
+    let cg = compile(g)?;
+    run_inner(&cg, layout, pool.workers(), Some(pool), &ParConfig::default()).0
 }
 
 /// As [`run_threaded`], additionally capturing the last `capacity` fire
@@ -648,7 +660,11 @@ pub fn run_threaded_traced(
         trace_capacity: Some(capacity),
         ..ParConfig::default()
     };
-    let (result, _metrics, trace) = run_inner(g, layout, n_threads, None, &cfg);
+    let cg = match compile(g) {
+        Ok(cg) => cg,
+        Err(e) => return (Err(e), Vec::new()),
+    };
+    let (result, _metrics, trace) = run_inner(&cg, layout, n_threads, None, &cfg);
     (result, trace)
 }
 
@@ -664,7 +680,11 @@ pub fn run_threaded_with(
     n_threads: usize,
     cfg: &ParConfig,
 ) -> (Result<ParOutcome, MachineError>, ParMetrics, Vec<FireEvent>) {
-    run_inner(g, layout, n_threads, None, cfg)
+    let cg = match compile(g) {
+        Ok(cg) => cg,
+        Err(e) => return (Err(e), ParMetrics::default(), Vec::new()),
+    };
+    run_inner(&cg, layout, n_threads, None, cfg)
 }
 
 /// As [`run_threaded_with`], on a pre-spawned [`ExecutorPool`]. The
@@ -676,61 +696,44 @@ pub fn run_threaded_pooled_with(
     pool: &ExecutorPool,
     cfg: &ParConfig,
 ) -> (Result<ParOutcome, MachineError>, ParMetrics, Vec<FireEvent>) {
-    run_inner(g, layout, pool.workers(), Some(pool), cfg)
+    let cg = match compile(g) {
+        Ok(cg) => cg,
+        Err(e) => return (Err(e), ParMetrics::default(), Vec::new()),
+    };
+    run_inner(&cg, layout, pool.workers(), Some(pool), cfg)
+}
+
+/// As [`run_threaded_pooled_with`], on an already-[`compile`]d graph —
+/// the zero-recompile entry point for benchmarks and pooled servers.
+pub fn run_threaded_compiled_pooled_with(
+    cg: &CompiledGraph,
+    layout: &MemLayout,
+    pool: &ExecutorPool,
+    cfg: &ParConfig,
+) -> (Result<ParOutcome, MachineError>, ParMetrics, Vec<FireEvent>) {
+    run_inner(cg, layout, pool.workers(), Some(pool), cfg)
 }
 
 fn run_inner(
-    g: &Dfg,
+    cg: &CompiledGraph,
     layout: &MemLayout,
     n_threads: usize,
     pool: Option<&ExecutorPool>,
     cfg: &ParConfig,
 ) -> (Result<ParOutcome, MachineError>, ParMetrics, Vec<FireEvent>) {
     let n_threads = n_threads.max(1);
-    let mut dests: Vec<Vec<Vec<Port>>> = g
-        .op_ids()
-        .map(|o| vec![Vec::new(); g.kind(o).n_outputs()])
-        .collect();
-    for a in g.arcs() {
-        dests[a.from.op.index()][a.from.port as usize].push(a.to);
-    }
-    let live: Vec<usize> = g
-        .op_ids()
-        .map(|o| {
-            (0..g.kind(o).n_inputs())
-                .filter(|&p| g.imm(o, p).is_none())
-                .count()
-        })
-        .collect();
-    let fast_ok: Vec<bool> = g
-        .op_ids()
-        .map(|o| {
-            let k = g.kind(o);
-            !matches!(k, OpKind::Merge | OpKind::LoopEntry { .. })
-                && k.n_inputs() == 2
-                && live[o.index()] == 2
-        })
-        .collect();
-    let dup_ok: Vec<bool> = g
-        .op_ids()
-        .map(|o| {
-            !matches!(g.kind(o), OpKind::Merge | OpKind::LoopEntry { .. })
-                && live[o.index()] >= 2
-        })
-        .collect();
-
+    // clone() audit: the per-run `dests`/`live`/`fast_ok`/`dup_ok`
+    // rebuild (four graph walks and a nest of Vecs) is gone — all of it
+    // lives in the [`CompiledGraph`], built once per compile.
     let shared = Shared {
+        cg,
         layout: layout.clone(),
-        dests,
-        live,
-        fast_ok,
-        dup_ok,
         fuel: cfg.fuel,
         chaos: cfg.chaos.map(|c| Box::new(ChaosState::new(c, n_threads))),
         locals: (0..n_threads)
             .map(|_| Mutex::new(WorkerLocal::default()))
             .collect(),
-        slots: std::iter::repeat_with(|| Mutex::new(HashMap::new()))
+        slots: std::iter::repeat_with(|| Mutex::new(FxHashMap::default()))
             .take(SLOT_SHARDS)
             .collect(),
         tags: ParTagTable::new(cfg.tag_cap),
@@ -755,18 +758,12 @@ fn run_inner(
     // operator-id space over the workers keeps join halves together
     // (destination ports of one op are adjacent ids) while still giving
     // every worker a contiguous share of the graph to start on.
-    let start = match g.start() {
-        Ok(op) => op,
-        Err(e) => {
-            let err = MachineError::InvalidGraph {
-                detail: e.to_string(),
-            };
-            return (Err(err), ParMetrics::default(), Vec::new());
-        }
-    };
-    let n_ops = g.len().max(1);
+    // clone() audit: seeding borrows the CSR destination slice directly
+    // (it used to clone the start op's dest vector).
+    let start = cg.start();
+    let n_ops = cg.len().max(1);
     sched.seed_with(
-        shared.dests[start.index()][0].iter().map(|&to| Token {
+        cg.dests(start, 0).iter().map(|&to| Token {
             to,
             tag: TagId::ROOT,
             value: 0,
@@ -777,8 +774,8 @@ fn run_inner(
     let body = |ctx: &Ctx<'_, Token>, batch: &mut Vec<Token>| {
         let local = &shared.locals[ctx.worker()];
         for t in batch.drain(..) {
-            process(g, &shared, ctx, t);
-            drain_ready(g, &shared, local, ctx);
+            process(&shared, ctx, t);
+            drain_ready(&shared, local, ctx);
         }
         // End of batch: the fast-path window closes. Unpaired halves go
         // back through the ordinary queue (and, from there, the global
@@ -926,7 +923,7 @@ fn run_inner(
         })
     } else if !end_seen {
         Err(MachineError::Deadlock {
-            pending: shared.describe_pending(g),
+            pending: shared.describe_pending(),
         })
     } else {
         Ok(ParOutcome {
@@ -939,74 +936,72 @@ fn run_inner(
     (result, metrics, trace)
 }
 
-fn process(g: &Dfg, sh: &Shared, ctx: &Ctx<'_, Token>, t: Token) {
+fn process(sh: &Shared<'_>, ctx: &Ctx<'_, Token>, t: Token) {
     let op = t.to.op;
     let port = t.to.port as usize;
-    let kind = g.kind(op);
-    match kind {
-        OpKind::Merge | OpKind::LoopEntry { .. } => {
-            fire_single(g, sh, ctx, op, t.tag, port, t.value);
+    let cg = sh.cg;
+    let desc = cg.desc(op);
+    if let CKind::LoopSwitch(loop_id) = desc.kind {
+        return deposit_loop_switch(sh, ctx, op, port, t, loop_id);
+    }
+    if desc.merge_like() {
+        return fire(
+            sh,
+            ctx,
+            op,
+            t.tag,
+            FireInputs::Single {
+                port,
+                value: t.value,
+            },
+        );
+    }
+    if desc.live <= 1 {
+        // Single live input: fires immediately.
+        // clone() audit: the per-firing `Vec::with_capacity(n_in)` is
+        // gone — values assemble in an inline stack buffer (only
+        // >INLINE_VALS fan-ins spill, counted by the audit).
+        let vals = FireVals::from_imms(cg.imms(op), port, t.value, desc.is_hot());
+        return fire(sh, ctx, op, t.tag, FireInputs::Full(vals.as_slice()));
+    }
+    let k = key(op, t.tag);
+    let complete = {
+        let shard_idx = sh.shard(op, t.tag);
+        let mut shard = lock(&sh.slots[shard_idx]);
+        let mut inserted = false;
+        let slot = shard.entry(k).or_insert_with(|| {
+            inserted = true;
+            SlotVals::new(cg.imms(op), desc.is_hot())
+        });
+        if slot.is_filled(port) {
+            drop(shard);
+            let tag = sh.tags.render(t.tag);
+            sh.fail(ctx, MachineError::TokenCollision { op, port, tag });
+            return;
         }
-        OpKind::LoopSwitch { loop_id } => {
-            deposit_loop_switch(g, sh, ctx, op, port, t, *loop_id);
+        slot.set(port, t.value);
+        let complete = slot.is_complete();
+        if inserted {
+            // Waiting-matching pressure: whole-table peak plus a
+            // per-shard high-water mark (the shard length is
+            // exact under its lock).
+            let occupied = sh.slots_occupied.fetch_add(1, Ordering::Relaxed) + 1;
+            sh.slots_peak.fetch_max(occupied, Ordering::Relaxed);
+            sh.slot_high[shard_idx].fetch_max(shard.len() as u64, Ordering::Relaxed);
         }
-        _ => {
-            let n_in = kind.n_inputs();
-            if sh.live[op.index()] <= 1 {
-                let mut vals = Vec::with_capacity(n_in);
-                for p in 0..n_in {
-                    vals.push(g.imm(op, p).unwrap_or(0));
-                }
-                if n_in > 0 {
-                    vals[port] = t.value;
-                }
-                fire_full(g, sh, ctx, op, t.tag, vals);
-                return;
-            }
-            let complete = {
-                let shard_idx = sh.shard(op, t.tag);
-                let mut shard = lock(&sh.slots[shard_idx]);
-                let mut inserted = false;
-                let slot = shard.entry((op, t.tag)).or_insert_with(|| {
-                    inserted = true;
-                    (0..n_in).map(|p| g.imm(op, p)).collect::<Vec<_>>()
-                });
-                if slot[port].is_some() {
-                    drop(shard);
-                    let tag = sh.tags.render(t.tag);
-                    sh.fail(ctx, MachineError::TokenCollision { op, port, tag });
-                    return;
-                }
-                slot[port] = Some(t.value);
-                let complete = slot.iter().all(|v| v.is_some());
-                if inserted {
-                    // Waiting-matching pressure: whole-table peak plus a
-                    // per-shard high-water mark (the shard length is
-                    // exact under its lock).
-                    let occupied = sh.slots_occupied.fetch_add(1, Ordering::Relaxed) + 1;
-                    sh.slots_peak.fetch_max(occupied, Ordering::Relaxed);
-                    sh.slot_high[shard_idx].fetch_max(shard.len() as u64, Ordering::Relaxed);
-                }
-                if complete {
-                    let vals = shard
-                        .remove(&(op, t.tag))
-                        .expect("present")
-                        .into_iter()
-                        .map(|v| v.expect("full"))
-                        .collect::<Vec<_>>();
-                    drop(shard);
-                    sh.slots_occupied.fetch_sub(1, Ordering::Relaxed);
-                    Some(vals)
-                } else {
-                    drop(shard);
-                    sh.merged.fetch_add(1, Ordering::Relaxed);
-                    None
-                }
-            };
-            if let Some(vals) = complete {
-                fire_full(g, sh, ctx, op, t.tag, vals);
-            }
+        if complete {
+            let vals = shard.remove(&k).expect("present").into_vals();
+            drop(shard);
+            sh.slots_occupied.fetch_sub(1, Ordering::Relaxed);
+            Some(vals)
+        } else {
+            drop(shard);
+            sh.merged.fetch_add(1, Ordering::Relaxed);
+            None
         }
+    };
+    if let Some(vals) = complete {
+        fire(sh, ctx, op, t.tag, FireInputs::Full(vals.as_slice()));
     }
 }
 
@@ -1019,8 +1014,7 @@ fn process(g: &Dfg, sh: &Shared, ctx: &Ctx<'_, Token>, t: Token) {
 /// rendezvous recorded — so fused and unfused runs agree on `merged`
 /// while the loop-entry's separate firing and output token are elided.
 fn deposit_loop_switch(
-    g: &Dfg,
-    sh: &Shared,
+    sh: &Shared<'_>,
     ctx: &Ctx<'_, Token>,
     op: OpId,
     port: usize,
@@ -1042,41 +1036,39 @@ fn deposit_loop_switch(
                     ctx,
                     MachineError::TagMismatch {
                         op,
-                        detail: format!("backedge token tagged {other:?}"),
+                        detail: format!(
+                            "backedge token tagged {other:?}, expected loop {loop_id:?}"
+                        ),
                     },
                 )
             }
         },
         _ => (t.tag, 1),
     };
+    let k = key(op, slot_tag);
     let complete = {
         let shard_idx = sh.shard(op, slot_tag);
         let mut shard = lock(&sh.slots[shard_idx]);
         let mut inserted = false;
-        let slot = shard.entry((op, slot_tag)).or_insert_with(|| {
+        let slot = shard.entry(k).or_insert_with(|| {
             inserted = true;
-            vec![None, None]
+            SlotVals::pair()
         });
-        if slot[idx].is_some() {
+        if slot.is_filled(idx) {
             drop(shard);
             let tag = sh.tags.render(slot_tag);
             sh.fail(ctx, MachineError::TokenCollision { op, port, tag });
             return;
         }
-        slot[idx] = Some(t.value);
-        let complete = slot.iter().all(|v| v.is_some());
+        slot.set(idx, t.value);
+        let complete = slot.is_complete();
         if inserted {
             let occupied = sh.slots_occupied.fetch_add(1, Ordering::Relaxed) + 1;
             sh.slots_peak.fetch_max(occupied, Ordering::Relaxed);
             sh.slot_high[shard_idx].fetch_max(shard.len() as u64, Ordering::Relaxed);
         }
         if complete {
-            let vals = shard
-                .remove(&(op, slot_tag))
-                .expect("present")
-                .into_iter()
-                .map(|v| v.expect("full"))
-                .collect::<Vec<_>>();
+            let vals = shard.remove(&k).expect("present").into_vals();
             drop(shard);
             sh.slots_occupied.fetch_sub(1, Ordering::Relaxed);
             Some(vals)
@@ -1087,7 +1079,7 @@ fn deposit_loop_switch(
         }
     };
     if let Some(vals) = complete {
-        fire_full(g, sh, ctx, op, slot_tag, vals);
+        fire(sh, ctx, op, slot_tag, FireInputs::Full(vals.as_slice()));
     }
 }
 
@@ -1100,14 +1092,14 @@ fn deposit_loop_switch(
 /// completed firing is parked on the worker's ready stack. Unpaired
 /// halves wait in the map until the end of the batch, then rejoin the
 /// ordinary path.
-fn emit(sh: &Shared, ctx: &Ctx<'_, Token>, op: OpId, out_port: usize, value: i64, tag: TagId) {
+fn emit(sh: &Shared<'_>, ctx: &Ctx<'_, Token>, op: OpId, out_port: usize, value: i64, tag: TagId) {
     // One null check per emit call; the per-destination fault draws live
     // in the out-of-line chaos variant so ordinary runs keep a clean
     // inner loop.
     if sh.chaos.is_some() {
         return emit_chaos(sh, ctx, op, out_port, value, tag);
     }
-    for &to in &sh.dests[op.index()][out_port] {
+    for &to in sh.cg.dests(op, out_port) {
         send(sh, ctx, to, value, tag);
     }
 }
@@ -1121,9 +1113,16 @@ fn emit(sh: &Shared, ctx: &Ctx<'_, Token>, op: OpId, out_port: usize, value: i64
 /// would.
 #[cold]
 #[inline(never)]
-fn emit_chaos(sh: &Shared, ctx: &Ctx<'_, Token>, op: OpId, out_port: usize, value: i64, tag: TagId) {
+fn emit_chaos(
+    sh: &Shared<'_>,
+    ctx: &Ctx<'_, Token>,
+    op: OpId,
+    out_port: usize,
+    value: i64,
+    tag: TagId,
+) {
     let ch = sh.chaos.as_deref().expect("checked by emit");
-    for &to in &sh.dests[op.index()][out_port] {
+    for &to in sh.cg.dests(op, out_port) {
         let dst = to.op;
         {
             let mut rng = lock(&ch.rngs[ctx.worker()]);
@@ -1133,7 +1132,7 @@ fn emit_chaos(sh: &Shared, ctx: &Ctx<'_, Token>, op: OpId, out_port: usize, valu
                 continue;
             }
             if ch.cfg.dup_prob > 0.0
-                && sh.dup_ok[dst.index()]
+                && sh.cg.desc(dst).dup_ok()
                 && rng.chance(ch.cfg.dup_prob)
             {
                 drop(rng);
@@ -1148,12 +1147,13 @@ fn emit_chaos(sh: &Shared, ctx: &Ctx<'_, Token>, op: OpId, out_port: usize, valu
 /// Route one token to `to`: through the worker-local pair map when the
 /// destination is fast-path eligible, otherwise onto the run queue.
 #[inline]
-fn send(sh: &Shared, ctx: &Ctx<'_, Token>, to: Port, value: i64, tag: TagId) {
+fn send(sh: &Shared<'_>, ctx: &Ctx<'_, Token>, to: Port, value: i64, tag: TagId) {
     let dst = to.op;
-    if sh.fast_ok[dst.index()] {
+    if sh.cg.desc(dst).fast_ok() {
         let port = to.port as usize;
+        let k = key(dst, tag);
         let mut l = lock(&sh.locals[ctx.worker()]);
-        let slot = l.pairs.entry((dst, tag)).or_insert([None, None]);
+        let slot = l.pairs.entry(k).or_insert([None, None]);
         if slot[port].is_some() {
             drop(l);
             let tag = sh.tags.render(tag);
@@ -1162,8 +1162,8 @@ fn send(sh: &Shared, ctx: &Ctx<'_, Token>, to: Port, value: i64, tag: TagId) {
         }
         slot[port] = Some(value);
         if let [Some(a), Some(b)] = *slot {
-            l.pairs.remove(&(dst, tag));
-            l.ready.push((dst, tag, [a, b]));
+            l.pairs.remove(&k);
+            l.ready.push((k, [a, b]));
             l.fast_path += 1;
             drop(l);
             sh.merged.fetch_add(1, Ordering::Relaxed);
@@ -1176,11 +1176,16 @@ fn send(sh: &Shared, ctx: &Ctx<'_, Token>, to: Port, value: i64, tag: TagId) {
 /// Fire every locally-completed join on worker's ready stack; firing can
 /// complete further joins, so loop until the stack is empty. The lock is
 /// released around each firing (firing re-enters [`emit`]).
-fn drain_ready(g: &Dfg, sh: &Shared, local: &Mutex<WorkerLocal>, ctx: &Ctx<'_, Token>) {
+fn drain_ready(sh: &Shared<'_>, local: &Mutex<WorkerLocal>, ctx: &Ctx<'_, Token>) {
     loop {
         let next = lock(local).ready.pop();
         match next {
-            Some((op, tag, [a, b])) => fire_full(g, sh, ctx, op, tag, vec![a, b]),
+            Some((k, [a, b])) => {
+                // clone() audit: fast-path joins fire off a stack pair —
+                // the old per-firing `vec![a, b]` is gone.
+                let (op, tag) = unkey(k);
+                fire(sh, ctx, op, tag, FireInputs::Full(&[a, b]));
+            }
             None => return,
         }
     }
@@ -1191,12 +1196,13 @@ fn drain_ready(g: &Dfg, sh: &Shared, local: &Mutex<WorkerLocal>, ctx: &Ctx<'_, T
 /// table like any cross-worker token — the fast path is only ever a
 /// same-batch shortcut, never a place where a token can be stranded.
 fn flush_local_pairs(local: &Mutex<WorkerLocal>, ctx: &Ctx<'_, Token>) {
-    let leftovers: Vec<((OpId, TagId), [Option<i64>; 2])> = {
+    let leftovers: Vec<(u64, [Option<i64>; 2])> = {
         let mut l = lock(local);
         debug_assert!(l.ready.is_empty(), "ready drained after every token");
         l.pairs.drain().collect()
     };
-    for ((op, tag), slot) in leftovers {
+    for (k, slot) in leftovers {
+        let (op, tag) = unkey(k);
         for (port, v) in slot.into_iter().enumerate() {
             if let Some(value) = v {
                 ctx.push(Token {
@@ -1209,12 +1215,12 @@ fn flush_local_pairs(local: &Mutex<WorkerLocal>, ctx: &Ctx<'_, Token>) {
     }
 }
 
-/// Pre-firing hooks shared by [`fire_single`] and [`fire_full`]: spend
+/// Pre-firing hooks run by [`fire`] before the shared kernel: spend
 /// one unit of fuel (recording [`MachineError::FuelExhausted`] and
 /// skipping the firing once the budget is gone) and, under chaos, maybe
 /// panic in the operator's stead. Returns `false` when the firing must
 /// not proceed.
-fn fire_admitted(sh: &Shared, ctx: &Ctx<'_, Token>, op: OpId, tag: TagId) -> bool {
+fn fire_admitted(sh: &Shared<'_>, ctx: &Ctx<'_, Token>, op: OpId, tag: TagId) -> bool {
     let prev = sh.fired.fetch_add(1, Ordering::Relaxed);
     if prev >= sh.fuel {
         sh.fail(ctx, MachineError::FuelExhausted);
@@ -1232,179 +1238,94 @@ fn fire_admitted(sh: &Shared, ctx: &Ctx<'_, Token>, op: OpId, tag: TagId) -> boo
     true
 }
 
-fn fire_single(
-    g: &Dfg,
-    sh: &Shared,
-    ctx: &Ctx<'_, Token>,
-    op: OpId,
-    tag: TagId,
-    port: usize,
-    value: i64,
-) {
-    if !fire_admitted(sh, ctx, op, tag) {
-        return;
+/// The threaded executor's side of the shared firing kernel
+/// ([`fire_op`]): operator semantics live in the kernel, once, for both
+/// backends; this engine supplies the concurrent effects — CSR-sliced
+/// emission with the fast-path pair map, atomic/striped memory, sharded
+/// tag interning, halt-by-flag.
+struct ParEngine<'a, 'b, 'g> {
+    sh: &'a Shared<'g>,
+    ctx: &'a Ctx<'b, Token>,
+}
+
+impl Engine for ParEngine<'_, '_, '_> {
+    fn emit(&mut self, op: OpId, out_port: usize, value: i64, tag: TagId) {
+        emit(self.sh, self.ctx, op, out_port, value, tag);
     }
-    match g.kind(op) {
-        OpKind::Merge => emit(sh, ctx, op, 0, value, tag),
-        OpKind::LoopEntry { loop_id } => {
-            let new_tag = if port == 0 {
-                sh.tags.child(tag, *loop_id, 0)
-            } else {
-                match sh.tags.info(tag) {
-                    Some((p, l, i)) if l == *loop_id => sh.tags.child(p, *loop_id, i + 1),
-                    other => {
-                        sh.fail(
-                            ctx,
-                            MachineError::TagMismatch {
-                                op,
-                                detail: format!("backedge token tagged {other:?}"),
-                            },
-                        );
-                        return;
-                    }
-                }
-            };
-            match new_tag {
-                Ok(t) => emit(sh, ctx, op, 0, value, t),
-                Err(e) => sh.fail(ctx, e),
-            }
-        }
-        _ => unreachable!("fire_single only for merge-like ops"),
+
+    fn halt(&mut self) {
+        // Mark completion but keep draining: workers exit when the
+        // token population reaches zero, so nothing is dropped.
+        self.sh.end_seen.store(true, Ordering::SeqCst);
+    }
+
+    fn tag_child(
+        &mut self,
+        parent: TagId,
+        loop_id: LoopId,
+        iter: u32,
+    ) -> Result<TagId, MachineError> {
+        self.sh.tags.child(parent, loop_id, iter)
+    }
+
+    fn tag_info(&self, tag: TagId) -> Option<(TagId, LoopId, u32)> {
+        self.sh.tags.info(tag)
+    }
+
+    fn read_scalar(&mut self, var: VarId) -> i64 {
+        self.sh.mem.read_scalar(&self.sh.layout, var)
+    }
+
+    fn write_scalar(&mut self, var: VarId, value: i64) {
+        self.sh.mem.write_scalar(&self.sh.layout, var, value)
+    }
+
+    fn read_element(&mut self, var: VarId, index: i64) -> Result<i64, MemError> {
+        self.sh.mem.read_element(&self.sh.layout, var, index)
+    }
+
+    fn write_element(&mut self, var: VarId, index: i64, value: i64) -> Result<(), MemError> {
+        self.sh.mem.write_element(&self.sh.layout, var, index, value)
+    }
+
+    fn ist_read(
+        &mut self,
+        var: VarId,
+        index: i64,
+        op: OpId,
+        tag: TagId,
+    ) -> Result<Option<i64>, MemError> {
+        // Deferral accounting happens inside ParMemory (note_deferred).
+        self.sh.mem.ist_read(&self.sh.layout, var, index, (op, tag))
+    }
+
+    fn ist_write(
+        &mut self,
+        var: VarId,
+        index: i64,
+        value: i64,
+    ) -> Result<Vec<DeferredRead<(OpId, TagId)>>, MemError> {
+        self.sh.mem.ist_write(&self.sh.layout, var, index, value)
+    }
+
+    fn macro_fired(&mut self, elided: u64) {
+        self.sh.macro_fires.fetch_add(1, Ordering::Relaxed);
+        self.sh.ops_elided.fetch_add(elided, Ordering::Relaxed);
     }
 }
 
-fn fire_full(
-    g: &Dfg,
-    sh: &Shared,
-    ctx: &Ctx<'_, Token>,
-    op: OpId,
-    tag: TagId,
-    vals: Vec<i64>,
-) {
+/// Fire one operator through the shared kernel: admission (fuel, chaos
+/// panic, trace ring) first, then [`fire_op`] with this executor's
+/// engine; a kernel error becomes the run's recorded failure.
+fn fire(sh: &Shared<'_>, ctx: &Ctx<'_, Token>, op: OpId, tag: TagId, inputs: FireInputs<'_>) {
     if !fire_admitted(sh, ctx, op, tag) {
         return;
     }
-    match g.kind(op) {
-        OpKind::Start => unreachable!("Start never fires"),
-        OpKind::End { .. } => {
-            // Mark completion but keep draining: workers exit when the
-            // token population reaches zero, so nothing is dropped.
-            sh.end_seen.store(true, Ordering::SeqCst);
-        }
-        OpKind::Unary { op: u } => emit(sh, ctx, op, 0, u.eval(vals[0]), tag),
-        OpKind::Binary { op: b } => emit(sh, ctx, op, 0, b.eval(vals[0], vals[1]), tag),
-        OpKind::Switch => {
-            let out = if vals[1] != 0 { 0 } else { 1 };
-            emit(sh, ctx, op, out, vals[0], tag);
-        }
-        OpKind::CaseSwitch { arms } => {
-            let sel = vals[1];
-            let out = if sel >= 0 && (sel as u64) < u64::from(*arms) - 1 {
-                sel as usize
-            } else {
-                *arms as usize - 1
-            };
-            emit(sh, ctx, op, out, vals[0], tag);
-        }
-        OpKind::Synch { .. } => emit(sh, ctx, op, 0, 0, tag),
-        OpKind::Identity | OpKind::Gate => emit(sh, ctx, op, 0, vals[0], tag),
-        OpKind::Macro { steps, .. } => {
-            // One firing evaluates the fused chain's whole micro-program:
-            // no interior tokens, rendezvous slots, or scheduler trips.
-            sh.macro_fires.fetch_add(1, Ordering::Relaxed);
-            sh.ops_elided
-                .fetch_add(steps.len() as u64 - 1, Ordering::Relaxed);
-            emit(sh, ctx, op, 0, cf2df_dfg::macro_eval(steps, &vals), tag);
-        }
-        OpKind::Load { var } => {
-            let v = sh.mem.read_scalar(&sh.layout, *var);
-            emit(sh, ctx, op, 0, v, tag);
-            emit(sh, ctx, op, 1, 0, tag);
-        }
-        OpKind::Store { var } => {
-            sh.mem.write_scalar(&sh.layout, *var, vals[0]);
-            emit(sh, ctx, op, 0, 0, tag);
-        }
-        OpKind::LoadIdx { var } => {
-            match sh.mem.read_element(&sh.layout, *var, vals[0]) {
-                Ok(v) => {
-                    emit(sh, ctx, op, 0, v, tag);
-                    emit(sh, ctx, op, 1, 0, tag);
-                }
-                Err(e) => sh.fail(ctx, e.into()),
-            }
-        }
-        OpKind::StoreIdx { var } => {
-            match sh.mem.write_element(&sh.layout, *var, vals[0], vals[1]) {
-                Ok(()) => emit(sh, ctx, op, 0, 0, tag),
-                Err(e) => sh.fail(ctx, e.into()),
-            }
-        }
-        OpKind::IstLoad { var } => {
-            match sh.mem.ist_read(&sh.layout, *var, vals[0], (op, tag)) {
-                Ok(Some(v)) => emit(sh, ctx, op, 0, v, tag),
-                Ok(None) => {} // deferred; released by the write
-                Err(e) => sh.fail(ctx, e.into()),
-            }
-        }
-        OpKind::IstStore { var } => {
-            let value = vals[1];
-            match sh.mem.ist_write(&sh.layout, *var, vals[0], value) {
-                Ok(released) => {
-                    emit(sh, ctx, op, 0, 0, tag);
-                    for d in released {
-                        let (ld_op, ld_tag) = d.ctx;
-                        emit(sh, ctx, ld_op, 0, value, ld_tag);
-                    }
-                }
-                Err(e) => sh.fail(ctx, e.into()),
-            }
-        }
-        OpKind::LoopExit { loop_id } => match sh.tags.info(tag) {
-            Some((p, l, _)) if l == *loop_id => emit(sh, ctx, op, 0, vals[0], p),
-            other => sh.fail(
-                ctx,
-                MachineError::TagMismatch {
-                    op,
-                    detail: format!("exit token tagged {other:?}"),
-                },
-            ),
-        },
-        OpKind::PrevIter { loop_id } => match sh.tags.info(tag) {
-            Some((p, l, i)) if l == *loop_id && i > 0 => {
-                match sh.tags.child(p, *loop_id, i - 1) {
-                    Ok(nt) => emit(sh, ctx, op, 0, vals[0], nt),
-                    Err(e) => sh.fail(ctx, e),
-                }
-            }
-            other => sh.fail(
-                ctx,
-                MachineError::TagMismatch {
-                    op,
-                    detail: format!("prev-iter token tagged {other:?}"),
-                },
-            ),
-        },
-        OpKind::IterIndex { loop_id } => match sh.tags.info(tag) {
-            Some((_, l, i)) if l == *loop_id => emit(sh, ctx, op, 0, i as i64, tag),
-            other => sh.fail(
-                ctx,
-                MachineError::TagMismatch {
-                    op,
-                    detail: format!("iter-index token tagged {other:?}"),
-                },
-            ),
-        },
-        OpKind::LoopSwitch { .. } => {
-            // One compound firing replaces the fused loop-entry's separate
-            // firing and output token (the data value was retagged at
-            // deposit time), then steers like the fused switch.
-            sh.macro_fires.fetch_add(1, Ordering::Relaxed);
-            sh.ops_elided.fetch_add(1, Ordering::Relaxed);
-            let out = if vals[1] != 0 { 0 } else { 1 };
-            emit(sh, ctx, op, out, vals[0], tag);
-        }
-        OpKind::Merge | OpKind::LoopEntry { .. } => unreachable!("merge-like"),
+    // clone() audit: the per-firing `g.kind(op).clone()` is gone — the
+    // kernel reads a 24-byte Copy descriptor from the compiled table.
+    let mut eng = ParEngine { sh, ctx };
+    if let Err(e) = fire_op(sh.cg, op, tag, inputs, &mut eng) {
+        sh.fail(ctx, e);
     }
 }
 
@@ -1413,6 +1334,7 @@ mod tests {
     use super::*;
     use cf2df_cfg::{BinOp, VarTable};
     use cf2df_dfg::graph::ArcKind;
+    use cf2df_dfg::OpKind;
 
     #[test]
     fn threaded_matches_simulator_on_straight_line() {

@@ -7,8 +7,8 @@
 //! rendezvous only with tokens carrying the *same* tag, so different
 //! iterations — and different loops — never interfere.
 
+use crate::hash::FxHashMap;
 use cf2df_cfg::LoopId;
-use std::collections::HashMap;
 
 /// A dense index identifying an iteration context.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -44,7 +44,10 @@ struct Ctx {
 #[derive(Debug)]
 pub struct TagTable {
     ctxs: Vec<Option<Ctx>>,
-    intern: HashMap<(TagId, LoopId, u32), TagId>,
+    /// Interner on the vendored integer hasher ([`crate::hash`]): the
+    /// `(parent, loop, iter)` keys are small dense integers from the
+    /// program itself, so SipHash's DoS resistance buys nothing here.
+    intern: FxHashMap<(TagId, LoopId, u32), TagId>,
 }
 
 impl Default for TagTable {
@@ -58,7 +61,7 @@ impl TagTable {
     pub fn new() -> TagTable {
         TagTable {
             ctxs: vec![None],
-            intern: HashMap::new(),
+            intern: FxHashMap::default(),
         }
     }
 

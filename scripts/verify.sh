@@ -50,13 +50,29 @@ target/release/cf2df check-bench \
 echo "==> bench regression gate: compare against committed quick baselines"
 # Fails on schema errors, >25% wall-clock regression (median, with a
 # 10 µs absolute floor), or any increase in deterministic counters
-# (for translate: analyses computed per run).
+# (for translate: analyses computed per run). The executor artifact
+# additionally passes the compiled-graph acceptance gate: loop_nest
+# wall-clock medians (compile, simulator, and every worker width) must
+# be at or below the committed quick baseline modulo a 20% jitter
+# allowance — the dense runtime representation has to pay for itself,
+# not just avoid a 25% regression. Because the gated medians sit inside
+# scheduler jitter on a loaded single-core host, a breach triggers one
+# fresh re-measurement before it counts: a real regression fails both
+# runs, a scheduling hiccup does not.
 target/release/cf2df check-bench \
     target/bench-smoke/BENCH_pipeline.json \
     --compare BENCH_pipeline.quick.json
-target/release/cf2df check-bench \
+if ! target/release/cf2df check-bench \
     target/bench-smoke/BENCH_executor.json \
-    --compare BENCH_executor.quick.json
+    --compare BENCH_executor.quick.json \
+    --require-wall-leq loop_nest; then
+    echo "    executor gate breached; re-measuring once to rule out scheduler noise"
+    target/release/cf2df bench --quick --out-dir target/bench-smoke-retry
+    target/release/cf2df check-bench \
+        target/bench-smoke-retry/BENCH_executor.json \
+        --compare BENCH_executor.quick.json \
+        --require-wall-leq loop_nest
+fi
 target/release/cf2df check-bench \
     target/bench-smoke/BENCH_translate.json \
     --compare BENCH_translate.quick.json

@@ -8,12 +8,14 @@
 //! cf2df run-graph  <file.dfg> [MACHINE]
 //! cf2df run        <file.imp> [SCHEMA] [TRANSFORMS] [MACHINE] [--trace]
 //! cf2df compare    <file.imp> [MACHINE]
+//! cf2df stats      <file.imp> [SCHEMA] [TRANSFORMS]
 //! cf2df validate   <file.imp|file.dfg|corpus> [SCHEMA] [TRANSFORMS]
 //!                  [--json] [--mutations] [--seeds <n>]
 //! cf2df bench      [--quick] [--out-dir <dir>] [--no-fuse]
 //! cf2df check-bench <artifact.json> [<artifact.json>…]
 //!                   [--compare <old.json>] [--tolerance <frac>]
 //!                   [--min-token-reduction <frac>:<workload-prefix>]
+//!                   [--require-wall-leq <workload-prefix>]
 //! cf2df fuse-check [--workers <n>]
 //! cf2df chaos      [--quick] [--seeds <n>] [--workers <a,b,…>]
 //!                  [--programs <p1,p2,…>] [--fuel <n>] [--watchdog-ms <n>]
@@ -66,7 +68,16 @@
 //! against the old baseline and fails on wall-clock regressions beyond
 //! the tolerance (default 0.25 = 25%, plus a 10 µs absolute floor) or on
 //! any increase in deterministic counters (fired, makespan,
-//! tokens_processed).
+//! tokens_processed). `--require-wall-leq PREFIX` additionally demands
+//! that every wall-clock median on workloads matching PREFIX is at or
+//! below the baseline's, modulo a 20% jitter allowance (tighter than
+//! the regression tolerance) — the compiled-graph acceptance gate.
+//!
+//! `stats` translates a program, lowers the certified graph to the dense
+//! compiled runtime representation shared by both executors, and prints
+//! its static footprint: table sizes (operator descriptors, destination
+//! slots, immediates, macro micro-programs), total bytes, and the widest
+//! hot-operator arity against the executors' inline rendezvous capacity.
 //!
 //! `fuse-check` is the macro-op fusion equivalence gate: every corpus
 //! program is translated fused and unfused under each schema, both
@@ -774,6 +785,10 @@ fn main() {
             });
             (frac, prefix.to_owned())
         });
+        // `--require-wall-leq PREFIX` — with --compare, demand that
+        // every wall-clock median on workloads matching PREFIX is at or
+        // below the baseline's (the compiled-graph acceptance gate).
+        let wall_leq = args.value("--require-wall-leq");
         if args.rest.is_empty() {
             usage();
         }
@@ -812,6 +827,16 @@ fn main() {
                     "token-reduction gate: '{prefix}' workloads improved >= {:.0}%",
                     frac * 100.0
                 );
+            }
+            if let Some(prefix) = &wall_leq {
+                let violations = cmp.require_wall_leq(prefix);
+                if !violations.is_empty() {
+                    for v in &violations {
+                        eprintln!("wall-ceiling gate: {v}");
+                    }
+                    exit(1)
+                }
+                println!("wall-ceiling gate: '{prefix}' medians at or below baseline");
             }
             let regressions = cmp.regressions();
             if regressions.is_empty() {
@@ -944,6 +969,31 @@ fn main() {
                     println!("  {} = {:?}", t.cfg.vars.name(v), shown);
                 }
             }
+        }
+        "stats" => {
+            let opts = parse_schema(&mut args);
+            let t = translate(&parsed.cfg, &parsed.alias, &opts).unwrap_or_else(|e| {
+                eprintln!("translation error: {e}");
+                exit(1)
+            });
+            let cg = cf2df::machine::compile(&t.dfg).unwrap_or_else(|e| {
+                eprintln!("compile error: {e}");
+                exit(1)
+            });
+            let f = cg.footprint();
+            println!("{}", t.stats.summary());
+            println!("compiled footprint:");
+            println!("  operator descriptors {:>8}", f.ops);
+            println!("  output ports         {:>8}", f.out_ports);
+            println!("  destination slots    {:>8}", f.dest_slots);
+            println!("  immediate slots      {:>8}", f.imm_slots);
+            println!("  macro steps          {:>8}", f.macro_steps);
+            println!("  table bytes          {:>8}", f.bytes);
+            println!(
+                "  max hot arity        {:>8}  (inline capacity {})",
+                cg.max_hot_arity(),
+                cf2df::machine::compiled::INLINE_VALS
+            );
         }
         "compare" => {
             let mc = parse_machine(&mut args);

@@ -197,6 +197,40 @@ fn check_bench_compare_gates_regressions() {
     ]);
     assert!(ok, "{stdout} {stderr}");
     assert!(stdout.contains("wall_ns"), "{stdout}");
+
+    // The compiled-graph wall ceiling: identical medians pass, a
+    // prefix matching no workload fails loudly.
+    let (stdout, stderr, ok) = cf2df(&[
+        "check-bench",
+        executor_s,
+        "--compare",
+        executor_s,
+        "--require-wall-leq",
+        "loop_nest",
+    ]);
+    assert!(ok, "{stdout} {stderr}");
+    assert!(stdout.contains("wall-ceiling gate"), "{stdout}");
+    let (stdout, stderr, ok) = cf2df(&[
+        "check-bench",
+        executor_s,
+        "--compare",
+        executor_s,
+        "--require-wall-leq",
+        "no_such_workload",
+    ]);
+    assert!(!ok, "{stdout}");
+    assert!(stderr.contains("wall-ceiling gate"), "{stderr}");
+}
+
+#[test]
+fn stats_prints_compiled_footprint() {
+    let (stdout, stderr, ok) = cf2df(&["stats", "stencil", "--full"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("compiled footprint"), "{stdout}");
+    for field in ["operator descriptors", "destination slots", "table bytes", "max hot arity"] {
+        assert!(stdout.contains(field), "{stdout}");
+    }
+    assert!(stdout.contains("inline capacity"), "{stdout}");
 }
 
 #[test]

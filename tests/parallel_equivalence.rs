@@ -132,6 +132,75 @@ fn fused_runs_match_unfused_across_the_corpus() {
     assert!(elided_total > 0, "no corpus graph actually fused — vacuous test");
 }
 
+/// Compile-once is execution-invisible: lowering a certified graph to
+/// the dense [`cf2df::machine::CompiledGraph`] once and reusing it —
+/// through both the simulator's and the threaded executor's compiled
+/// entry points, across programs × schemas × 1/2/4/8 workers, fused and
+/// unfused — produces exactly what the one-shot (compile-inside) entry
+/// points produce.
+#[test]
+fn compiled_graphs_match_one_shot_runs_across_the_corpus() {
+    use cf2df::machine::parallel::{run_threaded_compiled_pooled_with, ExecutorPool, ParConfig};
+    use cf2df::machine::{compile, run_compiled, run_threaded_compiled};
+
+    let schemas = [
+        ("schema2-unfused", TranslateOptions::schema2().with_fuse(false)),
+        ("schema2-fused", TranslateOptions::schema2().with_fuse(true)),
+        (
+            "schema3-fused",
+            TranslateOptions::schema3(cf2df::cfg::CoverStrategy::Singletons).with_fuse(true),
+        ),
+        ("full", TranslateOptions::full_parallel_schema3()),
+    ];
+    for (label, opts) in &schemas {
+        for (name, src) in cf2df::lang::corpus::all() {
+            let parsed = parse_to_cfg(src).unwrap();
+            let t = match translate(&parsed.cfg, &parsed.alias, opts) {
+                Ok(t) => t,
+                Err(_) => continue,
+            };
+            let layout = MemLayout::distinct(&t.cfg.vars);
+            let cg = compile(&t.dfg)
+                .unwrap_or_else(|e| panic!("{label}/{name}: compile failed: {e:?}"));
+            let seed = run(&t.dfg, &layout, MachineConfig::unbounded())
+                .unwrap_or_else(|e| panic!("{label}/{name}: one-shot simulator failed: {e:?}"));
+            // Same CompiledGraph reused for every run below.
+            for round in 0..2 {
+                let sim = run_compiled(&cg, &layout, MachineConfig::unbounded()).unwrap();
+                assert_eq!(sim.memory, seed.memory, "{label}/{name} round {round}");
+                assert_eq!(sim.ist_memory, seed.ist_memory, "{label}/{name}");
+                assert_eq!(sim.stats, seed.stats, "{label}/{name} round {round}");
+            }
+            for workers in WORKERS {
+                let par = run_threaded_compiled(&cg, &layout, workers).unwrap_or_else(|e| {
+                    panic!("{label}/{name} at {workers} workers: {e:?}")
+                });
+                assert_eq!(
+                    par.memory, seed.memory,
+                    "{label}/{name}: compiled-threaded memory diverged at {workers} workers"
+                );
+                assert_eq!(
+                    par.ist_memory, seed.ist_memory,
+                    "{label}/{name}: I-structures diverged at {workers} workers"
+                );
+                assert_eq!(
+                    par.fired, seed.stats.fired,
+                    "{label}/{name}: fired diverged at {workers} workers"
+                );
+            }
+            // Pooled compiled entry point: one pool, repeated reuse.
+            let pool = ExecutorPool::new(2);
+            for round in 0..2 {
+                let (res, _m, _t) =
+                    run_threaded_compiled_pooled_with(&cg, &layout, &pool, &ParConfig::default());
+                let par = res.unwrap();
+                assert_eq!(par.memory, seed.memory, "{label}/{name} pooled round {round}");
+                assert_eq!(par.fired, seed.stats.fired, "{label}/{name} pooled");
+            }
+        }
+    }
+}
+
 /// Repeated runs at the widest width: schedule nondeterminism must
 /// never leak into results (a smoke test for rendezvous/tag races).
 #[test]
