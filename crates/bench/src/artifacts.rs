@@ -13,7 +13,11 @@
 //! * `BENCH_translate.json` — wall-clock time of the translation
 //!   pipeline itself per workload per configuration, plus the pass
 //!   manager's deterministic counters (passes run, CFG revisions,
-//!   analyses computed vs. cache hits, output graph size).
+//!   analyses computed vs. cache hits, output graph size);
+//! * `BENCH_throughput.json` — requests per second of the multiplexed
+//!   serve engine ([`cf2df_machine::serve`]) at every worker count ×
+//!   admission-window level, against a back-to-back serial baseline on
+//!   the same pool.
 //!
 //! All are emitted through [`crate::json`] and checked by the
 //! [`validate_artifact`] schema validator: every required field must be
@@ -30,13 +34,19 @@ use crate::workloads;
 use cf2df_cfg::MemLayout;
 use cf2df_core::pipeline::{translate, TranslateOptions};
 use cf2df_machine::{
-    compile, run_compiled, run_threaded_compiled_pooled_with, CompiledGraph, ExecutorPool,
-    MachineConfig, ParConfig,
+    compile, run_compiled, run_concurrent, run_threaded_compiled_pooled_with, CompiledGraph,
+    ExecutorPool, MachineConfig, ParConfig,
 };
 use std::time::Duration;
 
 /// Worker counts the executor artifact sweeps.
 pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Admission-window (inflight-invocation) levels the throughput artifact
+/// sweeps. Level 1 is measured as a back-to-back loop of ordinary pooled
+/// runs — the honest serial baseline the multiplexed levels are judged
+/// against — not as a serve session with a window of one.
+pub const INFLIGHT_LEVELS: [usize; 3] = [1, 4, 16];
 
 /// Current artifact schema version. Version 2 added `p95_ns` to every
 /// wall-clock stats block and, on the executor artifact,
@@ -53,9 +63,15 @@ pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// entry gains `compile_wall_ns` (wall-clock stats of the lowering
 /// itself) plus a `compiled` footprint block (`ops`, `out_ports`,
 /// `dest_slots`, `imm_slots`, `macro_steps`, `bytes`, `max_hot_arity`).
-/// [`validate_artifact`] still accepts version-1/-2/-3 documents so old
-/// committed baselines keep validating.
-pub const SCHEMA_VERSION: u64 = 4;
+/// Version 5 adds the *throughput* artifact (`BENCH_throughput.json`):
+/// requests-per-second of the tag-space-multiplexed serve engine
+/// ([`cf2df_machine::serve`]) at [`WORKER_COUNTS`] ×
+/// [`INFLIGHT_LEVELS`], each arm judged against the back-to-back serial
+/// baseline on the same pool. The three existing artifact kinds are
+/// structurally unchanged by v5. [`validate_artifact`] still accepts
+/// version-1 through -4 documents so old committed baselines keep
+/// validating.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// The canonical workload suite, sized for `quick` (CI smoke) or full
 /// (trajectory baseline) mode.
@@ -430,6 +446,198 @@ pub fn translate_artifact(quick: bool, fuse: bool) -> Result<String, String> {
 }
 
 // ---------------------------------------------------------------------
+// BENCH_throughput.json
+// ---------------------------------------------------------------------
+
+/// Requests per timed batch of the throughput artifact. Each wall-clock
+/// sample covers one whole batch; `req_per_sec` is derived from the
+/// median batch time.
+fn throughput_requests(quick: bool) -> usize {
+    if quick {
+        8
+    } else {
+        32
+    }
+}
+
+/// Workloads for the request-throughput artifact: deliberately *small*
+/// graphs. A short program exposes little intra-request parallelism, so
+/// a multi-worker pool starves running one request at a time — these
+/// are exactly the workloads where admitting several invocations into
+/// the shared tag space should pay, and where the acceptance gate
+/// ([`crate::compare::require_inflight_speedup`]) demands it does.
+fn throughput_suite(quick: bool) -> Vec<(&'static str, String)> {
+    if quick {
+        vec![
+            ("dependence_chain", workloads::dependence_chain(8)),
+            ("diamond_ladder", workloads::diamond_ladder(3)),
+            ("read_fanout", workloads::read_fanout(6)),
+        ]
+    } else {
+        vec![
+            ("dependence_chain", workloads::dependence_chain(16)),
+            ("diamond_ladder", workloads::diamond_ladder(4)),
+            ("read_fanout", workloads::read_fanout(8)),
+        ]
+    }
+}
+
+/// Render the throughput artifact: requests-per-second of
+/// [`cf2df_machine::serve`] per small workload at [`WORKER_COUNTS`] ×
+/// [`INFLIGHT_LEVELS`]. The inflight-1 arm is a back-to-back loop of
+/// ordinary pooled runs on the same [`ExecutorPool`] — the serial
+/// baseline every multiplexed arm's `speedup_vs_inflight1` is measured
+/// against. All arms are benchmarked *paired* so machine drift cannot
+/// masquerade as a multiplexing difference, and every arm first runs an
+/// untimed verification batch whose results must match the
+/// deterministic simulator.
+pub fn throughput_artifact(quick: bool, fuse: bool) -> Result<String, String> {
+    let mut t = timer(quick);
+    let requests = throughput_requests(quick);
+    let pools: Vec<ExecutorPool> = WORKER_COUNTS.iter().map(|&w| ExecutorPool::new(w)).collect();
+    let levels = INFLIGHT_LEVELS.len();
+    let base_ki = INFLIGHT_LEVELS.iter().position(|&k| k == 1).expect("inflight 1 is swept");
+    let mut entries = Vec::new();
+    for (name, src) in throughput_suite(quick) {
+        let parsed = cf2df_lang::parse_to_cfg(&src)
+            .map_err(|e| format!("workload {name} failed to parse: {e}"))?;
+        let tr = translate(
+            &parsed.cfg,
+            &parsed.alias,
+            &TranslateOptions::full_parallel_schema3().with_fuse(fuse),
+        )
+        .map_err(|e| format!("workload {name} failed to translate: {e}"))?;
+        let layout = MemLayout::distinct(&tr.cfg.vars);
+        let cg = compile(&tr.dfg)
+            .map_err(|e| format!("workload {name}: compile fault: {e}"))?;
+        let sim = run_compiled(&cg, &layout, MachineConfig::unbounded())
+            .map_err(|e| format!("workload {name}: simulator fault: {e}"))?;
+        let par_cfg = ParConfig::default();
+
+        // Verification pass (untimed): every arm runs one full batch;
+        // each request's final memory must match the simulator, and the
+        // chaos layer must be provably dormant. Token traffic is
+        // deterministic, so it is recorded here, outside the timed
+        // region.
+        let mut tokens = vec![0u64; WORKER_COUNTS.len() * levels];
+        for (wi, (pool, &workers)) in pools.iter().zip(WORKER_COUNTS.iter()).enumerate() {
+            for (ki, &inflight) in INFLIGHT_LEVELS.iter().enumerate() {
+                let ctx = format!("workload {name} at {workers} workers / inflight {inflight}");
+                if inflight == 1 {
+                    let mut total = 0u64;
+                    for _ in 0..requests {
+                        let (res, _, _) =
+                            run_threaded_compiled_pooled_with(&cg, &layout, pool, &par_cfg);
+                        let out = res.map_err(|e| format!("{ctx}: {e}"))?;
+                        if out.memory != sim.memory {
+                            return Err(format!("{ctx}: memory diverges from simulator"));
+                        }
+                        if out.metrics.chaos.total() != 0 {
+                            return Err(format!("{ctx}: chaos faults on an ordinary run"));
+                        }
+                        total += out.metrics.tokens_processed;
+                    }
+                    tokens[wi * levels + ki] = total;
+                } else {
+                    let (results, stats) =
+                        run_concurrent(&cg, &layout, pool, inflight, &par_cfg, requests);
+                    for res in results {
+                        let out = res.map_err(|e| format!("{ctx}: {e}"))?;
+                        if out.memory != sim.memory {
+                            return Err(format!("{ctx}: memory diverges from simulator"));
+                        }
+                    }
+                    if stats.completed_ok != requests as u64 {
+                        return Err(format!(
+                            "{ctx}: {} of {requests} requests completed",
+                            stats.completed_ok
+                        ));
+                    }
+                    if stats.chaos.total() != 0 {
+                        return Err(format!("{ctx}: chaos faults on an ordinary run"));
+                    }
+                    tokens[wi * levels + ki] = stats.tokens_processed;
+                }
+            }
+        }
+
+        // Timed pass: every (workers, inflight) arm paired. One closure
+        // invocation = one whole batch of `requests` requests.
+        let mut labels = Vec::new();
+        let mut closures: Vec<Box<dyn FnMut() + '_>> = Vec::new();
+        for (pool, &workers) in pools.iter().zip(WORKER_COUNTS.iter()) {
+            for &inflight in &INFLIGHT_LEVELS {
+                labels.push(format!("{name}/throughput/{workers}w/{inflight}in"));
+                let (cg, layout, par_cfg) = (&cg, &layout, &par_cfg);
+                closures.push(Box::new(move || {
+                    if inflight == 1 {
+                        for _ in 0..requests {
+                            let (res, _, _) =
+                                run_threaded_compiled_pooled_with(cg, layout, pool, par_cfg);
+                            std::hint::black_box(res.unwrap().fired);
+                        }
+                    } else {
+                        let (results, _) =
+                            run_concurrent(cg, layout, pool, inflight, par_cfg, requests);
+                        for r in results {
+                            std::hint::black_box(r.unwrap().fired);
+                        }
+                    }
+                }) as Box<dyn FnMut() + '_>);
+            }
+        }
+        let mut arms: Vec<(&str, &mut dyn FnMut())> = labels
+            .iter()
+            .map(|l| l.as_str())
+            .zip(closures.iter_mut().map(|c| &mut **c as &mut dyn FnMut()))
+            .collect();
+        let walls = t.bench_paired(&mut arms, Duration::from_millis(150));
+
+        let mut arms_json = Vec::new();
+        for (wi, &workers) in WORKER_COUNTS.iter().enumerate() {
+            let base_median = walls[wi * levels + base_ki].median_ns;
+            for (ki, &inflight) in INFLIGHT_LEVELS.iter().enumerate() {
+                let wall = &walls[wi * levels + ki];
+                let rps = requests as f64 * 1e9 / wall.median_ns;
+                let mut o = Obj::new();
+                o.num("workers", workers as u64)
+                    .num("inflight", inflight as u64)
+                    .num("requests", requests as u64)
+                    .raw("wall_ns", &stats_json(wall))
+                    .float("req_per_sec", rps)
+                    .float("speedup_vs_inflight1", base_median / wall.median_ns)
+                    .num("tokens_processed", tokens[wi * levels + ki]);
+                arms_json.push(o.finish());
+            }
+        }
+
+        let mut o = Obj::new();
+        o.str("name", name)
+            .num("fired", sim.stats.fired)
+            .raw("arms", &json::array(arms_json));
+        entries.push(o.finish());
+    }
+    let mut doc = Obj::new();
+    doc.str("artifact", "throughput")
+        .num("schema_version", SCHEMA_VERSION)
+        .bool("quick", quick)
+        .bool("fused", fuse)
+        .num("requests", requests as u64)
+        .raw(
+            "worker_counts",
+            &json::array(WORKER_COUNTS.iter().map(|w| w.to_string())),
+        )
+        .raw(
+            "inflight_levels",
+            &json::array(INFLIGHT_LEVELS.iter().map(|k| k.to_string())),
+        )
+        .raw("workloads", &json::array(entries));
+    let text = doc.finish();
+    validate_artifact(&text)?;
+    Ok(text)
+}
+
+// ---------------------------------------------------------------------
 // Validation
 // ---------------------------------------------------------------------
 
@@ -650,6 +858,60 @@ fn validate_translate_value(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn validate_throughput_value(doc: &Json) -> Result<(), String> {
+    let version = schema_version(doc, "throughput")?;
+    if version < 5 {
+        return Err(format!(
+            "throughput: artifact kind requires schema_version >= 5, got {version}"
+        ));
+    }
+    if req_num(doc, "throughput", "requests")? < 1.0 {
+        return Err("throughput: zero requests per batch".to_owned());
+    }
+    let num_list = |key: &str| -> Result<Vec<f64>, String> {
+        req_arr(doc, "throughput", key)?
+            .iter()
+            .map(|c| {
+                c.as_num()
+                    .ok_or_else(|| format!("throughput: {key} entry is not a number"))
+            })
+            .collect()
+    };
+    let counts = num_list("worker_counts")?;
+    let levels = num_list("inflight_levels")?;
+    for (wi, w) in req_arr(doc, "throughput", "workloads")?.iter().enumerate() {
+        let name = req_str(w, &format!("workloads[{wi}]"), "name")?.to_owned();
+        req_num(w, &name, "fired")?;
+        let arms = req_arr(w, &name, "arms")?;
+        for c in &counts {
+            for l in &levels {
+                if !arms.iter().any(|a| {
+                    a.get("workers").and_then(Json::as_num) == Some(*c)
+                        && a.get("inflight").and_then(Json::as_num) == Some(*l)
+                }) {
+                    return Err(format!("{name}: no arm for {c} workers / inflight {l}"));
+                }
+            }
+        }
+        for a in arms {
+            let workers = req_num(a, &name, "workers")?;
+            let inflight = req_num(a, &name, "inflight")?;
+            let ctx = format!("{name}.arms[{workers}w/{inflight}in]");
+            check_stats(req(a, &ctx, "wall_ns")?, &format!("{ctx}.wall_ns"), version)?;
+            for key in ["requests", "tokens_processed"] {
+                req_num(a, &ctx, key)?;
+            }
+            if req_num(a, &ctx, "req_per_sec")? <= 0.0 {
+                return Err(format!("{ctx}: req_per_sec must be positive"));
+            }
+            if req_num(a, &ctx, "speedup_vs_inflight1")? <= 0.0 {
+                return Err(format!("{ctx}: speedup_vs_inflight1 must be positive"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Validate a bench artifact: well-formed JSON, a recognized `artifact`
 /// kind, every required field present, every numeric field finite.
 pub fn validate_artifact(text: &str) -> Result<(), String> {
@@ -658,6 +920,7 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
         Some("pipeline") => validate_pipeline_value(&doc),
         Some("executor") => validate_executor_value(&doc),
         Some("translate") => validate_translate_value(&doc),
+        Some("throughput") => validate_throughput_value(&doc),
         other => Err(format!("unrecognized artifact kind {other:?}")),
     }
 }
@@ -750,6 +1013,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn quick_throughput_artifact_validates_and_sweeps_arms() {
+        let doc = throughput_artifact(true, true).unwrap();
+        validate_artifact(&doc).unwrap();
+        let v = json::parse(&doc).unwrap();
+        assert_eq!(v.get("artifact").unwrap().as_str(), Some("throughput"));
+        let workloads = v.get("workloads").unwrap().as_arr().unwrap();
+        assert!(workloads.len() >= 2, "the acceptance gate needs >= 2 workloads");
+        for w in workloads {
+            let arms = w.get("arms").unwrap().as_arr().unwrap();
+            assert_eq!(arms.len(), WORKER_COUNTS.len() * INFLIGHT_LEVELS.len());
+            for a in arms {
+                let rps = a.get("req_per_sec").unwrap().as_num().unwrap();
+                assert!(rps > 0.0);
+                let speedup = a.get("speedup_vs_inflight1").unwrap().as_num().unwrap();
+                assert!(speedup > 0.0);
+                // The inflight-1 arm is its own baseline by construction.
+                if a.get("inflight").unwrap().as_num() == Some(1.0) {
+                    assert_eq!(speedup, 1.0);
+                }
+                assert!(a.get("tokens_processed").unwrap().as_num().unwrap() > 0.0);
+            }
+        }
+        // A throughput document claiming a pre-v5 schema is rejected:
+        // the artifact kind did not exist before version 5.
+        let v4 = doc.replace("\"schema_version\":5", "\"schema_version\":4");
+        let err = validate_artifact(&v4).unwrap_err();
+        assert!(err.contains("requires schema_version >= 5"), "{err}");
     }
 
     #[test]

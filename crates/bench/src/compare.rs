@@ -377,6 +377,135 @@ fn compare_translate(
     Ok(())
 }
 
+fn compare_throughput(
+    old: &Json,
+    new: &Json,
+    tolerance: f64,
+    out: &mut Comparison,
+) -> Result<(), String> {
+    let old_rows = by_name(old, "old throughput")?;
+    let new_rows = by_name(new, "new throughput")?;
+    for (name, nw) in &new_rows {
+        let Some(ow) = lookup(&old_rows, name) else {
+            out.unmatched.push(format!("{name} (new only)"));
+            continue;
+        };
+        let olds = ow.get("arms").and_then(Json::as_arr).unwrap_or(&[]);
+        let news = nw.get("arms").and_then(Json::as_arr).unwrap_or(&[]);
+        for na in news {
+            let workers = na.get("workers").and_then(Json::as_num).unwrap_or(-1.0);
+            let inflight = na.get("inflight").and_then(Json::as_num).unwrap_or(-1.0);
+            let Some(oa) = olds.iter().find(|a| {
+                a.get("workers").and_then(Json::as_num) == Some(workers)
+                    && a.get("inflight").and_then(Json::as_num) == Some(inflight)
+            }) else {
+                continue;
+            };
+            let ctx = format!("{name}/throughput/{workers}w/{inflight}in");
+            // Throughput is a rate, so the regression sense is inverted
+            // — new below old flags — but the *gate* is computed on the
+            // underlying batch wall medians, so the relative tolerance
+            // and the absolute nanosecond floor apply exactly as they
+            // do to every other wall-clock comparison.
+            let o_wall = wall_median(
+                oa.get("wall_ns").ok_or_else(|| format!("old {ctx}: no wall_ns"))?,
+                &format!("old {ctx}"),
+            )?;
+            let n_wall = wall_median(
+                na.get("wall_ns").ok_or_else(|| format!("new {ctx}: no wall_ns"))?,
+                &format!("new {ctx}"),
+            )?;
+            if let (Some(o), Some(n)) = (
+                oa.get("req_per_sec").and_then(Json::as_num),
+                na.get("req_per_sec").and_then(Json::as_num),
+            ) {
+                out.deltas.push(Delta {
+                    what: format!("{ctx} req_per_sec"),
+                    old: o,
+                    new: n,
+                    regressed: wall_regressed(o_wall, n_wall, tolerance),
+                });
+            }
+            // Token traffic through the multiplexed rendezvous store is
+            // deterministic per batch: a silent increase means the serve
+            // engine started pushing more tokens per request.
+            if let (Some(o), Some(n)) = (
+                oa.get("tokens_processed").and_then(Json::as_num),
+                na.get("tokens_processed").and_then(Json::as_num),
+            ) {
+                out.deltas.push(Delta {
+                    what: format!("{ctx} tokens_processed"),
+                    old: o,
+                    new: n,
+                    regressed: n > o,
+                });
+            }
+        }
+    }
+    for (name, _) in &old_rows {
+        if lookup(&new_rows, name).is_none() {
+            out.unmatched.push(format!("{name} (old only)"));
+        }
+    }
+    Ok(())
+}
+
+/// Enforce the multiplexing acceptance gate on a *single* throughput
+/// artifact: at `workers` workers, the `req_per_sec` median at
+/// admission window `inflight` must be at least `factor` × the
+/// inflight-1 serial baseline on at least `min_workloads` workloads.
+/// This is what "concurrent invocations beat back-to-back runs" means,
+/// measured: the multiplexed engine must convert the idle worker time a
+/// small graph leaves behind into cross-request throughput, not merely
+/// avoid slowing down. Returns the violations as report lines (empty =
+/// gate passed); an artifact of the wrong kind is an error.
+pub fn require_inflight_speedup(
+    text: &str,
+    workers: f64,
+    inflight: f64,
+    factor: f64,
+    min_workloads: usize,
+) -> Result<Vec<String>, String> {
+    validate_artifact(text)?;
+    let doc = json::parse(text)?;
+    if doc.get("artifact").and_then(Json::as_str) != Some("throughput") {
+        return Err("the inflight-speedup gate needs a throughput artifact".to_owned());
+    }
+    let mut cleared = 0usize;
+    let mut lines = Vec::new();
+    for (name, w) in by_name(&doc, "throughput")? {
+        let arms = w.get("arms").and_then(Json::as_arr).unwrap_or(&[]);
+        let rate = |k: f64| {
+            arms.iter()
+                .find(|a| {
+                    a.get("workers").and_then(Json::as_num) == Some(workers)
+                        && a.get("inflight").and_then(Json::as_num) == Some(k)
+                })
+                .and_then(|a| a.get("req_per_sec").and_then(Json::as_num))
+        };
+        let (Some(base), Some(multi)) = (rate(1.0), rate(inflight)) else {
+            continue;
+        };
+        let ratio = multi / base;
+        if ratio >= factor {
+            cleared += 1;
+        } else {
+            lines.push(format!(
+                "{name}: {multi:.0} req/s at inflight {inflight} vs {base:.0} serial is only \
+                 {ratio:.2}x (need >= {factor:.2}x)"
+            ));
+        }
+    }
+    if cleared >= min_workloads {
+        return Ok(Vec::new());
+    }
+    lines.push(format!(
+        "only {cleared} workload(s) cleared the {factor:.2}x inflight-{inflight} speedup at \
+         {workers} workers (need >= {min_workloads})"
+    ));
+    Ok(lines)
+}
+
 /// Compare a new artifact against an old baseline of the same kind.
 ///
 /// Both documents must validate on their own. Wall-clock medians are
@@ -408,6 +537,7 @@ pub fn compare_artifacts(
         Some("pipeline") => compare_pipeline(&old, &new, &mut out)?,
         Some("executor") => compare_executor(&old, &new, tolerance, &mut out)?,
         Some("translate") => compare_translate(&old, &new, tolerance, &mut out)?,
+        Some("throughput") => compare_throughput(&old, &new, tolerance, &mut out)?,
         other => return Err(format!("unrecognized artifact kind {other:?}")),
     }
     Ok(out)
@@ -416,7 +546,9 @@ pub fn compare_artifacts(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::artifacts::{executor_artifact, pipeline_artifact, translate_artifact};
+    use crate::artifacts::{
+        executor_artifact, pipeline_artifact, throughput_artifact, translate_artifact,
+    };
 
     #[test]
     fn identical_artifacts_never_regress() {
@@ -424,6 +556,7 @@ mod tests {
             pipeline_artifact(true, true).unwrap(),
             executor_artifact(true, true).unwrap(),
             translate_artifact(true, true).unwrap(),
+            throughput_artifact(true, true).unwrap(),
         ] {
             let cmp = compare_artifacts(&doc, &doc, DEFAULT_TOLERANCE).unwrap();
             assert!(!cmp.deltas.is_empty());
@@ -539,6 +672,44 @@ mod tests {
         // The reverse direction — the new document is faster — passes.
         let cmp = compare_artifacts(&slower, &doc, DEFAULT_TOLERANCE).unwrap();
         assert!(cmp.require_wall_leq("loop_nest").is_empty());
+    }
+
+    #[test]
+    fn throughput_rates_gate_with_inverted_sense() {
+        let doc = throughput_artifact(true, true).unwrap();
+        // Inflating every batch median ~10x in the new document (a
+        // throughput collapse) must flag req_per_sec deltas.
+        let slower = doc.replace("\"median_ns\":", "\"median_ns\":9");
+        let cmp = compare_artifacts(&doc, &slower, DEFAULT_TOLERANCE).unwrap();
+        assert!(
+            cmp.regressions().iter().any(|d| d.what.contains("req_per_sec")),
+            "a throughput collapse must regress: {:?}",
+            cmp.deltas
+        );
+        // The reverse direction — the new document is faster — passes.
+        let cmp = compare_artifacts(&slower, &doc, DEFAULT_TOLERANCE).unwrap();
+        assert!(cmp.regressions().is_empty(), "{:?}", cmp.regressions());
+        // Pushing more tokens per batch is an exact-gated regression.
+        let chattier = doc.replace("\"tokens_processed\":", "\"tokens_processed\":1");
+        let cmp = compare_artifacts(&doc, &chattier, DEFAULT_TOLERANCE).unwrap();
+        assert!(cmp.regressions().iter().any(|d| d.what.contains("tokens_processed")));
+    }
+
+    #[test]
+    fn inflight_speedup_gate_counts_clearing_workloads() {
+        let doc = throughput_artifact(true, true).unwrap();
+        // Any positive rate clears a zero factor.
+        assert!(require_inflight_speedup(&doc, 4.0, 4.0, 0.0, 2).unwrap().is_empty());
+        // No real machine clears an astronomically large factor; the
+        // violations name the workloads and the shortfall.
+        let violations = require_inflight_speedup(&doc, 4.0, 4.0, 1e9, 2).unwrap();
+        assert!(!violations.is_empty());
+        assert!(violations.last().unwrap().contains("need >= 2"), "{violations:?}");
+        // The gate refuses non-throughput artifacts.
+        let e = executor_artifact(true, true).unwrap();
+        assert!(require_inflight_speedup(&e, 4.0, 4.0, 1.0, 1)
+            .unwrap_err()
+            .contains("throughput artifact"));
     }
 
     #[test]

@@ -254,6 +254,27 @@ pub fn unkey(k: u64) -> (OpId, TagId) {
     (OpId((k >> 32) as u32), TagId(k as u32))
 }
 
+/// Pack an invocation-multiplexed rendezvous key: the operator in the
+/// high half, and the low half carrying the invocation slot alongside
+/// the invocation-local tag under `split`'s reserved layout
+/// ([`crate::tag::TagSplit::pack`]). With `TagSplit::NONE` this is
+/// exactly [`key`]. Injective as long as the tag respects the split's
+/// cap — which the per-invocation interners enforce — so tokens from
+/// different inflight invocations of the same graph can never
+/// rendezvous with each other.
+#[inline]
+pub fn key_inv(op: OpId, split: crate::tag::TagSplit, inv: u32, tag: TagId) -> u64 {
+    ((op.0 as u64) << 32) | split.pack(inv, tag) as u64
+}
+
+/// Unpack an invocation-multiplexed rendezvous key (exact inverse of
+/// [`key_inv`] for the same `split`).
+#[inline]
+pub fn unkey_inv(k: u64, split: crate::tag::TagSplit) -> (OpId, u32, TagId) {
+    let (inv, tag) = split.unpack(k as u32);
+    (OpId((k >> 32) as u32), inv, tag)
+}
+
 /// Lower a graph into its compiled form. Fails (like seeding used to)
 /// when the graph has no unique `Start`.
 pub fn compile(g: &Dfg) -> Result<CompiledGraph, MachineError> {

@@ -179,6 +179,11 @@ pub enum MachineError {
     TagSpaceExhausted {
         /// Maximum representable tag id of the interner that overflowed.
         cap: u32,
+        /// The multiplexed invocation (request id) whose reserved tag
+        /// slice overflowed, when the run was admitted through
+        /// [`crate::serve`]; `None` for single-invocation runs, whose
+        /// interner owns the whole tag space.
+        invocation: Option<u64>,
     },
     /// The wall-clock watchdog expired before the run completed or
     /// failed: the executor exceeded its time bound without reaching a
@@ -223,9 +228,10 @@ impl std::fmt::Display for MachineError {
                     write!(f, "worker {worker} panicked: {payload}")
                 }
             }
-            MachineError::TagSpaceExhausted { cap } => {
-                write!(f, "tag space exhausted (cap {cap})")
-            }
+            MachineError::TagSpaceExhausted { cap, invocation } => match invocation {
+                Some(req) => write!(f, "tag space exhausted (cap {cap}) in invocation {req}"),
+                None => write!(f, "tag space exhausted (cap {cap})"),
+            },
             MachineError::WatchdogTimeout { millis } => {
                 write!(f, "watchdog expired after {millis} ms")
             }
@@ -695,7 +701,10 @@ impl<'g, S: TraceSink> Sim<'g, S> {
     ) -> Result<TagId, MachineError> {
         self.tags
             .child(parent, loop_id, iter)
-            .ok_or(MachineError::TagSpaceExhausted { cap: u32::MAX })
+            .ok_or(MachineError::TagSpaceExhausted {
+                cap: u32::MAX,
+                invocation: None,
+            })
     }
 
     fn finish(mut self) -> (Outcome, S) {

@@ -36,6 +36,7 @@ pub mod memory;
 pub mod metrics;
 pub mod parallel;
 pub mod scheduler;
+pub mod serve;
 pub mod tag;
 pub mod trace;
 pub mod vonneumann;
@@ -44,10 +45,11 @@ pub use chaos::{ChaosConfig, ChaosTallies};
 pub use compiled::{compile, CompiledGraph, Footprint};
 pub use exec::{run, run_compiled, run_traced, MachineConfig, MachineError, Outcome};
 pub use hash::{FxBuildHasher, FxHashMap};
-pub use metrics::{ExecStats, ParMetrics, WorkerStats};
+pub use metrics::{ExecStats, ParMetrics, ServeStats, WorkerStats};
 pub use parallel::{
     run_threaded, run_threaded_compiled, run_threaded_compiled_pooled_with, run_threaded_pooled,
     run_threaded_pooled_with, run_threaded_traced, run_threaded_with, ExecutorPool, FireEvent,
     ParConfig, ParOutcome,
 };
-pub use tag::{TagId, TagTable};
+pub use serve::{run_concurrent, serve, ReqId, ServeHandle};
+pub use tag::{TagId, TagSplit, TagTable};

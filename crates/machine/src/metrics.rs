@@ -176,6 +176,60 @@ impl ParMetrics {
     }
 }
 
+/// Session-level metrics of one multiplexed serving run
+/// ([`crate::serve::serve`]): what the *shared pool* did across every
+/// admitted invocation. Per-invocation quantities (fired, merged, tags,
+/// deferred reads) live in each request's own
+/// [`crate::parallel::ParOutcome::metrics`]; the per-worker scheduler
+/// counters only exist here, because the workers are shared and their
+/// batches freely interleave tokens of different invocations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeStats {
+    /// Requests admitted (every `submit`, including ones that later
+    /// failed).
+    pub requests: u64,
+    /// Requests that completed with an `Ok` outcome.
+    pub completed_ok: u64,
+    /// Requests that completed with a typed `MachineError`.
+    pub failed: u64,
+    /// Highest number of simultaneously inflight invocations observed —
+    /// at most the session's admission window (`max_inflight`).
+    pub peak_inflight: u64,
+    /// Per-worker scheduler counters for the whole session, indexed by
+    /// worker.
+    pub workers: Vec<WorkerStats>,
+    /// Tokens processed across all invocations (sum of the per-worker
+    /// `processed`).
+    pub tokens_processed: u64,
+    /// High-water mark of occupied rendezvous slots across the shared
+    /// (invocation-keyed) table — the session's waiting-matching
+    /// pressure, the multiplexed analogue of
+    /// [`ParMetrics::max_pending_slots`].
+    pub max_pending_slots: u64,
+    /// Faults injected by the chaos plan over the whole session (all
+    /// zero on ordinary runs).
+    pub chaos: crate::chaos::ChaosTallies,
+}
+
+impl ServeStats {
+    /// One-line summary.
+    pub fn summary(&self) -> String {
+        let steals: u64 = self.workers.iter().map(|w| w.steals).sum();
+        let parks: u64 = self.workers.iter().map(|w| w.parks).sum();
+        format!(
+            "requests={} ok={} failed={} peak_inflight={} processed={} steals={} parks={} max_slots={}",
+            self.requests,
+            self.completed_ok,
+            self.failed,
+            self.peak_inflight,
+            self.tokens_processed,
+            steals,
+            parks,
+            self.max_pending_slots
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -163,7 +163,7 @@ struct Token {
 }
 
 /// Shards in the rendezvous-slot table.
-const SLOT_SHARDS: usize = 32;
+pub(crate) const SLOT_SHARDS: usize = 32;
 /// Stripes in the I-structure store.
 const IST_STRIPES: usize = 16;
 /// Shards in the tag interner.
@@ -177,7 +177,7 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// `(operator, tag)` word ([`crate::compiled::key`]) on the vendored
 /// integer hasher — one 64-bit hash per probe instead of SipHash over a
 /// two-field tuple.
-type SlotShard = Mutex<FxHashMap<u64, SlotVals>>;
+pub(crate) type SlotShard = Mutex<FxHashMap<u64, SlotVals>>;
 
 // ---------------------------------------------------------------------
 // Sharded memory
@@ -195,8 +195,9 @@ enum IstSlot {
 /// Concurrent machine memory: atomic ordinary cells plus a lock-striped
 /// I-structure overlay. The dataflow graph's access tokens are
 /// responsible for ordering, exactly as in the sequential [`crate::memory::Memory`];
-/// the cells only have to be individually race-free.
-struct ParMemory {
+/// the cells only have to be individually race-free. Crate-visible:
+/// [`crate::serve`] instantiates one per inflight invocation.
+pub(crate) struct ParMemory {
     cells: Vec<AtomicI64>,
     /// Stripe `s` holds the cells of every address `a ≡ s (mod IST_STRIPES)`,
     /// at index `a / IST_STRIPES`.
@@ -204,14 +205,14 @@ struct ParMemory {
     reads: AtomicU64,
     writes: AtomicU64,
     /// Total I-structure reads deferred (arrived before their write).
-    deferred_reads: AtomicU64,
+    pub(crate) deferred_reads: AtomicU64,
     /// Currently outstanding deferred reads, and the observed peak.
     deferred_now: AtomicU64,
-    deferred_peak: AtomicU64,
+    pub(crate) deferred_peak: AtomicU64,
 }
 
 impl ParMemory {
-    fn new(layout: &MemLayout) -> ParMemory {
+    pub(crate) fn new(layout: &MemLayout) -> ParMemory {
         let n = layout.total_cells() as usize;
         let per_stripe = n.div_ceil(IST_STRIPES);
         ParMemory {
@@ -240,17 +241,17 @@ impl ParMemory {
         self.deferred_peak.fetch_max(now, Ordering::Relaxed);
     }
 
-    fn read_scalar(&self, layout: &MemLayout, var: VarId) -> i64 {
+    pub(crate) fn read_scalar(&self, layout: &MemLayout, var: VarId) -> i64 {
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.cells[layout.base(var) as usize].load(Ordering::SeqCst)
     }
 
-    fn write_scalar(&self, layout: &MemLayout, var: VarId, value: i64) {
+    pub(crate) fn write_scalar(&self, layout: &MemLayout, var: VarId, value: i64) {
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.cells[layout.base(var) as usize].store(value, Ordering::SeqCst);
     }
 
-    fn read_element(&self, layout: &MemLayout, var: VarId, index: i64) -> Result<i64, MemError> {
+    pub(crate) fn read_element(&self, layout: &MemLayout, var: VarId, index: i64) -> Result<i64, MemError> {
         let addr = layout
             .element(var, index)
             .ok_or(MemError::OutOfBounds { var, index })?;
@@ -258,7 +259,7 @@ impl ParMemory {
         Ok(self.cells[addr as usize].load(Ordering::SeqCst))
     }
 
-    fn write_element(
+    pub(crate) fn write_element(
         &self,
         layout: &MemLayout,
         var: VarId,
@@ -273,7 +274,7 @@ impl ParMemory {
         Ok(())
     }
 
-    fn ist_read(
+    pub(crate) fn ist_read(
         &self,
         layout: &MemLayout,
         var: VarId,
@@ -303,7 +304,7 @@ impl ParMemory {
         }
     }
 
-    fn ist_write(
+    pub(crate) fn ist_write(
         &self,
         layout: &MemLayout,
         var: VarId,
@@ -332,12 +333,12 @@ impl ParMemory {
         }
     }
 
-    fn cells_snapshot(&self) -> Vec<i64> {
+    pub(crate) fn cells_snapshot(&self) -> Vec<i64> {
         self.cells.iter().map(|c| c.load(Ordering::SeqCst)).collect()
     }
 
     /// I-structure snapshot in address order (empty cells read as 0).
-    fn ist_snapshot(&self) -> Vec<i64> {
+    pub(crate) fn ist_snapshot(&self) -> Vec<i64> {
         let stripes: Vec<MutexGuard<'_, Vec<IstSlot>>> = self.ist.iter().map(lock).collect();
         (0..self.cells.len())
             .map(|a| match &stripes[a % IST_STRIPES][a / IST_STRIPES] {
@@ -377,21 +378,37 @@ struct TagShard {
 /// lookups. Interning still guarantees that every token line entering
 /// the same iteration of the same loop under the same parent receives
 /// the *same* tag, because one shard owns each `(parent, loop, iter)` key.
-struct ParTagTable {
+/// Crate-visible: [`crate::serve`] gives every inflight invocation its
+/// own table over its reserved slice of the tag space.
+pub(crate) struct ParTagTable {
     shards: Vec<Mutex<TagShard>>,
     /// Largest admissible tag id; interning past it is a
     /// [`MachineError::TagSpaceExhausted`], not a panic.
     cap: u32,
+    /// Request id carried into [`MachineError::TagSpaceExhausted`] when
+    /// this interner serves one multiplexed invocation; `None` for
+    /// whole-run interners.
+    invocation: Option<u64>,
 }
 
 impl ParTagTable {
     fn new(cap: u32) -> ParTagTable {
+        Self::new_for(cap, None)
+    }
+
+    /// An interner whose exhaustion error names the multiplexed
+    /// invocation (request) it belongs to.
+    pub(crate) fn new_for(cap: u32, invocation: Option<u64>) -> ParTagTable {
         let mut shards: Vec<Mutex<TagShard>> = (0..TAG_SHARDS)
             .map(|_| Mutex::new(TagShard::default()))
             .collect();
         // Reserve id 0 (= slot 0 of shard 0) for the root tag.
         shards[0].get_mut().unwrap().ctxs.push(None);
-        ParTagTable { shards, cap }
+        ParTagTable {
+            shards,
+            cap,
+            invocation,
+        }
     }
 
     fn shard_of(parent: TagId, loop_id: LoopId, iter: u32) -> usize {
@@ -406,7 +423,12 @@ impl ParTagTable {
     /// Fails with [`MachineError::TagSpaceExhausted`] — routed through
     /// the halt path by the callers — once the shard's arithmetic
     /// progression would pass the cap (or overflow the id type).
-    fn child(&self, parent: TagId, loop_id: LoopId, iter: u32) -> Result<TagId, MachineError> {
+    pub(crate) fn child(
+        &self,
+        parent: TagId,
+        loop_id: LoopId,
+        iter: u32,
+    ) -> Result<TagId, MachineError> {
         let s = Self::shard_of(parent, loop_id, iter);
         let mut shard = lock(&self.shards[s]);
         if let Some(&t) = shard.intern.get(&(parent, loop_id, iter)) {
@@ -415,7 +437,12 @@ impl ParTagTable {
         let k = shard.ctxs.len();
         let t = match u32::try_from(k * TAG_SHARDS + s) {
             Ok(id) if id <= self.cap => TagId(id),
-            _ => return Err(MachineError::TagSpaceExhausted { cap: self.cap }),
+            _ => {
+                return Err(MachineError::TagSpaceExhausted {
+                    cap: self.cap,
+                    invocation: self.invocation,
+                })
+            }
         };
         shard.ctxs.push(Some(TagCtx { parent, loop_id, iter }));
         shard.intern.insert((parent, loop_id, iter), t);
@@ -424,7 +451,7 @@ impl ParTagTable {
 
     /// Decompose a tag into `(parent, loop, iteration)`; `None` for the
     /// root.
-    fn info(&self, tag: TagId) -> Option<(TagId, LoopId, u32)> {
+    pub(crate) fn info(&self, tag: TagId) -> Option<(TagId, LoopId, u32)> {
         let s = tag.index() % TAG_SHARDS;
         let k = tag.index() / TAG_SHARDS;
         let shard = lock(&self.shards[s]);
@@ -437,7 +464,7 @@ impl ParTagTable {
     }
 
     /// Human-readable rendering for error messages.
-    fn render(&self, tag: TagId) -> String {
+    pub(crate) fn render(&self, tag: TagId) -> String {
         match self.info(tag) {
             None => "root".to_owned(),
             Some((p, l, i)) => format!("{}.{:?}[{}]", self.render(p), l, i),
@@ -445,7 +472,7 @@ impl ParTagTable {
     }
 
     /// Interner occupancy: distinct tags created, excluding the root.
-    fn created(&self) -> u64 {
+    pub(crate) fn created(&self) -> u64 {
         let total: u64 = self.shards.iter().map(|s| lock(s).ctxs.len() as u64).sum();
         total - 1
     }
@@ -475,18 +502,18 @@ struct WorkerLocal {
 /// *different* stream family than the scheduler's delay/steal faults,
 /// so the two layers draw uncorrelated decisions from one campaign
 /// seed) plus tallies of the destructive faults actually fired.
-struct ChaosState {
-    cfg: ChaosConfig,
+pub(crate) struct ChaosState {
+    pub(crate) cfg: ChaosConfig,
     /// Per-worker streams; each mutex is only ever taken by its owning
     /// worker, so it is uncontended.
-    rngs: Vec<Mutex<ChaosRng>>,
-    panics: AtomicU64,
-    drops: AtomicU64,
-    dups: AtomicU64,
+    pub(crate) rngs: Vec<Mutex<ChaosRng>>,
+    pub(crate) panics: AtomicU64,
+    pub(crate) drops: AtomicU64,
+    pub(crate) dups: AtomicU64,
 }
 
 impl ChaosState {
-    fn new(cfg: ChaosConfig, n_workers: usize) -> ChaosState {
+    pub(crate) fn new(cfg: ChaosConfig, n_workers: usize) -> ChaosState {
         ChaosState {
             cfg,
             rngs: (0..n_workers)
@@ -594,7 +621,7 @@ impl Shared<'_> {
 /// repeated runs (benchmarks, servers) should spawn a pool once and
 /// park it between runs rather than pay that price inside every run.
 pub struct ExecutorPool {
-    pool: WorkerPool,
+    pub(crate) pool: WorkerPool,
 }
 
 impl ExecutorPool {
@@ -1511,8 +1538,9 @@ mod tests {
         for i in 0..200u32 {
             match tags.child(TagId::ROOT, LoopId(0), i) {
                 Ok(t) => made.push((i, t)),
-                Err(MachineError::TagSpaceExhausted { cap }) => {
+                Err(MachineError::TagSpaceExhausted { cap, invocation }) => {
                     assert_eq!(cap, 2 * TAG_SHARDS as u32);
+                    assert_eq!(invocation, None, "whole-run interner names no invocation");
                     exhausted = true;
                     break;
                 }

@@ -266,6 +266,48 @@ impl<T: Send> Scheduler<T> {
         self.wake(false);
     }
 
+    /// Inject a group of tasks from outside the worker pool in one
+    /// synchronization (one injector lock, one pair of counter updates,
+    /// one wake) — the admission path for multiplexed request execution
+    /// ([`crate::serve`]), where every request seeds several tokens at
+    /// once. All sleepers are woken: a batch is exactly the situation
+    /// where several parked workers can be put to use at once. Returns
+    /// how many tasks were injected.
+    pub fn inject_batch<I: IntoIterator<Item = T>>(&self, tasks: I) -> usize {
+        let mut buf: Vec<T> = tasks.into_iter().collect();
+        let m = buf.len();
+        if m == 0 {
+            return 0;
+        }
+        // `pending` rises before the tasks become visible, mirroring
+        // [`Scheduler::inject`]: a worker that grabs a task and finishes
+        // it must never drive `pending` below the true in-flight count.
+        self.pending.fetch_add(m, Ordering::SeqCst);
+        lock(&self.inject).extend(buf.drain(..));
+        self.queued.fetch_add(m, Ordering::SeqCst);
+        self.wake(true);
+        m
+    }
+
+    /// Hold the scheduler open: raise `pending` by one without
+    /// supplying a task, so the system does not quiesce (workers park
+    /// instead of exiting) while an external driver still intends to
+    /// [`Scheduler::inject_batch`] more work — the idle state of a
+    /// serving loop between requests. Balance with
+    /// [`Scheduler::release`].
+    pub fn hold(&self) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Release a [`Scheduler::hold`]. When the hold was the last thing
+    /// keeping the system alive, the workers are woken to observe
+    /// quiescence and exit.
+    pub fn release(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.wake(true);
+        }
+    }
+
     /// Bump the wake epoch and notify parked workers. `all` notifies
     /// every sleeper (halt/quiescence); otherwise one is enough.
     fn wake(&self, all: bool) {
@@ -1135,6 +1177,38 @@ mod tests {
                 "worker {w} was never fed on a narrow chain: {out:?}"
             );
         }
+    }
+
+    /// A held scheduler idles (workers park, nothing exits) across gaps
+    /// between injected batches, drains everything injected while held,
+    /// and only quiesces after the release — the serving-loop protocol.
+    #[test]
+    fn hold_keeps_the_scheduler_open_across_injection_gaps() {
+        let sched: Scheduler<u64> = Scheduler::new(3);
+        let sched = &sched;
+        let total = AtomicU64::new(0);
+        sched.hold();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for round in 0..4u64 {
+                    // The gap: with no tasks anywhere, only the hold
+                    // keeps the workers from exiting.
+                    std::thread::sleep(Duration::from_millis(2));
+                    let n = sched.inject_batch((0..10).map(|i| round * 10 + i));
+                    assert_eq!(n, 10);
+                }
+                assert_eq!(sched.inject_batch(std::iter::empty()), 0);
+                std::thread::sleep(Duration::from_millis(2));
+                sched.release();
+            });
+            let out = sched.run(for_each(|_, v: u64| {
+                total.fetch_add(v, Ordering::Relaxed);
+            }));
+            assert_eq!(out.processed, 40);
+            assert_eq!(out.leftover, 0);
+            assert!(!out.halted);
+            assert_eq!(total.load(Ordering::Relaxed), (0..40u64).sum::<u64>());
+        });
     }
 
     #[test]

@@ -1,0 +1,1205 @@
+//! Concurrent multi-invocation execution: many independent runs of one
+//! compiled graph multiplexed onto a single shared [`ExecutorPool`].
+//!
+//! The threaded executor ([`crate::parallel`]) runs *one* invocation at a
+//! time: small graphs leave most of the pool idle between the seed
+//! fan-out and the final drain, and back-to-back requests serialize on
+//! the full start/stop latency of a run. This module exploits the
+//! tagged-token machine's own answer to that problem. On a Monsoon-style
+//! explicit-token-store machine, unrelated activations coexist in one
+//! waiting-matching store because their tokens carry disjoint contexts —
+//! the hardware never needs to know where one program ends and the next
+//! begins. We reproduce that here by adding an *invocation* dimension to
+//! the tag space: every rendezvous key packs a small invocation index
+//! into the high bits of the tag word ([`TagSplit`],
+//! [`crate::compiled::key_inv`]), so tokens of concurrent requests flow
+//! through the *same* sharded slot table, the same run queues and the
+//! same workers, yet can never match each other.
+//!
+//! Per-invocation state that genuinely must be private — memory, the
+//! tag interner (each invocation gets its own reserved slice of the tag
+//! space), fuel, metrics, failure — lives in an invocation slot; the
+//! expensive shared machinery (worker threads, run queues, rendezvous
+//! shards) is allocated once per serving session.
+//!
+//! Isolation invariants (pinned by the tests here and in
+//! `tests/chaos.rs` / `tests/parallel_equivalence.rs`):
+//!
+//! * admission is bounded: at most `max_inflight` invocations hold
+//!   slots; further [`ServeHandle::submit`] calls block (backpressure);
+//! * one invocation's failure — operator panic, memory fault, fuel or
+//!   tag exhaustion — fails *that request only*: its remaining tokens
+//!   drain as tombstones, its slot is reclaimed, and neighbors and the
+//!   pool are untouched;
+//! * a request's result is bit-identical to a solo
+//!   [`crate::parallel::run_threaded_compiled`] run of the same graph
+//!   (equivalence tests check all of them against the deterministic
+//!   simulator).
+//!
+//! Quiescence is detected per invocation with a live-token count: a
+//! token is live from the moment it is queued until its processing (and
+//! every emission that processing performs) has finished. The count
+//! reaching zero therefore means no token of that invocation exists
+//! anywhere — queued, stolen, or mid-fire — at which point the slot is
+//! finalized: its leftover rendezvous entries are purged from the
+//! shared table and the run is classified exactly like a solo run
+//! (recorded error > injected drops > deadlock > success).
+
+use crate::chaos::ChaosTallies;
+use crate::compiled::{
+    fire_op, key_inv, unkey_inv, CKind, CompiledGraph, Engine, FireInputs, FireVals, SlotVals,
+};
+use crate::exec::MachineError;
+use crate::hash::{shard64, FxHashMap};
+use crate::memory::{DeferredRead, MemError};
+use crate::metrics::{ParMetrics, ServeStats};
+use crate::parallel::{ChaosState, ExecutorPool, ParConfig, ParMemory, ParOutcome, ParTagTable};
+use crate::scheduler::{Ctx, Scheduler};
+use crate::tag::{TagId, TagSplit};
+use cf2df_cfg::{LoopId, MemLayout, VarId};
+use cf2df_dfg::{OpId, Port};
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Shards in the session's shared rendezvous-slot table (same count as
+/// the solo executor's table; the invocation bits are mixed into the
+/// shard hash so concurrent requests spread instead of stacking).
+const SLOT_SHARDS: usize = 32;
+
+/// Identifies one submitted request within a serving session. Sequential
+/// from 0 in submission order; carried into per-invocation errors
+/// (e.g. [`MachineError::TagSpaceExhausted`]) and returned by
+/// [`ServeHandle::collect`] so out-of-order completions can be matched
+/// to their submissions.
+pub type ReqId = u64;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A token in flight, extended with the invocation index that scopes its
+/// tag.
+#[derive(Clone, Copy, Debug)]
+struct MToken {
+    to: Port,
+    tag: TagId,
+    inv: u32,
+    value: i64,
+}
+
+/// The per-invocation private state: its memory image and its tag
+/// interner (allocating only within the invocation's reserved slice of
+/// the tag space).
+struct InvCore {
+    layout: MemLayout,
+    mem: ParMemory,
+    tags: ParTagTable,
+}
+
+/// One admission slot. The atomics are the invocation's always-on
+/// counters; `core` is the heap state rebuilt on every admission.
+struct InvSlot {
+    /// Private state of the currently admitted request.
+    ///
+    /// SAFETY (for both `unsafe impl Sync` and every access): ownership
+    /// of a slot is sequenced by the admission free-list under the
+    /// session state mutex. `core` is written exclusively in
+    /// [`ServeHandle::submit`] *after* popping the slot from the free
+    /// list and *before* injecting any of its tokens (the scheduler's
+    /// queue locks give the necessary happens-before edge to workers);
+    /// workers only read it while processing a token of this invocation,
+    /// which holds `live > 0`; finalization reads it only after `live`
+    /// reached zero — i.e. after every such reader finished — and the
+    /// slot returns to the free list only after finalization completes.
+    core: UnsafeCell<Option<InvCore>>,
+    /// Tokens of this invocation that exist anywhere (queued or being
+    /// processed). Zero means quiescent — finalize.
+    live: AtomicU64,
+    /// The request id occupying this slot (valid while off the free
+    /// list).
+    req: AtomicU64,
+    end_seen: AtomicBool,
+    fired: AtomicU64,
+    merged: AtomicU64,
+    processed: AtomicU64,
+    macro_fires: AtomicU64,
+    ops_elided: AtomicU64,
+    /// Chaos-injected token drops / duplicates charged to this
+    /// invocation.
+    drops: AtomicU64,
+    dups: AtomicU64,
+    /// First failure recorded for this invocation; `failed_flag` is the
+    /// lock-free fast check that turns its remaining tokens into
+    /// tombstones.
+    failed: Mutex<Option<MachineError>>,
+    failed_flag: AtomicBool,
+}
+
+// SAFETY: see the `core` field — all access to the UnsafeCell is
+// sequenced by the free-list/live-count protocol documented there; every
+// other field is a Sync primitive.
+unsafe impl Sync for InvSlot {}
+
+impl InvSlot {
+    fn new() -> InvSlot {
+        InvSlot {
+            core: UnsafeCell::new(None),
+            live: AtomicU64::new(0),
+            req: AtomicU64::new(0),
+            end_seen: AtomicBool::new(false),
+            fired: AtomicU64::new(0),
+            merged: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            macro_fires: AtomicU64::new(0),
+            ops_elided: AtomicU64::new(0),
+            drops: AtomicU64::new(0),
+            dups: AtomicU64::new(0),
+            failed: Mutex::new(None),
+            failed_flag: AtomicBool::new(false),
+        }
+    }
+
+    /// The admitted request's private state.
+    ///
+    /// SAFETY: caller must hold one of the access rights documented on
+    /// the `core` field (token of this invocation in hand, or exclusive
+    /// ownership during admission/finalization).
+    unsafe fn core(&self) -> &InvCore {
+        (*self.core.get()).as_ref().expect("slot admitted")
+    }
+}
+
+/// Bookkeeping of the admission window, guarded by one mutex.
+struct ServeState {
+    /// Slot indices available for admission.
+    free: Vec<u32>,
+    /// Finished requests awaiting [`ServeHandle::collect`].
+    completed: VecDeque<(ReqId, Result<ParOutcome, MachineError>)>,
+    /// Requests admitted and not yet finalized.
+    inflight: usize,
+    /// Next request id == requests submitted so far.
+    submitted: u64,
+    /// Requests collected so far.
+    collected: u64,
+    completed_ok: u64,
+    completed_err: u64,
+    peak_inflight: usize,
+    /// Set when the session itself died (a worker panic that escaped an
+    /// invocation, or the watchdog): every inflight request was failed,
+    /// and every later submission completes immediately with this error.
+    dead: Option<MachineError>,
+}
+
+/// Session-wide shared state: the compiled graph, the invocation-keyed
+/// rendezvous table, the admission slots.
+struct MultiShared<'g> {
+    cg: &'g CompiledGraph,
+    /// How the 32-bit tag word is split between invocation index (high
+    /// bits) and per-invocation tag (low bits).
+    split: TagSplit,
+    /// Per-invocation tag cap: the smaller of the split's slice and the
+    /// configured cap.
+    tag_cap: u32,
+    /// Per-invocation firing budget.
+    fuel: u64,
+    chaos: Option<Box<ChaosState>>,
+    /// Rendezvous slots shared by all invocations, keyed by
+    /// [`key_inv`]; sharded by the mixed hash ([`shard64`]) so the
+    /// high invocation bits disperse.
+    slots: Vec<Mutex<FxHashMap<u64, SlotVals>>>,
+    slots_occupied: AtomicU64,
+    slots_peak: AtomicU64,
+    inv: Vec<InvSlot>,
+    state: Mutex<ServeState>,
+    /// Signaled when a slot frees (admission backpressure).
+    submit_cv: Condvar,
+    /// Signaled when a request completes (collect / teardown).
+    done_cv: Condvar,
+}
+
+impl MultiShared<'_> {
+    /// Record the first failure of invocation `inv` and tombstone its
+    /// remaining tokens. Neighbors, the shared table and the pool are
+    /// deliberately untouched: failure is a per-invocation event.
+    fn fail_inv(&self, inv: u32, e: MachineError) {
+        let slot = &self.inv[inv as usize];
+        let mut f = lock(&slot.failed);
+        if f.is_none() {
+            *f = Some(e);
+        }
+        drop(f);
+        slot.failed_flag.store(true, Ordering::SeqCst);
+    }
+
+    /// One token of `inv` finished processing (emissions included); if it
+    /// was the last live token anywhere, the invocation is quiescent and
+    /// this thread finalizes it.
+    fn dec_live(&self, inv: u32) {
+        if self.inv[inv as usize].live.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.finalize(inv);
+        }
+    }
+
+    /// Purge every rendezvous entry of `inv` from the shared table,
+    /// returning how many were parked and their rendered descriptions
+    /// (sorted, truncated to 10 — the deadlock report). Safe only at
+    /// quiescence: with `live == 0` no thread can be inserting for this
+    /// invocation.
+    fn purge(&self, inv: u32, core: &InvCore) -> (u64, Vec<String>) {
+        let mut parked = 0u64;
+        let mut pending: Vec<String> = Vec::new();
+        for shard in &self.slots {
+            let mut shard = lock(shard);
+            shard.retain(|&k, vals| {
+                let (op, k_inv, tag) = unkey_inv(k, self.split);
+                if k_inv != inv {
+                    return true;
+                }
+                parked += 1;
+                if pending.len() < 32 {
+                    pending.push(format!(
+                        "{} {op:?} tag {} waiting (filled ports {:?})",
+                        self.cg.mnemonic(op),
+                        core.tags.render(tag),
+                        vals.filled_ports(),
+                    ));
+                }
+                false
+            });
+        }
+        if parked > 0 {
+            self.slots_occupied.fetch_sub(parked, Ordering::Relaxed);
+        }
+        pending.sort();
+        pending.truncate(10);
+        if pending.is_empty() {
+            pending.push(
+                "no partially-filled rendezvous slots: tokens drained without reaching End"
+                    .to_owned(),
+            );
+        }
+        (parked, pending)
+    }
+
+    /// Classify a quiescent invocation exactly like a solo run (recorded
+    /// failure > injected drops > deadlock > success), push the result,
+    /// and return its slot to the free list.
+    fn finalize(&self, inv: u32) {
+        let slot = &self.inv[inv as usize];
+        // SAFETY: live == 0 — exclusive access per the slot protocol.
+        let core = unsafe { slot.core() };
+        let (parked, pending) = self.purge(inv, core);
+        let drops = slot.drops.load(Ordering::Relaxed);
+        let end_seen = slot.end_seen.load(Ordering::SeqCst);
+        let failure = lock(&slot.failed).take();
+        let result = if let Some(e) = failure {
+            Err(e)
+        } else if drops > 0 {
+            Err(MachineError::TokenLeak {
+                leftover: drops + parked,
+            })
+        } else if parked > 0 || !end_seen {
+            Err(MachineError::Deadlock { pending })
+        } else {
+            let metrics = ParMetrics {
+                // The workers are shared across invocations; their
+                // scheduler counters live in the session's ServeStats.
+                workers: Vec::new(),
+                tokens_processed: slot.processed.load(Ordering::Relaxed),
+                merged: slot.merged.load(Ordering::Relaxed),
+                // The serving executor has no worker-local fast path.
+                fast_path_fires: 0,
+                max_pending_slots: 0,
+                slot_shard_high_water: Vec::new(),
+                tags_created: core.tags.created(),
+                deferred_reads: core.mem.deferred_reads.load(Ordering::Relaxed),
+                deferred_read_peak: core.mem.deferred_peak.load(Ordering::Relaxed),
+                macro_fires: slot.macro_fires.load(Ordering::Relaxed),
+                ops_elided: slot.ops_elided.load(Ordering::Relaxed),
+                chaos: ChaosTallies {
+                    drops,
+                    dups: slot.dups.load(Ordering::Relaxed),
+                    ..ChaosTallies::default()
+                },
+            };
+            Ok(ParOutcome {
+                memory: core.mem.cells_snapshot(),
+                ist_memory: core.mem.ist_snapshot(),
+                fired: slot.fired.load(Ordering::SeqCst),
+                metrics,
+            })
+        };
+        let req = slot.req.load(Ordering::SeqCst);
+        let mut st = lock(&self.state);
+        if result.is_ok() {
+            st.completed_ok += 1;
+        } else {
+            st.completed_err += 1;
+        }
+        st.completed.push_back((req, result));
+        st.free.push(inv);
+        st.inflight -= 1;
+        drop(st);
+        self.submit_cv.notify_one();
+        self.done_cv.notify_all();
+    }
+
+    /// The session itself died (escaped worker panic or watchdog): fail
+    /// every inflight request with its own recorded error — or the
+    /// session error — and poison future submissions. Slot cores are not
+    /// touched (their tokens may still sit in dead queues), so no
+    /// memory snapshot is attempted and the slots are not reused.
+    fn session_death(&self, err: MachineError) {
+        let mut st = lock(&self.state);
+        st.dead = Some(err.clone());
+        let busy: Vec<u32> =
+            (0..self.inv.len() as u32).filter(|i| !st.free.contains(i)).collect();
+        for inv in busy {
+            let slot = &self.inv[inv as usize];
+            let e = lock(&slot.failed).take().unwrap_or_else(|| err.clone());
+            st.completed.push_back((slot.req.load(Ordering::SeqCst), Err(e)));
+            st.completed_err += 1;
+            st.inflight -= 1;
+        }
+        drop(st);
+        self.submit_cv.notify_all();
+        self.done_cv.notify_all();
+    }
+}
+
+/// The submission side of a serving session, handed to the closure of
+/// [`serve`]. Cloneable by shared reference across threads: `submit` and
+/// `collect` are both `&self`.
+pub struct ServeHandle<'a, 'g> {
+    sh: &'a MultiShared<'g>,
+    sched: &'a Scheduler<MToken>,
+}
+
+impl ServeHandle<'_, '_> {
+    /// Admit one invocation of the session's graph over `layout`,
+    /// blocking while the admission window (`max_inflight`) is full —
+    /// the session's backpressure. Returns the request id; the result is
+    /// retrieved with [`ServeHandle::collect`]. On a dead session the
+    /// request completes immediately with the session's error.
+    pub fn submit(&self, layout: &MemLayout) -> ReqId {
+        let sh = self.sh;
+        let mut st = lock(&sh.state);
+        loop {
+            if let Some(err) = st.dead.clone() {
+                let req = st.submitted;
+                st.submitted += 1;
+                st.completed.push_back((req, Err(err)));
+                st.completed_err += 1;
+                drop(st);
+                sh.done_cv.notify_all();
+                return req;
+            }
+            if let Some(inv) = st.free.pop() {
+                let req = st.submitted;
+                st.submitted += 1;
+                st.inflight += 1;
+                st.peak_inflight = st.peak_inflight.max(st.inflight);
+                sh.inv[inv as usize].req.store(req, Ordering::SeqCst);
+                drop(st);
+                self.admit(inv, req, layout);
+                return req;
+            }
+            st = sh.submit_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Install the request's private state in its slot and seed its
+    /// start tokens. The slot is exclusively ours between the free-list
+    /// pop and the injection below.
+    fn admit(&self, inv: u32, req: ReqId, layout: &MemLayout) {
+        let sh = self.sh;
+        let slot = &sh.inv[inv as usize];
+        let core = InvCore {
+            layout: layout.clone(),
+            mem: ParMemory::new(layout),
+            tags: ParTagTable::new_for(sh.tag_cap, Some(req)),
+        };
+        // SAFETY: exclusive slot ownership (popped from the free list,
+        // no tokens injected yet); see the `core` field protocol.
+        unsafe {
+            *slot.core.get() = Some(core);
+        }
+        slot.end_seen.store(false, Ordering::SeqCst);
+        slot.fired.store(0, Ordering::SeqCst);
+        slot.merged.store(0, Ordering::SeqCst);
+        slot.processed.store(0, Ordering::SeqCst);
+        slot.macro_fires.store(0, Ordering::SeqCst);
+        slot.ops_elided.store(0, Ordering::SeqCst);
+        slot.drops.store(0, Ordering::SeqCst);
+        slot.dups.store(0, Ordering::SeqCst);
+        *lock(&slot.failed) = None;
+        slot.failed_flag.store(false, Ordering::SeqCst);
+
+        let seeds = sh.cg.dests(sh.cg.start(), 0);
+        // Live count covers the seeds *before* they become visible to
+        // workers, so a fast drain cannot underflow it.
+        slot.live.store(seeds.len() as u64, Ordering::SeqCst);
+        if seeds.is_empty() {
+            // A graph whose start feeds nothing can never reach End;
+            // classify immediately (same verdict a solo run reaches).
+            return self.sh.finalize(inv);
+        }
+        self.sched.inject_batch(seeds.iter().map(|&to| MToken {
+            to,
+            tag: TagId::ROOT,
+            inv,
+            value: 0,
+        }));
+    }
+
+    /// Wait for the next finished request (any invocation — completions
+    /// are delivered in finish order, not submission order) and return
+    /// its id and result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is outstanding: every submitted request was
+    /// already collected.
+    pub fn collect(&self) -> (ReqId, Result<ParOutcome, MachineError>) {
+        let sh = self.sh;
+        let mut st = lock(&sh.state);
+        loop {
+            if let Some(done) = st.completed.pop_front() {
+                st.collected += 1;
+                return done;
+            }
+            assert!(
+                st.submitted > st.collected,
+                "collect called with no outstanding requests"
+            );
+            st = sh.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Requests submitted and not yet collected.
+    pub fn outstanding(&self) -> usize {
+        let st = lock(&self.sh.state);
+        (st.submitted - st.collected) as usize
+    }
+}
+
+// ---------------------------------------------------------------------
+// Token processing (the multiplexed mirror of parallel.rs's pipeline)
+// ---------------------------------------------------------------------
+
+/// What a rendezvous deposit produced.
+enum Deposit {
+    /// The slot completed; fire with these values.
+    Fire(FireVals),
+    /// Parked as a partial slot.
+    Wait,
+    /// The port was already filled — a token collision.
+    Collision,
+}
+
+fn deposit(
+    sh: &MultiShared<'_>,
+    inv: u32,
+    k: u64,
+    idx: usize,
+    value: i64,
+    mk: impl FnOnce() -> SlotVals,
+) -> Deposit {
+    let slot = &sh.inv[inv as usize];
+    let shard_idx = shard64(k, SLOT_SHARDS);
+    let mut shard = lock(&sh.slots[shard_idx]);
+    let mut inserted = false;
+    let entry = shard.entry(k).or_insert_with(|| {
+        inserted = true;
+        mk()
+    });
+    if entry.is_filled(idx) {
+        return Deposit::Collision;
+    }
+    entry.set(idx, value);
+    let complete = entry.is_complete();
+    if inserted {
+        let occupied = sh.slots_occupied.fetch_add(1, Ordering::Relaxed) + 1;
+        sh.slots_peak.fetch_max(occupied, Ordering::Relaxed);
+    }
+    if complete {
+        let vals = shard.remove(&k).expect("present").into_vals();
+        drop(shard);
+        sh.slots_occupied.fetch_sub(1, Ordering::Relaxed);
+        Deposit::Fire(vals)
+    } else {
+        drop(shard);
+        slot.merged.fetch_add(1, Ordering::Relaxed);
+        Deposit::Wait
+    }
+}
+
+fn process_one(sh: &MultiShared<'_>, ctx: &Ctx<'_, MToken>, t: MToken) {
+    let inv = t.inv;
+    let slot = &sh.inv[inv as usize];
+    if slot.failed_flag.load(Ordering::SeqCst) {
+        // Tombstone: the invocation already failed; its tokens drain
+        // without firing so the slot can be reclaimed and reused.
+        return;
+    }
+    // SAFETY: this token holds the invocation live (> 0) until the body
+    // loop decrements after we return.
+    let core = unsafe { slot.core() };
+    let op = t.to.op;
+    let port = t.to.port as usize;
+    let cg = sh.cg;
+    let desc = cg.desc(op);
+    if let CKind::LoopSwitch(loop_id) = desc.kind {
+        return deposit_loop_switch(sh, ctx, core, inv, op, port, t, loop_id);
+    }
+    if desc.merge_like() {
+        return fire_inv(
+            sh,
+            ctx,
+            core,
+            inv,
+            op,
+            t.tag,
+            FireInputs::Single {
+                port,
+                value: t.value,
+            },
+        );
+    }
+    if desc.live <= 1 {
+        let vals = FireVals::from_imms(cg.imms(op), port, t.value, desc.is_hot());
+        return fire_inv(sh, ctx, core, inv, op, t.tag, FireInputs::Full(vals.as_slice()));
+    }
+    let k = key_inv(op, sh.split, inv, t.tag);
+    match deposit(sh, inv, k, port, t.value, || {
+        SlotVals::new(cg.imms(op), desc.is_hot())
+    }) {
+        Deposit::Fire(vals) => fire_inv(sh, ctx, core, inv, op, t.tag, FireInputs::Full(vals.as_slice())),
+        Deposit::Wait => {}
+        Deposit::Collision => {
+            let tag = core.tags.render(t.tag);
+            sh.fail_inv(inv, MachineError::TokenCollision { op, port, tag });
+        }
+    }
+}
+
+/// The fused loop-entry/switch deposit, invocation-scoped: identical
+/// retagging to [`crate::parallel`]'s, but tags come from the
+/// invocation's own interner and the rendezvous key carries the
+/// invocation bits.
+#[allow(clippy::too_many_arguments)]
+fn deposit_loop_switch(
+    sh: &MultiShared<'_>,
+    ctx: &Ctx<'_, MToken>,
+    core: &InvCore,
+    inv: u32,
+    op: OpId,
+    port: usize,
+    t: MToken,
+    loop_id: LoopId,
+) {
+    let (slot_tag, idx) = match port {
+        0 => match core.tags.child(t.tag, loop_id, 0) {
+            Ok(nt) => (nt, 0),
+            Err(e) => return sh.fail_inv(inv, e),
+        },
+        1 => match core.tags.info(t.tag) {
+            Some((p, l, i)) if l == loop_id => match core.tags.child(p, loop_id, i + 1) {
+                Ok(nt) => (nt, 0),
+                Err(e) => return sh.fail_inv(inv, e),
+            },
+            other => {
+                return sh.fail_inv(
+                    inv,
+                    MachineError::TagMismatch {
+                        op,
+                        detail: format!(
+                            "backedge token tagged {other:?}, expected loop {loop_id:?}"
+                        ),
+                    },
+                )
+            }
+        },
+        _ => (t.tag, 1),
+    };
+    let k = key_inv(op, sh.split, inv, slot_tag);
+    match deposit(sh, inv, k, idx, t.value, SlotVals::pair) {
+        Deposit::Fire(vals) => {
+            fire_inv(sh, ctx, core, inv, op, slot_tag, FireInputs::Full(vals.as_slice()))
+        }
+        Deposit::Wait => {}
+        Deposit::Collision => {
+            let tag = core.tags.render(slot_tag);
+            sh.fail_inv(inv, MachineError::TokenCollision { op, port, tag });
+        }
+    }
+}
+
+/// Send one output token to every destination of `(op, out_port)`. Every
+/// pushed token raises the invocation's live count *before* it becomes
+/// visible, so quiescence cannot be declared under it. There is no
+/// worker-local fast path here: batches interleave tokens of many
+/// invocations, so same-batch pairing would buy little and cost an
+/// invocation-keyed flush on every batch boundary.
+fn emit_inv(
+    sh: &MultiShared<'_>,
+    ctx: &Ctx<'_, MToken>,
+    inv: u32,
+    op: OpId,
+    out_port: usize,
+    value: i64,
+    tag: TagId,
+) {
+    if sh.chaos.is_some() {
+        return emit_inv_chaos(sh, ctx, inv, op, out_port, value, tag);
+    }
+    let slot = &sh.inv[inv as usize];
+    for &to in sh.cg.dests(op, out_port) {
+        slot.live.fetch_add(1, Ordering::SeqCst);
+        ctx.push(MToken { to, tag, inv, value });
+    }
+}
+
+/// [`emit_inv`] with per-destination fault injection; drops and dups are
+/// charged to the emitting invocation (the drop will surface as *its*
+/// [`MachineError::TokenLeak`], nobody else's).
+#[cold]
+#[inline(never)]
+fn emit_inv_chaos(
+    sh: &MultiShared<'_>,
+    ctx: &Ctx<'_, MToken>,
+    inv: u32,
+    op: OpId,
+    out_port: usize,
+    value: i64,
+    tag: TagId,
+) {
+    let ch = sh.chaos.as_deref().expect("checked by emit_inv");
+    let slot = &sh.inv[inv as usize];
+    for &to in sh.cg.dests(op, out_port) {
+        {
+            let mut rng = lock(&ch.rngs[ctx.worker()]);
+            if ch.cfg.drop_prob > 0.0 && rng.chance(ch.cfg.drop_prob) {
+                drop(rng);
+                ch.drops.fetch_add(1, Ordering::Relaxed);
+                slot.drops.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if ch.cfg.dup_prob > 0.0 && sh.cg.desc(to.op).dup_ok() && rng.chance(ch.cfg.dup_prob)
+            {
+                drop(rng);
+                ch.dups.fetch_add(1, Ordering::Relaxed);
+                slot.dups.fetch_add(1, Ordering::Relaxed);
+                slot.live.fetch_add(1, Ordering::SeqCst);
+                ctx.push(MToken { to, tag, inv, value });
+            }
+        }
+        slot.live.fetch_add(1, Ordering::SeqCst);
+        ctx.push(MToken { to, tag, inv, value });
+    }
+}
+
+/// Admission hooks before the shared firing kernel: spend one unit of
+/// the *invocation's* fuel, and under chaos maybe panic in the
+/// operator's stead (the panic is caught per token and fails only this
+/// invocation).
+fn fire_admitted_inv(sh: &MultiShared<'_>, ctx: &Ctx<'_, MToken>, inv: u32, op: OpId) -> bool {
+    let slot = &sh.inv[inv as usize];
+    let prev = slot.fired.fetch_add(1, Ordering::Relaxed);
+    if prev >= sh.fuel {
+        sh.fail_inv(inv, MachineError::FuelExhausted);
+        return false;
+    }
+    if let Some(ch) = &sh.chaos {
+        if ch.cfg.panic_prob > 0.0 && lock(&ch.rngs[ctx.worker()]).chance(ch.cfg.panic_prob) {
+            ch.panics.fetch_add(1, Ordering::Relaxed);
+            panic!("chaos: injected operator panic at {op:?}");
+        }
+    }
+    true
+}
+
+/// The serving executor's side of the shared firing kernel: emission
+/// raises the invocation's live count, memory and tags are the
+/// invocation's own, halt marks only this invocation's End.
+struct ServeEngine<'a, 'b, 'g> {
+    sh: &'a MultiShared<'g>,
+    ctx: &'a Ctx<'b, MToken>,
+    core: &'a InvCore,
+    inv: u32,
+}
+
+impl Engine for ServeEngine<'_, '_, '_> {
+    fn emit(&mut self, op: OpId, out_port: usize, value: i64, tag: TagId) {
+        emit_inv(self.sh, self.ctx, self.inv, op, out_port, value, tag);
+    }
+
+    fn halt(&mut self) {
+        // End fired for *this* invocation; neighbors keep running and
+        // the scheduler stays up for the whole session.
+        self.sh.inv[self.inv as usize]
+            .end_seen
+            .store(true, Ordering::SeqCst);
+    }
+
+    fn tag_child(
+        &mut self,
+        parent: TagId,
+        loop_id: LoopId,
+        iter: u32,
+    ) -> Result<TagId, MachineError> {
+        self.core.tags.child(parent, loop_id, iter)
+    }
+
+    fn tag_info(&self, tag: TagId) -> Option<(TagId, LoopId, u32)> {
+        self.core.tags.info(tag)
+    }
+
+    fn read_scalar(&mut self, var: VarId) -> i64 {
+        self.core.mem.read_scalar(&self.core.layout, var)
+    }
+
+    fn write_scalar(&mut self, var: VarId, value: i64) {
+        self.core.mem.write_scalar(&self.core.layout, var, value)
+    }
+
+    fn read_element(&mut self, var: VarId, index: i64) -> Result<i64, MemError> {
+        self.core.mem.read_element(&self.core.layout, var, index)
+    }
+
+    fn write_element(&mut self, var: VarId, index: i64, value: i64) -> Result<(), MemError> {
+        self.core.mem.write_element(&self.core.layout, var, index, value)
+    }
+
+    fn ist_read(
+        &mut self,
+        var: VarId,
+        index: i64,
+        op: OpId,
+        tag: TagId,
+    ) -> Result<Option<i64>, MemError> {
+        self.core.mem.ist_read(&self.core.layout, var, index, (op, tag))
+    }
+
+    fn ist_write(
+        &mut self,
+        var: VarId,
+        index: i64,
+        value: i64,
+    ) -> Result<Vec<DeferredRead<(OpId, TagId)>>, MemError> {
+        self.core.mem.ist_write(&self.core.layout, var, index, value)
+    }
+
+    fn macro_fired(&mut self, elided: u64) {
+        let slot = &self.sh.inv[self.inv as usize];
+        slot.macro_fires.fetch_add(1, Ordering::Relaxed);
+        slot.ops_elided.fetch_add(elided, Ordering::Relaxed);
+    }
+}
+
+fn fire_inv(
+    sh: &MultiShared<'_>,
+    ctx: &Ctx<'_, MToken>,
+    core: &InvCore,
+    inv: u32,
+    op: OpId,
+    tag: TagId,
+    inputs: FireInputs<'_>,
+) {
+    if !fire_admitted_inv(sh, ctx, inv, op) {
+        return;
+    }
+    let mut eng = ServeEngine { sh, ctx, core, inv };
+    if let Err(e) = fire_op(sh.cg, op, tag, inputs, &mut eng) {
+        sh.fail_inv(inv, e);
+    }
+}
+
+fn render_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+// ---------------------------------------------------------------------
+// The session
+// ---------------------------------------------------------------------
+
+/// Run a serving session: up to `max_inflight` concurrent invocations of
+/// `cg` multiplexed onto `pool`'s workers. The closure `f` drives the
+/// session through its [`ServeHandle`] — submitting requests, collecting
+/// results — from the calling thread (and may hand the handle to other
+/// threads; both methods take `&self`). When `f` returns, the session
+/// waits for every admitted request to finish, shuts the workers down,
+/// and returns `f`'s value with the session-level [`ServeStats`].
+///
+/// `cfg` is applied *per invocation* — `fuel` and `tag_cap` bound each
+/// request individually (the tag cap is additionally clamped to the
+/// invocation's reserved slice of the tag space) — except `watchdog`,
+/// which bounds the whole session, and `chaos`, which faults the shared
+/// workers. `trace_capacity` is ignored: the trace ring is a solo-run
+/// debugging aid.
+///
+/// `max_inflight` is clamped to `1..=65536`; the tag space is split as
+/// `ceil(log2(max_inflight))` invocation bits, leaving each request
+/// `2^(32-bits) - 1` tags ([`TagSplit::for_inflight`]).
+pub fn serve<R>(
+    cg: &CompiledGraph,
+    pool: &ExecutorPool,
+    max_inflight: usize,
+    cfg: &ParConfig,
+    f: impl FnOnce(&ServeHandle<'_, '_>) -> R,
+) -> (R, ServeStats) {
+    let max_inflight = max_inflight.clamp(1, 1 << 16);
+    let n_workers = pool.workers();
+    let split = TagSplit::for_inflight(max_inflight);
+    let sh = MultiShared {
+        cg,
+        split,
+        tag_cap: split.tag_cap().min(cfg.tag_cap),
+        fuel: cfg.fuel,
+        chaos: cfg.chaos.map(|c| Box::new(ChaosState::new(c, n_workers))),
+        slots: std::iter::repeat_with(|| Mutex::new(FxHashMap::default()))
+            .take(SLOT_SHARDS)
+            .collect(),
+        slots_occupied: AtomicU64::new(0),
+        slots_peak: AtomicU64::new(0),
+        inv: (0..max_inflight).map(|_| InvSlot::new()).collect(),
+        state: Mutex::new(ServeState {
+            free: (0..max_inflight as u32).rev().collect(),
+            completed: VecDeque::new(),
+            inflight: 0,
+            submitted: 0,
+            collected: 0,
+            completed_ok: 0,
+            completed_err: 0,
+            peak_inflight: 0,
+            dead: None,
+        }),
+        submit_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    };
+
+    let sched: Scheduler<MToken> = Scheduler::new(n_workers).with_chaos(cfg.chaos);
+    // Keep the scheduler's token population artificially nonzero for the
+    // whole session: workers park between requests instead of exiting,
+    // and the drain-to-zero shutdown only triggers at teardown's
+    // `release`.
+    sched.hold();
+
+    let body = |ctx: &Ctx<'_, MToken>, batch: &mut Vec<MToken>| {
+        for t in batch.drain(..) {
+            let inv = t.inv;
+            sh.inv[inv as usize].processed.fetch_add(1, Ordering::Relaxed);
+            // Catch per token, not per batch: an operator panic fails
+            // its own invocation and the batch (other invocations'
+            // tokens included) continues.
+            let r = catch_unwind(AssertUnwindSafe(|| process_one(&sh, ctx, t)));
+            if let Err(payload) = r {
+                sh.fail_inv(
+                    inv,
+                    MachineError::WorkerPanicked {
+                        worker: ctx.worker(),
+                        payload: render_panic(&*payload),
+                    },
+                );
+            }
+            sh.dec_live(inv);
+        }
+    };
+
+    let fired_watchdog = AtomicBool::new(false);
+    let done = Mutex::new(false);
+    let done_cv = Condvar::new();
+    let (ret, outcome) = std::thread::scope(|scope| {
+        if let Some(bound) = cfg.watchdog {
+            // Same exactly-one-of-{completed, timed-out} protocol as the
+            // solo executor's watchdog.
+            let (done, done_cv, fired_watchdog, sched) =
+                (&done, &done_cv, &fired_watchdog, &sched);
+            scope.spawn(move || {
+                let guard = lock(done);
+                let (guard, wait) = done_cv
+                    .wait_timeout_while(guard, bound, |finished| !*finished)
+                    .unwrap_or_else(|e| e.into_inner());
+                if wait.timed_out() && !*guard {
+                    fired_watchdog.store(true, Ordering::SeqCst);
+                    drop(guard);
+                    sched.halt_external();
+                }
+            });
+        }
+        let driver = scope.spawn(|| {
+            let out = sched.run_in(&pool.pool, body);
+            *lock(&done) = true;
+            done_cv.notify_all();
+            if out.halted {
+                // The session died under live requests: an escaped
+                // worker panic or the watchdog. Fail everything still
+                // admitted.
+                let err = if let Some((worker, payload)) = out.panicked.clone() {
+                    MachineError::WorkerPanicked { worker, payload }
+                } else {
+                    MachineError::WatchdogTimeout {
+                        millis: cfg.watchdog.map_or(0, |d| d.as_millis() as u64),
+                    }
+                };
+                sh.session_death(err);
+            }
+            out
+        });
+
+        let handle = ServeHandle { sh: &sh, sched: &sched };
+        let ret = catch_unwind(AssertUnwindSafe(|| f(&handle)));
+
+        // Teardown: wait for every admitted request to finalize (a dead
+        // session finalizes them all in `session_death`), then drop the
+        // hold so the worker population drains to zero and the epoch
+        // ends.
+        {
+            let mut st = lock(&sh.state);
+            while st.inflight > 0 {
+                st = sh.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        sched.release();
+        let outcome = driver.join().expect("serve driver does not panic");
+        match ret {
+            Ok(ret) => (ret, outcome),
+            Err(payload) => resume_unwind(payload),
+        }
+    });
+
+    let st = lock(&sh.state);
+    let stats = ServeStats {
+        requests: st.submitted,
+        completed_ok: st.completed_ok,
+        failed: st.completed_err,
+        peak_inflight: st.peak_inflight as u64,
+        tokens_processed: outcome.processed,
+        max_pending_slots: sh.slots_peak.load(Ordering::Relaxed),
+        chaos: ChaosTallies {
+            delays: outcome.workers.iter().map(|w| w.chaos_delays).sum(),
+            forced_steals: outcome.workers.iter().map(|w| w.chaos_forced_steals).sum(),
+            panics: sh.chaos.as_ref().map_or(0, |c| c.panics.load(Ordering::Relaxed)),
+            drops: sh.chaos.as_ref().map_or(0, |c| c.drops.load(Ordering::Relaxed)),
+            dups: sh.chaos.as_ref().map_or(0, |c| c.dups.load(Ordering::Relaxed)),
+        },
+        workers: outcome.workers,
+    };
+    drop(st);
+    (ret, stats)
+}
+
+/// Submit `requests` invocations of `cg` over `layout` with at most
+/// `max_inflight` concurrent, and return their results in submission
+/// order plus the session stats. The convenience wrapper around
+/// [`serve`] used by the CLI, the benches and the equivalence tests.
+pub fn run_concurrent(
+    cg: &CompiledGraph,
+    layout: &MemLayout,
+    pool: &ExecutorPool,
+    max_inflight: usize,
+    cfg: &ParConfig,
+    requests: usize,
+) -> (Vec<Result<ParOutcome, MachineError>>, ServeStats) {
+    serve(cg, pool, max_inflight, cfg, |h| {
+        let mut results: Vec<Option<Result<ParOutcome, MachineError>>> =
+            (0..requests).map(|_| None).collect();
+        for _ in 0..requests {
+            h.submit(layout);
+        }
+        for _ in 0..requests {
+            let (req, r) = h.collect();
+            results[req as usize] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every request completes exactly once"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::compile;
+    use crate::exec::{run, MachineConfig};
+    use crate::parallel::run_threaded;
+    use cf2df_cfg::{BinOp, VarTable};
+    use cf2df_dfg::graph::ArcKind;
+    use cf2df_dfg::{Dfg, OpKind};
+
+    /// start → load x → (+41) → store x → end, with a two-input synch so
+    /// the rendezvous table sees traffic.
+    fn small_graph() -> (Dfg, MemLayout) {
+        let mut t = VarTable::new();
+        t.scalar("x");
+        let layout = MemLayout::distinct(&t);
+        let mut g = Dfg::new();
+        let s = g.add(OpKind::Start);
+        let ld = g.add(OpKind::Load { var: VarId(0) });
+        let add = g.add(OpKind::Binary { op: BinOp::Add });
+        g.set_imm(add, 1, 41);
+        let st = g.add(OpKind::Store { var: VarId(0) });
+        let e = g.add(OpKind::End { inputs: 1 });
+        g.connect(Port::new(s, 0), Port::new(ld, 0), ArcKind::Access);
+        g.connect(Port::new(ld, 0), Port::new(add, 0), ArcKind::Value);
+        g.connect(Port::new(add, 0), Port::new(st, 0), ArcKind::Value);
+        g.connect(Port::new(ld, 1), Port::new(st, 1), ArcKind::Access);
+        g.connect(Port::new(st, 0), Port::new(e, 0), ArcKind::Access);
+        (g, layout)
+    }
+
+    /// A graph that deadlocks: a two-input synch fed on one port only.
+    fn stuck_graph() -> (Dfg, MemLayout) {
+        let mut t = VarTable::new();
+        t.scalar("x");
+        let layout = MemLayout::distinct(&t);
+        let mut g = Dfg::new();
+        let s = g.add(OpKind::Start);
+        let sy = g.add(OpKind::Synch { inputs: 2 });
+        let e = g.add(OpKind::End { inputs: 1 });
+        g.connect(Port::new(s, 0), Port::new(sy, 0), ArcKind::Access);
+        g.connect(Port::new(sy, 0), Port::new(e, 0), ArcKind::Access);
+        (g, layout)
+    }
+
+    #[test]
+    fn concurrent_requests_match_the_simulator() {
+        let (g, layout) = small_graph();
+        let sim = run(&g, &layout, MachineConfig::unbounded()).unwrap();
+        let cg = compile(&g).unwrap();
+        for workers in [1, 2, 4] {
+            let pool = ExecutorPool::new(workers);
+            for inflight in [1, 3, 8] {
+                let (results, stats) =
+                    run_concurrent(&cg, &layout, &pool, inflight, &ParConfig::default(), 8);
+                assert_eq!(results.len(), 8);
+                for (i, r) in results.iter().enumerate() {
+                    let out = r.as_ref().unwrap_or_else(|e| {
+                        panic!("request {i} failed (workers={workers} inflight={inflight}): {e:?}")
+                    });
+                    assert_eq!(out.memory, sim.memory, "request {i}");
+                    assert_eq!(out.fired, sim.stats.fired, "request {i}");
+                    let m = &out.metrics;
+                    assert_eq!(
+                        m.tokens_processed,
+                        out.fired + m.merged,
+                        "per-invocation accounting, request {i}"
+                    );
+                }
+                assert_eq!(stats.requests, 8);
+                assert_eq!(stats.completed_ok, 8);
+                assert_eq!(stats.failed, 0);
+                assert!(stats.peak_inflight as usize <= inflight.clamp(1, 1 << 16));
+                assert_eq!(stats.workers.len(), workers);
+            }
+        }
+    }
+
+    #[test]
+    fn backpressure_blocks_at_the_admission_window() {
+        let (g, layout) = small_graph();
+        let cg = compile(&g).unwrap();
+        let pool = ExecutorPool::new(2);
+        // Window of 1: 16 submissions must still all complete (each
+        // submit blocks until the previous request finalizes).
+        let (results, stats) =
+            run_concurrent(&cg, &layout, &pool, 1, &ParConfig::default(), 16);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(stats.peak_inflight, 1);
+    }
+
+    #[test]
+    fn a_failing_invocation_reports_and_the_session_continues() {
+        // Every request of this graph deadlocks; the session must hand
+        // back 6 typed errors, stay alive throughout, and leave the pool
+        // reusable for a clean graph afterwards.
+        let (g, layout) = stuck_graph();
+        let cg = compile(&g).unwrap();
+        let pool = ExecutorPool::new(2);
+        let (results, stats) = run_concurrent(&cg, &layout, &pool, 4, &ParConfig::default(), 6);
+        assert_eq!(stats.failed, 6);
+        for r in &results {
+            let Err(MachineError::Deadlock { pending }) = r else {
+                panic!("expected per-request deadlock, got {r:?}");
+            };
+            assert!(pending[0].contains("synch2"), "{pending:?}");
+        }
+        // Same pool, different graph, clean serve session.
+        let (g2, layout2) = small_graph();
+        let cg2 = compile(&g2).unwrap();
+        let sim = run(&g2, &layout2, MachineConfig::unbounded()).unwrap();
+        let (results2, _) =
+            run_concurrent(&cg2, &layout2, &pool, 4, &ParConfig::default(), 4);
+        for r in results2 {
+            assert_eq!(r.unwrap().memory, sim.memory);
+        }
+    }
+
+    #[test]
+    fn per_invocation_fuel_names_no_neighbor() {
+        let (g, layout) = small_graph();
+        let cg = compile(&g).unwrap();
+        let solo = run_threaded(&g, &layout, 1).unwrap();
+        let pool = ExecutorPool::new(2);
+        // Fuel one below the graph's firing count: every request runs
+        // out individually; the session survives all of them.
+        let cfg = ParConfig {
+            fuel: solo.fired - 1,
+            ..ParConfig::default()
+        };
+        let (results, stats) = run_concurrent(&cg, &layout, &pool, 4, &cfg, 5);
+        assert_eq!(stats.failed, 5);
+        assert!(results
+            .iter()
+            .all(|r| matches!(r, Err(MachineError::FuelExhausted))));
+        // And with exact fuel, all succeed.
+        let cfg = ParConfig {
+            fuel: solo.fired,
+            ..ParConfig::default()
+        };
+        let (results, _) = run_concurrent(&cg, &layout, &pool, 4, &cfg, 5);
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn collect_panics_with_nothing_outstanding() {
+        let (g, layout) = small_graph();
+        let cg = compile(&g).unwrap();
+        let pool = ExecutorPool::new(1);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            serve(&cg, &pool, 2, &ParConfig::default(), |h| {
+                let id = h.submit(&layout);
+                let (rid, r) = h.collect();
+                assert_eq!(rid, id);
+                r.unwrap();
+                assert_eq!(h.outstanding(), 0);
+                let _ = h.collect(); // nothing outstanding: must panic
+            })
+        }));
+        assert!(caught.is_err(), "second collect must panic");
+    }
+
+    #[test]
+    fn results_are_delivered_in_finish_order_with_request_ids() {
+        let (g, layout) = small_graph();
+        let cg = compile(&g).unwrap();
+        let pool = ExecutorPool::new(4);
+        let ((), stats) = serve(&cg, &pool, 8, &ParConfig::default(), |h| {
+            let ids: Vec<ReqId> = (0..8).map(|_| h.submit(&layout)).collect();
+            assert_eq!(ids, (0..8).collect::<Vec<_>>(), "sequential request ids");
+            let mut seen: Vec<ReqId> = (0..8).map(|_| h.collect().0).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, ids, "every id exactly once, any order");
+        });
+        assert_eq!(stats.requests, 8);
+        assert_eq!(stats.completed_ok, 8);
+    }
+}

@@ -31,6 +31,79 @@ impl std::fmt::Debug for TagId {
     }
 }
 
+/// The invocation/tag split of the 32-bit tag word, for executors that
+/// multiplex several concurrent invocations of one graph onto a shared
+/// worker pool ([`crate::serve`]). The high `inv_bits` of the packed
+/// word name the invocation slot; the remaining low bits carry the
+/// invocation-local [`TagId`]. The split is an *explicit reservation*:
+/// each inflight invocation owns a disjoint slice of the packed space,
+/// so one invocation's deep loop nest can exhaust only its own slice —
+/// surfaced as a per-invocation
+/// [`crate::exec::MachineError::TagSpaceExhausted`] — and rendezvous
+/// keys from different invocations can never collide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TagSplit {
+    /// High bits of the packed word reserved for the invocation slot.
+    inv_bits: u32,
+}
+
+impl TagSplit {
+    /// The trivial split: no invocation bits, the whole word is the tag
+    /// (single-invocation executors).
+    pub const NONE: TagSplit = TagSplit { inv_bits: 0 };
+
+    /// The narrowest split whose invocation field can name
+    /// `max_inflight` concurrent slots (`ceil(log2(max_inflight))`
+    /// bits). At least 1 bit is reserved whenever `max_inflight > 1`.
+    pub fn for_inflight(max_inflight: usize) -> TagSplit {
+        let n = max_inflight.clamp(1, 1 << 16) as u32;
+        TagSplit {
+            inv_bits: 32 - (n - 1).leading_zeros(),
+        }
+    }
+
+    /// Number of invocation slots the split can name.
+    pub fn slots(self) -> u32 {
+        1 << self.inv_bits
+    }
+
+    /// Largest tag id representable in the per-invocation slice: packing
+    /// a tag at or below this cap can never spill into the invocation
+    /// field. The single-invocation split keeps the type's full range.
+    pub fn tag_cap(self) -> u32 {
+        if self.inv_bits == 0 {
+            u32::MAX
+        } else {
+            (1u32 << (32 - self.inv_bits)) - 1
+        }
+    }
+
+    /// Pack an invocation slot and an invocation-local tag into one
+    /// word. Callers keep `tag.0 <= tag_cap()` (the interner cap) and
+    /// `inv < slots()`; debug builds assert it.
+    #[inline]
+    pub fn pack(self, inv: u32, tag: TagId) -> u32 {
+        debug_assert!(inv < self.slots());
+        debug_assert!(tag.0 <= self.tag_cap());
+        if self.inv_bits == 0 {
+            tag.0
+        } else {
+            (inv << (32 - self.inv_bits)) | tag.0
+        }
+    }
+
+    /// Unpack a word into `(invocation slot, local tag)` — the exact
+    /// inverse of [`TagSplit::pack`].
+    #[inline]
+    pub fn unpack(self, packed: u32) -> (u32, TagId) {
+        if self.inv_bits == 0 {
+            (0, TagId(packed))
+        } else {
+            (packed >> (32 - self.inv_bits), TagId(packed & self.tag_cap()))
+        }
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Ctx {
     parent: TagId,
@@ -143,6 +216,35 @@ mod tests {
         let d = t.child(TagId::ROOT, LoopId(1), 3).unwrap();
         assert_ne!(a, d);
         assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn tag_split_reserves_disjoint_slices() {
+        // Trivial split: the whole word is the tag.
+        assert_eq!(TagSplit::NONE.slots(), 1);
+        assert_eq!(TagSplit::NONE.tag_cap(), u32::MAX);
+        assert_eq!(TagSplit::NONE.pack(0, TagId(7)), 7);
+        assert_eq!(TagSplit::NONE.unpack(7), (0, TagId(7)));
+        // for_inflight rounds up to the next power of two.
+        assert_eq!(TagSplit::for_inflight(1), TagSplit::NONE);
+        assert_eq!(TagSplit::for_inflight(2).slots(), 2);
+        assert_eq!(TagSplit::for_inflight(3).slots(), 4);
+        assert_eq!(TagSplit::for_inflight(4).slots(), 4);
+        assert_eq!(TagSplit::for_inflight(16).slots(), 16);
+        let s = TagSplit::for_inflight(4);
+        assert_eq!(s.tag_cap(), (1 << 30) - 1);
+        // Round-trip, and distinct invocations never collide even on
+        // the same local tag.
+        for inv in 0..s.slots() {
+            for tag in [0u32, 1, 42, s.tag_cap()] {
+                let packed = s.pack(inv, TagId(tag));
+                assert_eq!(s.unpack(packed), (inv, TagId(tag)));
+            }
+        }
+        assert_ne!(s.pack(0, TagId(5)), s.pack(1, TagId(5)));
+        // The reserved slices partition the word: an invocation's slice
+        // ends exactly where the next one begins.
+        assert_eq!(s.pack(0, TagId(s.tag_cap())) + 1, s.pack(1, TagId(0)));
     }
 
     #[test]

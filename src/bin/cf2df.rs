@@ -16,9 +16,12 @@
 //!                   [--compare <old.json>] [--tolerance <frac>]
 //!                   [--min-token-reduction <frac>:<workload-prefix>]
 //!                   [--require-wall-leq <workload-prefix>]
+//!                   [--require-inflight-speedup <factor>]
 //! cf2df fuse-check [--workers <n>]
 //! cf2df chaos      [--quick] [--seeds <n>] [--workers <a,b,…>]
 //!                  [--programs <p1,p2,…>] [--fuel <n>] [--watchdog-ms <n>]
+//! cf2df serve      [--requests <n>] [--inflight <k>] [--workers <w>]
+//!                  [--quick] [SCHEMA] [TRANSFORMS] [program]
 //!
 //! SCHEMA:     --schema1 | --schema2 (default) | --schema3 | --optimized | --full
 //! TRANSFORMS: --memelim --readpar --arraypar --forward --no-loop-control
@@ -58,20 +61,36 @@
 //!
 //! `bench` runs the canonical workloads through the simulator and the
 //! threaded executor at 1/2/4/8 workers and writes `BENCH_pipeline.json`,
-//! `BENCH_executor.json`, and `BENCH_translate.json` — the last times the
+//! `BENCH_executor.json`, `BENCH_translate.json` — the last times the
 //! translation pipeline itself and records its deterministic pass/cache
-//! counters (`--quick` shrinks workloads and timing budgets for CI smoke
-//! runs; `--no-fuse` benches with macro-op fusion disabled, for
-//! fused-vs-unfused baselines). `check-bench` validates artifact files
-//! against the schema and exits non-zero on the first invalid one; with
-//! `--compare OLD.json` it additionally diffs the (single) artifact
-//! against the old baseline and fails on wall-clock regressions beyond
-//! the tolerance (default 0.25 = 25%, plus a 10 µs absolute floor) or on
-//! any increase in deterministic counters (fired, makespan,
-//! tokens_processed). `--require-wall-leq PREFIX` additionally demands
-//! that every wall-clock median on workloads matching PREFIX is at or
-//! below the baseline's, modulo a 20% jitter allowance (tighter than
-//! the regression tolerance) — the compiled-graph acceptance gate.
+//! counters — and `BENCH_throughput.json`, which measures the
+//! multiplexed serve engine's requests/second at every worker count ×
+//! inflight level against a back-to-back serial baseline (`--quick`
+//! shrinks workloads and timing budgets for CI smoke runs; `--no-fuse`
+//! benches with macro-op fusion disabled, for fused-vs-unfused
+//! baselines). `check-bench` validates artifact files against the schema
+//! and exits non-zero on the first invalid one; with `--compare
+//! OLD.json` it additionally diffs the (single) artifact against the old
+//! baseline and fails on wall-clock regressions beyond the tolerance
+//! (default 0.25 = 25%, plus a 10 µs absolute floor) or on any increase
+//! in deterministic counters (fired, makespan, tokens_processed).
+//! `--require-wall-leq PREFIX` additionally demands that every
+//! wall-clock median on workloads matching PREFIX is at or below the
+//! baseline's, modulo a 20% jitter allowance (tighter than the
+//! regression tolerance) — the compiled-graph acceptance gate.
+//! `--require-inflight-speedup FACTOR` gates a throughput artifact (no
+//! baseline needed): req/sec at inflight 4 on 4 workers must beat the
+//! serial baseline by FACTOR on at least two workloads — the
+//! multiplexed-serving acceptance gate.
+//!
+//! `serve` exercises the concurrent multi-invocation engine: it
+//! translates `program` (default `running_example`), spawns one executor
+//! pool of `--workers` threads, submits `--requests` independent
+//! invocations with at most `--inflight` admitted concurrently, verifies
+//! every result bit-for-bit against the deterministic simulator, and
+//! prints the session stats and the requests/second the pool sustained.
+//! Exits non-zero on any mismatch or per-request error — `--quick` is
+//! the CI smoke gate.
 //!
 //! `stats` translates a program, lowers the certified graph to the dense
 //! compiled runtime representation shared by both executors, and prints
@@ -200,10 +219,11 @@ fn run_bench(quick: bool, fuse: bool, out_dir: &str) {
         exit(2)
     });
     type Render = fn(bool, bool) -> Result<String, String>;
-    let artifacts: [(&str, Render); 3] = [
+    let artifacts: [(&str, Render); 4] = [
         ("BENCH_pipeline.json", cf2df::bench::artifacts::pipeline_artifact),
         ("BENCH_executor.json", cf2df::bench::artifacts::executor_artifact),
         ("BENCH_translate.json", cf2df::bench::artifacts::translate_artifact),
+        ("BENCH_throughput.json", cf2df::bench::artifacts::throughput_artifact),
     ];
     for (name, render) in artifacts {
         let doc = render(quick, fuse).unwrap_or_else(|e| {
@@ -539,6 +559,101 @@ fn run_chaos(mut args: Args) {
     }
 }
 
+/// `cf2df serve`: run the concurrent multi-invocation engine over one
+/// program and verify every request against the deterministic simulator.
+/// Doubles as the CI smoke gate for the tag-space-multiplexed executor
+/// (`--quick`).
+fn run_serve(mut args: Args) {
+    use cf2df::machine::serve::run_concurrent;
+    use cf2df::machine::{compile, ExecutorPool, ParConfig};
+
+    let quick = args.flag("--quick");
+    let requests: usize = args
+        .value("--requests")
+        .map(|s| s.parse().expect("numeric --requests"))
+        .unwrap_or(if quick { 32 } else { 256 });
+    let inflight: usize = args
+        .value("--inflight")
+        .map(|s| s.parse().expect("numeric --inflight"))
+        .unwrap_or(4);
+    let workers: usize = args
+        .value("--workers")
+        .map(|s| s.parse().expect("numeric --workers"))
+        .unwrap_or(4);
+    let opts = parse_schema(&mut args);
+    let program = if args.rest.is_empty() {
+        "running_example".to_owned()
+    } else {
+        args.rest.remove(0)
+    };
+    if !args.rest.is_empty() {
+        eprintln!("serve: unrecognized arguments {:?}", args.rest);
+        usage();
+    }
+
+    let src = load_source(&program);
+    let parsed = cf2df::lang::parse_to_cfg(&src).unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        exit(1)
+    });
+    let t = translate(&parsed.cfg, &parsed.alias, &opts).unwrap_or_else(|e| {
+        eprintln!("translation error: {e}");
+        exit(1)
+    });
+    let layout = MemLayout::distinct(&t.cfg.vars);
+    let cg = compile(&t.dfg).unwrap_or_else(|e| {
+        eprintln!("compile error: {e}");
+        exit(1)
+    });
+    let sim = run(&t.dfg, &layout, MachineConfig::unbounded()).unwrap_or_else(|e| {
+        eprintln!("{program}: simulator oracle failed: {e}");
+        exit(1)
+    });
+
+    let cfg = ParConfig {
+        // A session-wide bound so a wedged smoke run fails instead of
+        // hanging CI.
+        watchdog: Some(std::time::Duration::from_secs(60)),
+        ..ParConfig::default()
+    };
+    let pool = ExecutorPool::new(workers);
+    let started = std::time::Instant::now();
+    let (results, stats) = run_concurrent(&cg, &layout, &pool, inflight, &cfg, requests);
+    let secs = started.elapsed().as_secs_f64();
+
+    let mut mismatches = 0usize;
+    for (req, r) in results.iter().enumerate() {
+        match r {
+            Ok(out) => {
+                if out.memory != sim.memory
+                    || out.ist_memory != sim.ist_memory
+                    || out.fired != sim.stats.fired
+                {
+                    eprintln!(
+                        "MISMATCH: request {req} diverged from simulator (fired {} vs {})",
+                        out.fired, sim.stats.fired
+                    );
+                    mismatches += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("FAILED: request {req}: {e}");
+                mismatches += 1;
+            }
+        }
+    }
+    println!("{}", stats.summary());
+    println!(
+        "serve: {program}: {requests} requests on {workers} workers (inflight {inflight}) \
+         in {secs:.3}s = {:.0} req/s",
+        requests as f64 / secs
+    );
+    if mismatches > 0 {
+        eprintln!("serve: {mismatches} of {requests} requests wrong");
+        exit(1)
+    }
+}
+
 /// The certification matrix `cf2df validate corpus` sweeps: Schemas 1–3
 /// with both cover strategies, optimized construction off and on.
 fn validate_matrix() -> Vec<(&'static str, TranslateOptions)> {
@@ -745,6 +860,10 @@ fn main() {
         run_chaos(Args { rest: argv });
         return;
     }
+    if cmd == "serve" {
+        run_serve(Args { rest: argv });
+        return;
+    }
     if cmd == "bench" {
         let mut args = Args { rest: argv };
         let quick = args.flag("--quick");
@@ -789,6 +908,35 @@ fn main() {
         // every wall-clock median on workloads matching PREFIX is at or
         // below the baseline's (the compiled-graph acceptance gate).
         let wall_leq = args.value("--require-wall-leq");
+        // `--require-inflight-speedup FACTOR` — on a throughput
+        // artifact, demand req/sec at inflight 4 on 4 workers beats the
+        // serial baseline by FACTOR on at least two workloads (the
+        // multiplexed-serving acceptance gate). Applies to the new
+        // artifact; needs no baseline.
+        let inflight_gain = args.value("--require-inflight-speedup").map(|f| {
+            f.parse::<f64>().unwrap_or_else(|_| {
+                eprintln!("--require-inflight-speedup needs a numeric factor, e.g. 1.3");
+                exit(2)
+            })
+        });
+        let run_inflight_gate = |text: &str, path: &str| {
+            let Some(factor) = inflight_gain else { return };
+            let violations =
+                cf2df::bench::compare::require_inflight_speedup(text, 4.0, 4.0, factor, 2)
+                    .unwrap_or_else(|e| {
+                        eprintln!("inflight-speedup gate: {e}");
+                        exit(1)
+                    });
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!("inflight-speedup gate: {v}");
+                }
+                exit(1)
+            }
+            println!(
+                "inflight-speedup gate: {path} clears {factor:.2}x at inflight 4 on 4 workers"
+            );
+        };
         if args.rest.is_empty() {
             usage();
         }
@@ -838,6 +986,7 @@ fn main() {
                 }
                 println!("wall-ceiling gate: '{prefix}' medians at or below baseline");
             }
+            run_inflight_gate(&new_text, &args.rest[0]);
             let regressions = cmp.regressions();
             if regressions.is_empty() {
                 println!(
@@ -855,6 +1004,7 @@ fn main() {
             }
             return;
         }
+        let mut gated = false;
         for path in &args.rest {
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
                 eprintln!("cannot read {path}: {e}");
@@ -867,6 +1017,17 @@ fn main() {
                     exit(1)
                 }
             }
+            // The inflight-speedup gate needs no baseline, so it also
+            // runs in plain validation mode — on the throughput
+            // artifact(s) among the arguments.
+            if text.contains("\"artifact\":\"throughput\"") {
+                run_inflight_gate(&text, path);
+                gated = true;
+            }
+        }
+        if inflight_gain.is_some() && !gated {
+            eprintln!("--require-inflight-speedup: no throughput artifact among the arguments");
+            exit(1)
         }
         return;
     }

@@ -206,7 +206,9 @@ fn deep_loop_nest_exhausts_capped_tag_space_cleanly() {
     for workers in WORKERS {
         let (result, _, _) = run_threaded_with(&g, &layout, workers, &cfg);
         match result {
-            Err(MachineError::TagSpaceExhausted { cap }) => assert_eq!(cap, 64),
+            Err(MachineError::TagSpaceExhausted { cap, invocation }) => {
+                assert_eq!((cap, invocation), (64, None))
+            }
             other => panic!("expected TagSpaceExhausted at {workers} workers, got {other:?}"),
         }
     }
@@ -356,6 +358,140 @@ fn fused_graphs_survive_chaos_like_unfused_ones() {
                 assert!(metrics.chaos.dups > 0, "dups were injected");
             }
         }
+    }
+}
+
+/// An injected operator panic inside a multiplexed serving session is a
+/// *per-invocation* event: the invocation whose token panicked fails
+/// with `WorkerPanicked`, every other inflight invocation completes
+/// bit-for-bit equal to the simulator, and the pool stays reusable for
+/// a clean session afterwards. Swept over seeds and panic probabilities
+/// until both outcomes (a contained failure and an unharmed neighbor)
+/// have been observed in a single session.
+#[test]
+fn serve_contains_panics_to_the_failing_invocation() {
+    use cf2df::machine::{compile, run_concurrent};
+
+    quiet_chaos_panics();
+    let parsed = parse_to_cfg(cf2df::lang::corpus::GCD).unwrap();
+    let t = translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2()).unwrap();
+    let layout = MemLayout::distinct(&t.cfg.vars);
+    let cg = compile(&t.dfg).unwrap();
+    let sim = run(&t.dfg, &layout, MachineConfig::unbounded()).unwrap();
+    let pool = ExecutorPool::new(4);
+
+    let mut saw_failure = false;
+    let mut saw_mixed_session = false;
+    'sweep: for prob in [0.002, 0.01, 0.05] {
+        for seed in 0..8u64 {
+            let cfg = with_watchdog(Some(ChaosConfig {
+                panic_prob: prob,
+                ..ChaosConfig::off(seed)
+            }));
+            let (results, stats) = run_concurrent(&cg, &layout, &pool, 4, &cfg, 12);
+            let mut ok = 0;
+            let mut failed = 0;
+            for (i, res) in results.into_iter().enumerate() {
+                match res {
+                    Ok(out) => {
+                        ok += 1;
+                        assert_eq!(
+                            out.memory, sim.memory,
+                            "prob {prob} seed {seed} request {i}: a surviving \
+                             invocation must be exact"
+                        );
+                        assert_eq!(out.fired, sim.stats.fired, "request {i}");
+                    }
+                    Err(MachineError::WorkerPanicked { payload, .. }) => {
+                        failed += 1;
+                        assert!(
+                            payload.contains("chaos: injected operator panic"),
+                            "unexpected payload: {payload}"
+                        );
+                    }
+                    Err(other) => {
+                        panic!("prob {prob} seed {seed} request {i}: unexpected {other}")
+                    }
+                }
+            }
+            assert_eq!(stats.completed_ok, ok, "stats agree with results");
+            assert_eq!(stats.failed, failed, "stats agree with results");
+            saw_failure |= failed > 0;
+            saw_mixed_session |= failed > 0 && ok > 0;
+            // The pool must be reusable after containment: a clean
+            // session on the same pool stays exact.
+            let (clean, cstats) =
+                run_concurrent(&cg, &layout, &pool, 4, &with_watchdog(None), 4);
+            assert_eq!(cstats.completed_ok, 4, "clean session after containment");
+            assert_eq!(cstats.chaos.total(), 0, "clean session injected nothing");
+            for res in clean {
+                assert_eq!(res.unwrap().memory, sim.memory);
+            }
+            if saw_mixed_session {
+                break 'sweep;
+            }
+        }
+    }
+    assert!(saw_failure, "no injected panic ever landed — vacuous sweep");
+    assert!(
+        saw_mixed_session,
+        "never observed a session with both a failed and a surviving invocation"
+    );
+}
+
+/// Tag-space exhaustion inside a multiplexed session is typed *and
+/// attributed*: every invocation of a deep loop nest under a tiny tag
+/// cap fails with `TagSpaceExhausted` carrying its own request id, the
+/// session completes (no hang), and the same pool then serves the nest
+/// cleanly with the cap lifted.
+#[test]
+fn serve_attributes_tag_exhaustion_to_the_invocation() {
+    use cf2df::machine::{compile, run_concurrent};
+
+    let src = "
+        s := 0; i := 0;
+        while i < 6 do {
+            j := 0;
+            while j < 6 do {
+                k := 0;
+                while k < 6 do { s := s + k; k := k + 1; }
+                j := j + 1;
+            }
+            i := i + 1;
+        }
+    ";
+    let parsed = parse_to_cfg(src).unwrap();
+    let t = translate(&parsed.cfg, &parsed.alias, &TranslateOptions::schema2()).unwrap();
+    let layout = MemLayout::distinct(&t.cfg.vars);
+    let cg = compile(&t.dfg).unwrap();
+    let sim = run(&t.dfg, &layout, MachineConfig::unbounded()).unwrap();
+    let pool = ExecutorPool::new(4);
+
+    let capped = ParConfig {
+        tag_cap: 64,
+        watchdog: Some(Duration::from_secs(10)),
+        ..ParConfig::default()
+    };
+    let (results, stats) = run_concurrent(&cg, &layout, &pool, 4, &capped, 8);
+    assert_eq!(stats.failed, 8, "every capped invocation must fail");
+    for (i, res) in results.into_iter().enumerate() {
+        match res {
+            Err(MachineError::TagSpaceExhausted { cap, invocation }) => {
+                assert_eq!(cap, 64, "request {i}");
+                assert_eq!(
+                    invocation,
+                    Some(i as u64),
+                    "request {i}: the error must name the offending invocation"
+                );
+            }
+            other => panic!("request {i}: expected TagSpaceExhausted, got {other:?}"),
+        }
+    }
+    // Same pool, cap lifted: the nest serves cleanly.
+    let (clean, cstats) = run_concurrent(&cg, &layout, &pool, 4, &with_watchdog(None), 4);
+    assert_eq!(cstats.completed_ok, 4);
+    for res in clean {
+        assert_eq!(res.unwrap().memory, sim.memory);
     }
 }
 

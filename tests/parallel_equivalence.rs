@@ -201,6 +201,112 @@ fn compiled_graphs_match_one_shot_runs_across_the_corpus() {
     }
 }
 
+/// Tag-space multiplexing is execution-invisible: every corpus program
+/// submitted K=4 times *concurrently* onto one shared pool yields K
+/// results each bit-for-bit identical to the simulator oracle — final
+/// memory, I-structure memory, and fired-operator count — at every
+/// worker width. The pool is shared across all programs of a width, so
+/// this also exercises serving *different* compiled graphs back-to-back
+/// on one pool.
+#[test]
+fn concurrent_submissions_match_simulator_across_the_corpus() {
+    use cf2df::machine::parallel::{ExecutorPool, ParConfig};
+    use cf2df::machine::{compile, run_concurrent};
+
+    const K: usize = 4;
+    let opts = TranslateOptions::full_parallel_schema3();
+    for workers in WORKERS {
+        let pool = ExecutorPool::new(workers);
+        for (name, src) in cf2df::lang::corpus::all() {
+            let parsed = parse_to_cfg(src).unwrap();
+            let t = match translate(&parsed.cfg, &parsed.alias, &opts) {
+                Ok(t) => t,
+                Err(_) => continue,
+            };
+            let layout = MemLayout::distinct(&t.cfg.vars);
+            let cg = compile(&t.dfg)
+                .unwrap_or_else(|e| panic!("{name}: compile failed: {e:?}"));
+            let sim = run(&t.dfg, &layout, MachineConfig::unbounded())
+                .unwrap_or_else(|e| panic!("{name}: simulator failed: {e:?}"));
+            let (results, stats) =
+                run_concurrent(&cg, &layout, &pool, K, &ParConfig::default(), K);
+            assert_eq!(
+                stats.completed_ok, K as u64,
+                "{name} at {workers} workers: not every request completed"
+            );
+            assert_eq!(stats.requests, K as u64, "{name} at {workers} workers");
+            for (i, res) in results.into_iter().enumerate() {
+                let out = res.unwrap_or_else(|e| {
+                    panic!("{name} request {i} at {workers} workers: {e:?}")
+                });
+                assert_eq!(
+                    out.memory, sim.memory,
+                    "{name} request {i}: memory diverged at {workers} workers"
+                );
+                assert_eq!(
+                    out.ist_memory, sim.ist_memory,
+                    "{name} request {i}: I-structures diverged at {workers} workers"
+                );
+                assert_eq!(
+                    out.fired, sim.stats.fired,
+                    "{name} request {i}: fired diverged at {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+/// One executor pool multiplexes *different* compiled graphs with no
+/// cross-talk: serving sessions of two distinct programs alternate on
+/// the same pool, interleaved with solo pooled runs of a third, and
+/// every result keeps matching its own program's oracle.
+#[test]
+fn one_pool_serves_different_graphs_without_cross_talk() {
+    use cf2df::machine::parallel::{
+        run_threaded_compiled_pooled_with, ExecutorPool, ParConfig,
+    };
+    use cf2df::machine::{compile, run_concurrent};
+
+    let prep = |src: &str| {
+        let parsed = parse_to_cfg(src).unwrap();
+        let t = translate(
+            &parsed.cfg,
+            &parsed.alias,
+            &TranslateOptions::full_parallel_schema3(),
+        )
+        .unwrap();
+        let layout = MemLayout::distinct(&t.cfg.vars);
+        let cg = compile(&t.dfg).unwrap();
+        let sim = run(&t.dfg, &layout, MachineConfig::unbounded()).unwrap();
+        (cg, layout, sim)
+    };
+    let (cg_a, layout_a, sim_a) = prep(cf2df::lang::corpus::GCD);
+    let (cg_b, layout_b, sim_b) = prep(cf2df::lang::corpus::NESTED);
+    let (cg_c, layout_c, sim_c) = prep(cf2df::lang::corpus::REDUCTION);
+
+    let pool = ExecutorPool::new(4);
+    let cfg = ParConfig::default();
+    for round in 0..3 {
+        let (results, stats) = run_concurrent(&cg_a, &layout_a, &pool, 3, &cfg, 6);
+        assert_eq!(stats.completed_ok, 6, "round {round}: graph A");
+        for res in results {
+            assert_eq!(res.unwrap().memory, sim_a.memory, "round {round}: graph A");
+        }
+        // A solo pooled run of a third graph between sessions.
+        let (res, _, _) = run_threaded_compiled_pooled_with(&cg_c, &layout_c, &pool, &cfg);
+        let out = res.unwrap();
+        assert_eq!(out.memory, sim_c.memory, "round {round}: solo graph C");
+        assert_eq!(out.fired, sim_c.stats.fired, "round {round}: solo graph C");
+        let (results, stats) = run_concurrent(&cg_b, &layout_b, &pool, 3, &cfg, 6);
+        assert_eq!(stats.completed_ok, 6, "round {round}: graph B");
+        for res in results {
+            let out = res.unwrap();
+            assert_eq!(out.memory, sim_b.memory, "round {round}: graph B");
+            assert_eq!(out.fired, sim_b.stats.fired, "round {round}: graph B");
+        }
+    }
+}
+
 /// Repeated runs at the widest width: schedule nondeterminism must
 /// never leak into results (a smoke test for rendezvous/tag races).
 #[test]
